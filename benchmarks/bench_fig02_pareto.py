@@ -1,0 +1,64 @@
+"""Figure 2: a few apps account for most of the downloads.
+
+Paper: the CDF of downloads vs. normalized app ranking shows ~10% of
+apps carrying 70-90% of downloads across the four stores, and the top 1%
+alone carrying 30-70%.
+
+Shape targets: strong concentration everywhere; the Chinese stores
+(higher Zipf exponents, more clustered) concentrate harder than SlideMe.
+"""
+
+from conftest import emit
+
+from repro.analysis.popularity import popularity_reports
+from repro.reporting.figures import render_series
+from repro.reporting.tables import render_table
+
+
+def render_pareto(database) -> str:
+    reports = popularity_reports(database)
+    rows = [
+        [
+            report.store,
+            round(report.pareto.share_top_1pct * 100, 1),
+            round(report.pareto.share_top_10pct * 100, 1),
+            round(report.pareto.share_top_20pct * 100, 1),
+            round(report.pareto.gini, 3),
+        ]
+        for report in reports
+    ]
+    parts = [
+        render_table(
+            ["store", "top 1% share", "top 10% share", "top 20% share", "gini"],
+            rows,
+            title="Figure 2: percentage of downloads held by top apps",
+        )
+    ]
+    for report in reports:
+        x, y = report.pareto_series
+        parts.append(
+            render_series(
+                x,
+                y,
+                x_label="app ranking (%)",
+                y_label="downloads CDF (%)",
+                title=f"-- {report.store}",
+                max_rows=10,
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def test_fig02_pareto_effect(benchmark, database, results_dir):
+    text = benchmark.pedantic(render_pareto, args=(database,), rounds=3, iterations=1)
+    emit(results_dir, "fig02_pareto", text)
+
+    reports = {r.store: r for r in popularity_reports(database)}
+    # Shape: every store shows a strong Pareto effect.
+    for store, report in reports.items():
+        assert report.pareto.share_top_10pct > 0.4, store
+    # The Chinese stores concentrate harder than SlideMe, as in Figure 2.
+    assert (
+        reports["appchina"].pareto.share_top_1pct
+        > reports["slideme"].pareto.share_top_1pct
+    )

@@ -1,0 +1,53 @@
+"""Figure 4: apps are not updated often.
+
+Paper: over a two-month window, >80% of apps receive no update, 99%
+fewer than four; among the top-10% most popular apps, 60-75% receive no
+update and 99% at most six.  This validates fetch-at-most-once -- users
+have little reason to re-download.
+"""
+
+from conftest import emit
+
+from repro.analysis.updates import update_distribution
+from repro.reporting.tables import render_table
+
+
+def render_updates(database) -> str:
+    rows = []
+    for store in database.stores():
+        full = update_distribution(database, store)
+        top = update_distribution(database, store, top_fraction=0.1)
+        rows.append(
+            [
+                store,
+                round(full.fraction_never_updated * 100, 1),
+                round(full.fraction_with_at_most(3) * 100, 1),
+                round(top.fraction_never_updated * 100, 1),
+                round(top.fraction_with_at_most(6) * 100, 1),
+            ]
+        )
+    return render_table(
+        [
+            "store",
+            "no updates (%)",
+            "<4 updates (%)",
+            "top-10%: no updates (%)",
+            "top-10%: <=6 updates (%)",
+        ],
+        rows,
+        title="Figure 4: CDF of app updates over the crawl window",
+    )
+
+
+def test_fig04_update_distribution(benchmark, database, results_dir):
+    text = benchmark.pedantic(render_updates, args=(database,), rounds=3, iterations=1)
+    emit(results_dir, "fig04_updates", text)
+
+    for store in database.stores():
+        full = update_distribution(database, store)
+        # Shape: a clear majority of apps is never updated, and nearly all
+        # apps see just a handful of updates.
+        assert full.fraction_never_updated > 0.6, store
+        assert full.fraction_with_at_most(6) > 0.95, store
+        top = update_distribution(database, store, top_fraction=0.1)
+        assert top.fraction_never_updated > 0.4, store

@@ -1,0 +1,70 @@
+"""Figure 5: users focus on a few categories (Anzhi comments).
+
+Paper panels: (a) 99% of users post at most 30 comments; (b) 53% of
+users comment in a single category, 94% in at most five; (c) an average
+user posts 66% of comments in one category, 95% in at most five; (d) the
+most popular category holds just 12% of downloads, so (b)-(c) are not a
+popularity artifact.
+"""
+
+from conftest import emit
+
+from repro.analysis.comments import comment_behavior_report
+from repro.reporting.tables import render_table
+
+STORE = "anzhi"  # the paper's comment dataset comes from Anzhi
+
+
+def render_comment_behavior(database) -> str:
+    report = comment_behavior_report(database, STORE)
+    panel_b = [
+        [k, round(report.unique_categories_per_user(k) * 100, 1)]
+        for k in (1, 2, 3, 5, 10)
+    ]
+    panel_c = [
+        [k, round(report.top_k_comment_share[k] * 100, 1)]
+        for k in sorted(report.top_k_comment_share)
+    ]
+    panel_d = [
+        [category, round(share * 100, 2)]
+        for category, share in report.downloads_share_by_category[:10]
+    ]
+    parts = [
+        f"Figure 5 ({STORE}): {report.n_users} commenting users, "
+        f"{report.n_comments} comments",
+        render_table(
+            ["k", "users with <= k categories (%)"],
+            panel_b,
+            title="(b) unique categories per user (CDF)",
+        ),
+        render_table(
+            ["k", "avg comments in top-k categories (%)"],
+            panel_c,
+            title="(c) comment share in top-k categories",
+        ),
+        render_table(
+            ["category", "downloads share (%)"],
+            panel_d,
+            title="(d) downloads per app category (top 10)",
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+def test_fig05_comment_behavior(benchmark, database, results_dir):
+    text = benchmark.pedantic(
+        render_comment_behavior, args=(database,), rounds=3, iterations=1
+    )
+    emit(results_dir, "fig05_comments", text)
+
+    report = comment_behavior_report(database, STORE)
+    # (a) most users comment little.
+    assert report.comments_per_user(30) > 0.8
+    # (b) a large share of users sticks to very few categories.
+    assert report.unique_categories_per_user(5) > 0.7
+    # (c) the average user's top category dominates their comments.
+    assert report.top_k_comment_share[1] > 0.45
+    assert report.top_k_comment_share[5] > 0.85
+    # (d) no dominant category in download share.
+    top_share = report.downloads_share_by_category[0][1]
+    assert top_share < 0.35

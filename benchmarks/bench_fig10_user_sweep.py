@@ -1,0 +1,67 @@
+"""Figure 10: downloads of the top app are a good user-count estimate.
+
+Paper: sweeping the simulated user count from 0.1x to 50x the downloads
+of the most popular app, the APP-CLUSTERING distance from measured data
+is minimized when the user count is close to the top app's downloads.
+
+Shape target: the distance curve is U-shaped with its minimum at a
+moderate fraction (not at either extreme of the sweep).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.model_validation import user_sweep_for_store
+from repro.reporting.figures import render_series
+from repro.reporting.tables import render_table
+
+STORES = ("appchina", "anzhi")
+FRACTIONS = (0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 20.0, 50.0)
+
+
+def compute_sweeps(database):
+    return {
+        store: user_sweep_for_store(database, store, user_fractions=FRACTIONS)
+        for store in STORES
+    }
+
+
+def render_sweeps(sweeps) -> str:
+    parts = []
+    rows = []
+    for store, sweep in sweeps.items():
+        distances = [distance for _, distance in sweep]
+        best_fraction = sweep[int(np.argmin(distances))][0]
+        rows.append([store, best_fraction, round(min(distances), 3)])
+        parts.append(
+            render_series(
+                [fraction for fraction, _ in sweep],
+                distances,
+                x_label="users / top-app downloads",
+                y_label="distance",
+                title=f"-- {store}",
+                float_format=".3f",
+            )
+        )
+    table = render_table(
+        ["store", "best user fraction", "min distance"],
+        rows,
+        title="Figure 10: model distance vs assumed user count",
+    )
+    return "\n\n".join([table] + parts)
+
+
+def test_fig10_user_sweep(benchmark, database, results_dir):
+    sweeps = compute_sweeps(database)
+    text = benchmark.pedantic(render_sweeps, args=(sweeps,), rounds=3, iterations=1)
+    emit(results_dir, "fig10_user_sweep", text)
+
+    for store, sweep in sweeps.items():
+        fractions = [fraction for fraction, _ in sweep]
+        distances = [distance for _, distance in sweep]
+        best_fraction = fractions[int(np.argmin(distances))]
+        # The minimum lies at a moderate fraction, near 1x as in the paper.
+        assert 0.25 <= best_fraction <= 5.0, store
+        # Both extremes fit worse than the best point.
+        assert distances[0] > min(distances), store
+        assert distances[-1] > min(distances), store

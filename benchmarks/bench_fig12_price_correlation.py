@@ -1,0 +1,68 @@
+"""Figure 12: expensive apps are less popular (SlideMe).
+
+Paper: binning paid apps by one-dollar price bins, both the average
+downloads per app and the number of apps fall with price; Pearson
+coefficients -0.229 (price vs downloads) and -0.240 (price vs #apps).
+
+Shape targets: both correlations negative; mass of apps at low prices.
+"""
+
+from conftest import emit
+
+from repro.analysis.pricing_study import price_correlations
+from repro.reporting.figures import render_series
+from repro.reporting.tables import render_table
+
+STORE = "slideme"
+
+
+def render_correlations(correlations) -> str:
+    rows = [
+        [
+            "price vs mean downloads",
+            round(correlations.price_vs_downloads.coefficient, 3),
+            correlations.price_vs_downloads.n,
+        ],
+        [
+            "price vs number of apps",
+            round(correlations.price_vs_app_count.coefficient, 3),
+            correlations.price_vs_app_count.n,
+        ],
+    ]
+    parts = [
+        render_table(
+            ["pair", "Pearson r", "price bins"],
+            rows,
+            title=f"Figure 12 ({STORE}): price correlations",
+        ),
+        render_series(
+            correlations.price_bins,
+            correlations.mean_downloads_per_bin,
+            x_label="price ($)",
+            y_label="mean downloads",
+            title="-- downloads per price bin",
+        ),
+        render_series(
+            correlations.price_bins,
+            correlations.apps_per_bin,
+            x_label="price ($)",
+            y_label="apps",
+            title="-- apps per price bin",
+            float_format=",.0f",
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+def test_fig12_price_correlation(benchmark, database, results_dir):
+    correlations = price_correlations(database, STORE)
+    text = benchmark.pedantic(
+        render_correlations, args=(correlations,), rounds=3, iterations=1
+    )
+    emit(results_dir, "fig12_price_correlation", text)
+
+    # Both correlations negative, as in the paper (-0.229 / -0.240).
+    assert correlations.price_vs_downloads.coefficient < 0
+    assert correlations.price_vs_app_count.coefficient < 0
+    # Most apps sit in the cheap bins.
+    assert correlations.apps_per_bin[0] >= correlations.apps_per_bin[-1]

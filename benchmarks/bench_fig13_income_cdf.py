@@ -1,0 +1,55 @@
+"""Figure 13: most developers have negligible income from paid apps.
+
+Paper: half of SlideMe developers earned less than $10, 27% earned
+nothing, 80% less than $100, 95% less than $1,500, while the top ~1%
+earned millions.
+
+Shape targets: a heavily skewed income CDF -- a majority near zero, a
+tiny elite far above the median.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.income import income_report
+from repro.reporting.figures import render_cdf
+from repro.reporting.tables import render_table
+
+STORE = "slideme"
+
+
+def render_income_cdf(report) -> str:
+    incomes = np.array(list(report.incomes.values()))
+    thresholds = [0.0, 1.0, 10.0, 100.0, 1000.0]
+    rows = [
+        [f"<= ${threshold:,.0f}", round(report.fraction_below(threshold) * 100, 1)]
+        for threshold in thresholds
+    ]
+    parts = [
+        render_table(
+            ["income level", "developers (%)"],
+            rows,
+            title=f"Figure 13 ({STORE}): CDF of income per developer",
+        ),
+        render_cdf(incomes, "developer income ($)"),
+        (
+            f"top 1% of developers earn >= "
+            f"${float(np.quantile(incomes, 0.99)):,.0f}; "
+            f"maximum ${float(incomes.max()):,.0f}"
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+def test_fig13_income_cdf(benchmark, database, results_dir):
+    report = income_report(database, STORE)
+    text = benchmark.pedantic(render_income_cdf, args=(report,), rounds=3, iterations=1)
+    emit(results_dir, "fig13_income_cdf", text)
+
+    incomes = np.array(list(report.incomes.values()))
+    median = float(np.median(incomes))
+    # Shape: a majority earns little; the elite earns orders more.
+    assert report.fraction_below(median + 1e-9) >= 0.5
+    assert float(incomes.max()) > 20 * max(median, 1.0)
+    # Some developers with paid apps earned nothing at all.
+    assert report.fraction_below(0.0) > 0.0

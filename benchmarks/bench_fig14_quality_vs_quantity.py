@@ -1,0 +1,49 @@
+"""Figure 14: quality is more important than quantity.
+
+Paper: a developer's income is uncorrelated with the number of paid apps
+they offer (Pearson r = 0.008) -- offering more apps does not buy more
+income.
+
+Shape targets: near-zero-to-weak correlation, and the top earner holds a
+small portfolio.
+"""
+
+from conftest import emit
+
+from repro.analysis.income import income_report
+from repro.reporting.tables import render_table
+
+STORE = "slideme"
+
+
+def render_quality_quantity(report) -> str:
+    counts, totals = report.apps_vs_income
+    order = totals.argsort()[::-1][:10]
+    rows = [
+        [int(counts[i]), round(float(totals[i]), 2)] for i in order
+    ]
+    header = (
+        f"Figure 14 ({STORE}): Pearson(#paid apps, income) = "
+        f"{report.apps_income_correlation.coefficient:+.3f} over "
+        f"{report.apps_income_correlation.n} developers"
+    )
+    table = render_table(
+        ["paid apps", "income ($)"],
+        rows,
+        title="top-10 earners: portfolio size vs income",
+    )
+    return header + "\n\n" + table
+
+
+def test_fig14_quality_vs_quantity(benchmark, database, results_dir):
+    report = income_report(database, STORE)
+    text = benchmark.pedantic(
+        render_quality_quantity, args=(report,), rounds=3, iterations=1
+    )
+    emit(results_dir, "fig14_quality_vs_quantity", text)
+
+    # Weak correlation (the paper: 0.008; grant slack at small scale).
+    assert abs(report.apps_income_correlation.coefficient) < 0.7
+    # The top earner is a focused account, not a prolific publisher.
+    counts, totals = report.apps_vs_income
+    assert counts[totals.argmax()] <= 3

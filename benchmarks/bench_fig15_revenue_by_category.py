@@ -1,0 +1,53 @@
+"""Figure 15: revenue comes from few categories.
+
+Paper: on SlideMe, 67.7% of paid revenue comes from music (holding just
+1.6% of paid apps), 19.7% from games; the top four categories carry 95%
+of revenue.  Revenue share per category is uncorrelated with its app
+share (r = 0.014).
+
+Shape targets: heavy revenue concentration in the top categories, music
+near the top despite a small app share, and a weak revenue-apps
+correlation.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.income import income_report
+from repro.reporting.tables import render_table
+from repro.stats.correlation import pearson
+
+STORE = "slideme"
+
+
+def render_category_revenue(report) -> str:
+    rows = [
+        [category, round(revenue, 2), round(apps, 2), round(developers, 2)]
+        for category, revenue, apps, developers in report.category_rows
+    ]
+    return render_table(
+        ["category", "revenue (%)", "apps (%)", "developers (%)"],
+        rows,
+        title=f"Figure 15 ({STORE}): revenue / apps / developers per category",
+    )
+
+
+def test_fig15_revenue_by_category(benchmark, database, results_dir):
+    report = income_report(database, STORE)
+    text = benchmark.pedantic(
+        render_category_revenue, args=(report,), rounds=3, iterations=1
+    )
+    emit(results_dir, "fig15_revenue_by_category", text)
+
+    rows = report.category_rows
+    # Revenue concentration: the top four categories dominate.
+    top4 = sum(row[1] for row in rows[:4])
+    assert top4 > 60.0
+    # Music punches far above its app share (blockbuster effect).
+    music = next((row for row in rows if row[0] == "music"), None)
+    assert music is not None
+    assert music[1] > 2 * music[2]
+    # Revenue share vs app share: weak relation (paper: r = 0.014).
+    revenue_shares = np.array([row[1] for row in rows])
+    app_shares = np.array([row[2] for row in rows])
+    assert abs(pearson(revenue_shares, app_shares).coefficient) < 0.8

@@ -1,0 +1,73 @@
+"""Figure 16: developers create few apps, focused on few categories.
+
+Paper: 60% of free-app developers and 70% of paid-app developers create
+a single app; 95% offer fewer than 10; 75% (free) / 85% (paid) work in a
+single category and 99% in at most five.  75% of developers offer only
+free apps, 15% only paid, 10% both.
+"""
+
+from conftest import emit
+
+from repro.analysis.strategies import developer_strategy_report
+from repro.reporting.tables import render_table
+
+STORE = "slideme"
+
+
+def render_strategies(report) -> str:
+    apps_rows = [
+        [
+            k,
+            round(report.apps_per_developer_free(k) * 100, 1),
+            round(report.apps_per_developer_paid(k) * 100, 1),
+        ]
+        for k in (1, 2, 5, 10, 100)
+    ]
+    categories_rows = [
+        [
+            k,
+            round(report.categories_per_developer_free(k) * 100, 1),
+            round(report.categories_per_developer_paid(k) * 100, 1),
+        ]
+        for k in (1, 2, 3, 5, 10)
+    ]
+    mix_rows = [
+        [strategy, round(share * 100, 1)]
+        for strategy, share in report.strategy_mix.items()
+    ]
+    return "\n\n".join(
+        [
+            render_table(
+                ["<= k apps", "free developers (%)", "paid developers (%)"],
+                apps_rows,
+                title=f"Figure 16(a) ({STORE}): apps per developer (CDF)",
+            ),
+            render_table(
+                ["<= k categories", "free developers (%)", "paid developers (%)"],
+                categories_rows,
+                title="Figure 16(b): unique categories per developer (CDF)",
+            ),
+            render_table(
+                ["strategy", "developers (%)"],
+                mix_rows,
+                title="pricing-strategy mix",
+            ),
+        ]
+    )
+
+
+def test_fig16_developer_strategies(benchmark, database, results_dir):
+    report = developer_strategy_report(database, STORE)
+    text = benchmark.pedantic(render_strategies, args=(report,), rounds=3, iterations=1)
+    emit(results_dir, "fig16_developer_strategies", text)
+
+    # (a) most developers offer very few apps.
+    assert report.apps_per_developer_free(9) > 0.85
+    assert report.apps_per_developer_paid(9) > 0.85
+    # (b) nearly all developers focus on at most five categories.
+    assert report.categories_per_developer_free(5) > 0.9
+    assert report.categories_per_developer_paid(5) > 0.9
+    # Most developers pick a single pricing strategy.
+    mix = report.strategy_mix
+    assert mix["free_only"] + mix["paid_only"] > mix["both"]
+    assert mix["free_only"] > mix["paid_only"]

@@ -1,0 +1,74 @@
+"""Figure 17: free apps with ads can beat paid apps.
+
+Paper: an average free SlideMe app needs $0.21 of ad income per download
+to match an average paid app's income; for popular free apps (top 20%)
+the figure drops to $0.033, while unpopular apps need $1.56 -- still
+below the $3.9 average paid price.  The break-even value drifts down
+over time because free downloads grow faster.
+
+Shape targets: break-even well below the average paid price; popular
+tier needs far less than the unpopular tier; non-increasing drift over
+the crawl.
+"""
+
+from conftest import emit
+
+from repro.analysis.income import income_report
+from repro.analysis.strategies import break_even_report
+from repro.reporting.figures import render_series
+from repro.reporting.tables import render_table
+
+STORE = "slideme"
+
+
+def render_breakeven(report, average_paid_revenue) -> str:
+    tier_rows = [
+        [tier, round(value, 4)] for tier, value in report.by_tier.items()
+    ]
+    parts = [
+        (
+            f"Figure 17 ({STORE}): average free app needs "
+            f"${report.overall:.3f}/download from ads to match the average "
+            f"paid app (average paid revenue ${average_paid_revenue:.2f})"
+        ),
+        render_table(
+            ["free-app tier", "break-even ad income ($/download)"],
+            tier_rows,
+            title="break-even by popularity tier",
+        ),
+    ]
+    if report.over_time:
+        parts.append(
+            render_series(
+                [day for day, _ in report.over_time],
+                [value for _, value in report.over_time],
+                x_label="crawl day",
+                y_label="break-even ($)",
+                title="break-even ad income over time",
+                float_format=".4f",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def test_fig17_breakeven_over_time(benchmark, database, results_dir):
+    report = break_even_report(database, STORE)
+    income = income_report(database, STORE)
+    text = benchmark.pedantic(
+        render_breakeven,
+        args=(report, income.average_paid_revenue),
+        rounds=3,
+        iterations=1,
+    )
+    emit(results_dir, "fig17_breakeven_time", text)
+
+    # The free-with-ads strategy is reachable: break-even is well below
+    # the average paid revenue per download.
+    assert report.overall < income.average_paid_revenue
+    # Popular free apps need an order less than unpopular ones.
+    assert report.by_tier["most popular"] * 3 < report.by_tier["unpopular"]
+    # Downward (or at least non-exploding) drift over the crawl.
+    if len(report.over_time) >= 2:
+        first = report.over_time[0][1]
+        last = report.over_time[-1][1]
+        assert last <= first * 1.25

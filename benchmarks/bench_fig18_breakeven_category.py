@@ -1,0 +1,45 @@
+"""Figure 18: some categories favor the free-with-ads strategy.
+
+Paper: the break-even ad income varies by orders of magnitude across
+categories -- music needs ~$1.60 per download (its paid blockbusters are
+hard to match) while wallpapers and e-books need ~$0.002.
+
+Shape targets: a multi-order-of-magnitude spread across categories with
+music at (or near) the top.
+"""
+
+from conftest import emit
+
+from repro.analysis.strategies import break_even_report
+from repro.reporting.tables import render_table
+
+STORE = "slideme"
+
+
+def render_breakeven_by_category(report) -> str:
+    ordered = sorted(
+        report.by_category.items(), key=lambda pair: pair[1], reverse=True
+    )
+    rows = [[category, round(value, 4)] for category, value in ordered]
+    return render_table(
+        ["category", "break-even ad income ($/download)"],
+        rows,
+        title=f"Figure 18 ({STORE}): break-even ad income per category",
+    )
+
+
+def test_fig18_breakeven_by_category(benchmark, database, results_dir):
+    report = break_even_report(database, STORE)
+    text = benchmark.pedantic(
+        render_breakeven_by_category, args=(report,), rounds=3, iterations=1
+    )
+    emit(results_dir, "fig18_breakeven_category", text)
+
+    values = report.by_category
+    assert len(values) >= 5
+    # A wide spread across categories (paper: 1.60 down to 0.002).
+    assert max(values.values()) > 10 * min(values.values())
+    # Music is among the hardest categories to match with ads.
+    if "music" in values:
+        ordered = sorted(values.values(), reverse=True)
+        assert values["music"] >= ordered[min(2, len(ordered) - 1)]

@@ -1,0 +1,90 @@
+"""Figure 19: clustering hurts LRU cache performance.
+
+Paper setup: an Anzhi-like store (60k apps, 30 categories, 600k users,
+2M downloads, zr=1.7, zc=1.4, p=0.9), an LRU cache initialized with the
+most popular apps, cache sizes 1-20% of the catalog.  ZIPF workloads hit
+>99% everywhere; ZIPF-at-most-once starts at 94.5%; APP-CLUSTERING drops
+to 67.1% at 1% capacity, reaching 96.3% at 20%.
+
+Shape targets: ZIPF > ZIPF-at-most-once > APP-CLUSTERING at every cache
+size, with a wide gap at small caches that narrows as capacity grows;
+hit ratios grow monotonically with capacity.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.cache.policies import LruCache
+from repro.cache.simulator import simulate_cache
+from repro.core.models import ModelKind
+from repro.reporting.tables import render_table
+from repro.workload.generators import figure19_spec
+
+SCALE = 0.02  # 1,200 apps / 12,000 users / 40,000 downloads
+CACHE_FRACTIONS = (0.01, 0.02, 0.05, 0.10, 0.20)
+
+
+def run_cache_experiment():
+    results = {}
+    for kind in ModelKind:
+        spec = figure19_spec(kind=kind, scale=SCALE, seed=7)
+        counts = spec.download_counts()
+        popularity_order = list(np.argsort(counts)[::-1])
+        per_size = {}
+        for fraction in CACHE_FRACTIONS:
+            capacity = max(1, int(fraction * spec.n_apps))
+            cache = LruCache(capacity)
+            result = simulate_cache(
+                spec.events(), cache, warm_keys=popularity_order[:capacity]
+            )
+            per_size[fraction] = result.hit_ratio
+        results[kind] = per_size
+    return results
+
+
+def render_cache_results(results) -> str:
+    rows = []
+    for fraction in CACHE_FRACTIONS:
+        rows.append(
+            [
+                f"{fraction * 100:.0f}%",
+                round(results[ModelKind.ZIPF][fraction] * 100, 1),
+                round(results[ModelKind.ZIPF_AT_MOST_ONCE][fraction] * 100, 1),
+                round(results[ModelKind.APP_CLUSTERING][fraction] * 100, 1),
+            ]
+        )
+    return render_table(
+        ["cache size", "ZIPF (%)", "ZIPF-AMO (%)", "APP-CLUSTERING (%)"],
+        rows,
+        title=(
+            "Figure 19: LRU hit ratio vs cache size "
+            "(Anzhi-like store, zr=1.7, zc=1.4, p=0.9)"
+        ),
+    )
+
+
+def test_fig19_cache_hit_ratio(benchmark, results_dir):
+    results = benchmark.pedantic(run_cache_experiment, rounds=1, iterations=1)
+    emit(results_dir, "fig19_cache", render_cache_results(results))
+
+    for fraction in CACHE_FRACTIONS:
+        zipf = results[ModelKind.ZIPF][fraction]
+        amo = results[ModelKind.ZIPF_AT_MOST_ONCE][fraction]
+        clustering = results[ModelKind.APP_CLUSTERING][fraction]
+        # The paper's ordering at every cache size.
+        assert zipf > amo > clustering, fraction
+    # Wide gap at the smallest cache, narrowing at the largest.
+    smallest_gap = (
+        results[ModelKind.ZIPF][0.01]
+        - results[ModelKind.APP_CLUSTERING][0.01]
+    )
+    largest_gap = (
+        results[ModelKind.ZIPF][0.20]
+        - results[ModelKind.APP_CLUSTERING][0.20]
+    )
+    assert smallest_gap > largest_gap
+    # Hit ratio grows with capacity for the clustering workload.
+    clustering_curve = [
+        results[ModelKind.APP_CLUSTERING][f] for f in CACHE_FRACTIONS
+    ]
+    assert clustering_curve == sorted(clustering_curve)

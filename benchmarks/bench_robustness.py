@@ -1,0 +1,132 @@
+"""Robustness: the headline results across independent random seeds.
+
+Every other bench runs on fixed seeds for diffability; this one re-runs
+the three headline comparisons on several independent seeds at reduced
+scale and reports mean and spread, checking that the qualitative
+findings are not artifacts of one random draw:
+
+1. APP-CLUSTERING fits planted clustering data better than both
+   baselines (Figure 9's ordering);
+2. the Figure 19 cache ordering (ZIPF > ZIPF-AMO > APP-CLUSTERING);
+3. the temporal-affinity lift over the random walk.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.cache.policies import LruCache
+from repro.cache.simulator import simulate_cache
+from repro.core.affinity import random_walk_affinity, temporal_affinity
+from repro.core.fitting import fit_all_models
+from repro.core.models import (
+    AppClusteringModel,
+    AppClusteringParams,
+    ModelKind,
+)
+from repro.reporting.tables import render_table
+from repro.workload.generators import figure19_spec
+
+SEEDS = (11, 23, 37, 51, 79)
+
+
+def _fit_improvement(seed: int) -> float:
+    """APP-CLUSTERING's improvement factor over ZIPF on planted data."""
+    params = AppClusteringParams(
+        n_apps=800,
+        n_users=700,
+        total_downloads=12_000,
+        zr=1.5,
+        zc=1.4,
+        p=0.9,
+        n_clusters=20,
+    )
+    observed = np.sort(AppClusteringModel(params).simulate(seed=seed))[::-1]
+    fits = fit_all_models(
+        observed.astype(float),
+        n_users=params.n_users,
+        n_clusters=20,
+        zr_grid=(1.3, 1.5, 1.7),
+        zc_grid=(1.2, 1.4),
+        p_grid=(0.8, 0.9),
+    )
+    return (
+        fits[ModelKind.ZIPF].distance
+        / fits[ModelKind.APP_CLUSTERING].distance
+    )
+
+
+def _cache_gap(seed: int) -> float:
+    """Hit-ratio gap between ZIPF and APP-CLUSTERING at a 5% cache."""
+    ratios = {}
+    for kind in (ModelKind.ZIPF, ModelKind.APP_CLUSTERING):
+        spec = figure19_spec(kind=kind, scale=0.01, seed=seed)
+        counts = spec.download_counts()
+        capacity = max(1, int(0.05 * spec.n_apps))
+        warm = list(np.argsort(counts)[::-1][:capacity])
+        result = simulate_cache(spec.events(), LruCache(capacity), warm_keys=warm)
+        ratios[kind] = result.hit_ratio
+    return ratios[ModelKind.ZIPF] - ratios[ModelKind.APP_CLUSTERING]
+
+
+def _affinity_lift(seed: int) -> float:
+    """Depth-1 affinity lift over random walk on model-generated streams."""
+    params = AppClusteringParams(
+        n_apps=600,
+        n_users=300,
+        total_downloads=3600,
+        zr=1.3,
+        zc=1.3,
+        p=0.9,
+        n_clusters=15,
+    )
+    model = AppClusteringModel(params)
+    streams = {}
+    for event in model.iter_events(seed=seed):
+        streams.setdefault(event.user_id, []).append(
+            model.cluster_of(event.app_index)
+        )
+    affinities = [
+        value
+        for stream in streams.values()
+        if (value := temporal_affinity(stream)) is not None
+    ]
+    clusters = params.cluster_assignment()
+    sizes = np.bincount(clusters)
+    baseline = random_walk_affinity(sizes[sizes > 0])
+    return float(np.mean(affinities)) / baseline
+
+
+def run_robustness():
+    metrics = {
+        "fit improvement over ZIPF (x)": [_fit_improvement(s) for s in SEEDS],
+        "cache gap ZIPF - CLUSTERING at 5%": [_cache_gap(s) for s in SEEDS],
+        "affinity lift over random walk (x)": [_affinity_lift(s) for s in SEEDS],
+    }
+    return metrics
+
+
+def render_robustness(metrics) -> str:
+    rows = [
+        [
+            name,
+            round(float(np.mean(values)), 2),
+            round(float(np.min(values)), 2),
+            round(float(np.max(values)), 2),
+        ]
+        for name, values in metrics.items()
+    ]
+    return render_table(
+        ["metric", "mean", "min", "max"],
+        rows,
+        title=f"Robustness across {len(SEEDS)} seeds",
+    )
+
+
+def test_robustness_across_seeds(benchmark, results_dir):
+    metrics = benchmark.pedantic(run_robustness, rounds=1, iterations=1)
+    emit(results_dir, "robustness", render_robustness(metrics))
+
+    # Every seed, not just the mean, must preserve the qualitative result.
+    assert min(metrics["fit improvement over ZIPF (x)"]) > 1.5
+    assert min(metrics["cache gap ZIPF - CLUSTERING at 5%"]) > 0.05
+    assert min(metrics["affinity lift over random walk (x)"]) > 2.0

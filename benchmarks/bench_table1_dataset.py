@@ -1,0 +1,63 @@
+"""Table 1: summary of collected data.
+
+Paper row format: per store, crawling period, total apps (first/last
+day), new apps per day, total downloads (first/last day), daily
+downloads.  SlideMe is split into free and paid rows.
+
+Shape targets: AppChina and Anzhi lead daily downloads; 1Mobile hosts the
+most apps but fewer downloads; SlideMe's paid row is tiny next to its
+free row.
+"""
+
+from conftest import emit
+
+from repro.analysis.dataset import dataset_summary
+from repro.reporting.tables import render_table
+
+
+def render_dataset_summary(database) -> str:
+    rows = dataset_summary(database, split_free_paid=["slideme"])
+    table_rows = [
+        [
+            row.store,
+            row.crawl_days,
+            row.apps_first_day,
+            row.apps_last_day,
+            round(row.new_apps_per_day, 1),
+            row.downloads_first_day,
+            row.downloads_last_day,
+            round(row.daily_downloads, 1),
+        ]
+        for row in rows
+    ]
+    return render_table(
+        [
+            "store",
+            "days",
+            "apps (first)",
+            "apps (last)",
+            "new apps/day",
+            "downloads (first)",
+            "downloads (last)",
+            "downloads/day",
+        ],
+        table_rows,
+        title="Table 1: summary of collected data (scaled stores)",
+    )
+
+
+def test_table1_dataset_summary(benchmark, database, results_dir):
+    text = benchmark.pedantic(
+        render_dataset_summary, args=(database,), rounds=3, iterations=1
+    )
+    emit(results_dir, "table1_dataset", text)
+
+    rows = {row.store: row for row in dataset_summary(database, split_free_paid=["slideme"])}
+    # Shape checks mirroring the paper's Table 1 commentary.
+    assert rows["appchina"].daily_downloads > rows["1mobile"].daily_downloads
+    assert rows["anzhi"].daily_downloads > rows["1mobile"].daily_downloads
+    assert rows["1mobile"].apps_last_day > rows["anzhi"].apps_last_day
+    assert (
+        rows["slideme (free)"].daily_downloads
+        > rows["slideme (paid)"].daily_downloads
+    )

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Recommendation under the clustering effect (Section 7 implications).
+
+The paper argues appstore recommenders should exploit the clustering
+effect: suggest popular apps from the categories a user recently engaged
+with, not only apps owned by similar users.  This demo generates a
+clustering-driven download population, evaluates both recommenders with
+a leave-last-out protocol, and shows the category-diversity knob.
+"""
+
+import argparse
+
+from repro.core.models import AppClusteringModel, AppClusteringParams
+from repro.recommend.clustering_aware import ClusteringAwareRecommender
+from repro.recommend.collaborative import CollaborativeFilteringRecommender
+from repro.recommend.evaluation import evaluate_recommenders
+from repro.reporting.tables import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--users", type=int, default=400)
+    args = parser.parse_args()
+
+    params = AppClusteringParams(
+        n_apps=500,
+        n_users=args.users,
+        total_downloads=args.users * 12,
+        zr=1.3,
+        zc=1.3,
+        p=0.95,
+        n_clusters=15,
+    )
+    model = AppClusteringModel(params)
+    histories = {}
+    for event in model.iter_events(seed=args.seed):
+        histories.setdefault(event.user_id, []).append(event.app_index)
+    category_of = {app: model.cluster_of(app) for app in range(params.n_apps)}
+    print(
+        f"Generated {sum(len(h) for h in histories.values()):,} downloads "
+        f"for {len(histories)} users over {params.n_apps} apps "
+        f"in {params.n_clusters} categories (p={params.p})."
+    )
+
+    recommenders = [
+        CollaborativeFilteringRecommender(),
+        ClusteringAwareRecommender(),
+        ClusteringAwareRecommender(exploration=0.3),
+    ]
+    recommenders[2].name = "clustering-aware + diversity"
+
+    rows = []
+    for k in (5, 10, 20):
+        results = evaluate_recommenders(
+            recommenders, histories, category_of=category_of, k=k
+        )
+        for result in results:
+            rows.append([result.recommender_name, k, round(result.hit_rate * 100, 1)])
+    print()
+    print(
+        render_table(
+            ["recommender", "k", "hit rate (%)"],
+            rows,
+            title="leave-last-out hit rate on a clustering-driven population",
+        )
+    )
+    print(
+        "\nThe clustering-aware recommender anticipates the next download "
+        "better because, as Section 4 shows, users stay in their recent "
+        "categories; the diversity variant trades a little accuracy for "
+        "exposure to unvisited categories (the paper's 'larger category "
+        "diversity' implication)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""repro -- a reproduction of "Rise of the Planet of the Apps" (IMC 2013).
+
+The library rebuilds the paper's entire pipeline:
+
+1. a synthetic appstore marketplace whose users exhibit fetch-at-most-once
+   and the clustering effect (:mod:`repro.marketplace`);
+2. the crawling architecture that collects daily per-app statistics,
+   comments, and APKs from those stores (:mod:`repro.crawler`);
+3. the paper's measurement study over the crawled data
+   (:mod:`repro.analysis`);
+4. the paper's primary contribution -- the temporal affinity metric and
+   the APP-CLUSTERING download model with its validation machinery
+   (:mod:`repro.core`);
+5. the implications experiments: app-delivery caching
+   (:mod:`repro.cache`), recommendation (:mod:`repro.recommend`), and
+   reusable workload generation (:mod:`repro.workload`).
+
+Quickstart
+----------
+>>> from repro import run_crawl_campaign, demo_profile, pareto_summary
+>>> campaign = run_crawl_campaign(demo_profile(), seed=42)
+>>> downloads = campaign.database.download_vector(
+...     campaign.store_name, campaign.last_crawl_day)
+>>> summary = pareto_summary(downloads[downloads > 0])
+>>> 0.0 < summary.share_top_10pct <= 1.0
+True
+"""
+
+from repro.core import (
+    AppClusteringModel,
+    AppClusteringParams,
+    FitResult,
+    ModelKind,
+    ZipfAtMostOnceModel,
+    ZipfModel,
+    break_even_ad_income,
+    expected_downloads,
+    fit_model,
+    mean_relative_error,
+    pareto_summary,
+    random_walk_affinity,
+    simulate_downloads,
+    temporal_affinity,
+)
+from repro.crawler import SnapshotDatabase, run_crawl_campaign
+from repro.crawler.scheduler import run_multi_store_campaign
+from repro.marketplace import AppStore, build_store
+from repro.marketplace.profiles import (
+    StoreProfile,
+    demo_profile,
+    paper_profile,
+    paper_profiles,
+    scaled_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppClusteringModel",
+    "AppClusteringParams",
+    "AppStore",
+    "FitResult",
+    "ModelKind",
+    "SnapshotDatabase",
+    "StoreProfile",
+    "ZipfAtMostOnceModel",
+    "ZipfModel",
+    "__version__",
+    "break_even_ad_income",
+    "build_store",
+    "demo_profile",
+    "expected_downloads",
+    "fit_model",
+    "mean_relative_error",
+    "paper_profile",
+    "paper_profiles",
+    "pareto_summary",
+    "random_walk_affinity",
+    "run_crawl_campaign",
+    "run_multi_store_campaign",
+    "scaled_profile",
+    "simulate_downloads",
+    "temporal_affinity",
+]

@@ -1,0 +1,35 @@
+"""The measurement study: crawled data in, the paper's figures out.
+
+Each module here consumes a :class:`repro.crawler.database.SnapshotDatabase`
+(and sometimes the generated store's metadata) and reproduces one slice of
+the paper's evaluation:
+
+- :mod:`repro.analysis.popularity` -- Figures 2-3 (Pareto effect, rank
+  distributions with truncation).
+- :mod:`repro.analysis.updates` -- Figure 4 (updates per app CDF).
+- :mod:`repro.analysis.comments` -- Figure 5 (comments per user, unique
+  categories per user, top-k concentration, downloads per category).
+- :mod:`repro.analysis.affinity_study` -- Figures 6-7 (temporal affinity
+  vs. the random-walk baseline).
+- :mod:`repro.analysis.model_validation` -- Figures 8-10 (model fits and
+  distances, user-count sweep).
+- :mod:`repro.analysis.pricing_study` -- Figures 11-12 (free vs. paid
+  distributions, price correlations).
+- :mod:`repro.analysis.income` -- Figures 13-15 (developer income,
+  quality vs. quantity, revenue by category).
+- :mod:`repro.analysis.strategies` -- Figures 16-18 (developer
+  strategies, break-even ad income).
+- :mod:`repro.analysis.adlib` -- the Androguard-like ad-library scan.
+- :mod:`repro.analysis.dataset` -- Table 1 (dataset summary).
+"""
+
+from repro.analysis.dataset import DatasetSummaryRow, dataset_summary
+from repro.analysis.popularity import popularity_report
+from repro.analysis.updates import update_distribution
+
+__all__ = [
+    "DatasetSummaryRow",
+    "dataset_summary",
+    "popularity_report",
+    "update_distribution",
+]

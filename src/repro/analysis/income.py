@@ -1,0 +1,125 @@
+"""Developer income analysis (Figures 13, 14, and 15 of the paper).
+
+Section 6.2 estimates each developer's income from paid apps (purchases
+times average price), then looks at three things: the income distribution
+across developers (most earn almost nothing, a tiny fraction earns
+millions), the relation between portfolio size and income (none -- quality
+over quantity), and the concentration of revenue in a few categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.pricing_study import _average_prices
+from repro.core.revenue import (
+    PaidAppRecord,
+    category_breakdown,
+    developer_incomes,
+    income_quantity_correlation,
+)
+from repro.crawler.database import SnapshotDatabase
+from repro.stats.correlation import CorrelationResult, pearson
+from repro.stats.distributions import Ecdf
+
+
+@dataclass(frozen=True)
+class IncomeReport:
+    """Figures 13-15 material for one store."""
+
+    store: str
+    day: int
+    paid_apps: List[PaidAppRecord]
+    incomes: Dict[int, float]
+    income_ecdf: Ecdf
+    apps_vs_income: Tuple[np.ndarray, np.ndarray]
+    apps_income_correlation: CorrelationResult
+    category_rows: List[Tuple[str, float, float, float]]
+
+    @property
+    def total_revenue(self) -> float:
+        """Gross revenue of all paid apps."""
+        return float(sum(app.revenue for app in self.paid_apps))
+
+    @property
+    def average_paid_revenue(self) -> float:
+        """Average revenue per paid app (the paper reports $3.9)."""
+        if not self.paid_apps:
+            return 0.0
+        return self.total_revenue / len(self.paid_apps)
+
+    def fraction_below(self, income: float) -> float:
+        """Share of developers earning at most ``income`` dollars."""
+        return float(self.income_ecdf(income))
+
+    def describe(self) -> str:
+        """Headline numbers in the style of the paper's Section 6.2."""
+        return (
+            f"[{self.store}] {len(self.incomes)} developers with paid apps; "
+            f"{self.fraction_below(10) * 100:.0f}% earned <= $10, "
+            f"{self.fraction_below(100) * 100:.0f}% <= $100; "
+            f"Pearson(#apps, income) = "
+            f"{self.apps_income_correlation.coefficient:+.3f}; "
+            f"top category holds {self.category_rows[0][1]:.1f}% of revenue "
+            f"({self.category_rows[0][0]})"
+        )
+
+
+def paid_app_records(
+    database: SnapshotDatabase, store: str, day: Optional[int] = None
+) -> List[PaidAppRecord]:
+    """Paid-app revenue records from crawled snapshots.
+
+    Downloads are the cumulative purchases at ``day`` (default: the last
+    crawled day); the price is the average observed price over the crawl,
+    as in the paper.
+    """
+    days = database.days(store)
+    if not days:
+        raise KeyError(f"no crawled days for store {store!r}")
+    day = days[-1] if day is None else day
+    average_price = _average_prices(database, store)
+    records: List[PaidAppRecord] = []
+    for snapshot in database.snapshots_on(store, day):
+        price = average_price.get(snapshot.app_id, snapshot.price)
+        if price > 0:
+            records.append(
+                PaidAppRecord(
+                    app_id=snapshot.app_id,
+                    developer_id=snapshot.developer_id,
+                    category=snapshot.category,
+                    price=price,
+                    downloads=snapshot.total_downloads,
+                )
+            )
+    if not records:
+        raise ValueError(f"store {store!r} has no paid apps")
+    return records
+
+
+def income_report(
+    database: SnapshotDatabase,
+    store: str,
+    day: Optional[int] = None,
+    commission: float = 0.0,
+) -> IncomeReport:
+    """Run the full Section 6.2 analysis on one store."""
+    records = paid_app_records(database, store, day)
+    days = database.days(store)
+    day = days[-1] if day is None else day
+    incomes = developer_incomes(records, commission=commission)
+    income_values = np.array(list(incomes.values()), dtype=np.float64)
+    counts, totals = income_quantity_correlation(records)
+    return IncomeReport(
+        store=store,
+        day=day,
+        paid_apps=records,
+        incomes=incomes,
+        income_ecdf=Ecdf.from_samples(income_values),
+        apps_vs_income=(counts, totals),
+        apps_income_correlation=pearson(counts, totals),
+        category_rows=category_breakdown(records),
+    )

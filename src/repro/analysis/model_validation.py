@@ -1,0 +1,140 @@
+"""Model validation against crawled data (Figures 8, 9, and 10).
+
+Section 5.2 compares the three workload models against the measured
+per-app downloads of each store: Figure 8 overlays the best-fit predicted
+curves on the measured rank curve; Figure 9 reports each model's distance
+(Equation 6) on the first and last crawled day; Figure 10 sweeps the
+assumed user count and shows the distance is minimized when it is close
+to the downloads of the most popular app.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.affinity_study import category_app_counts
+from repro.core.fitting import FitResult, fit_all_models, user_count_sweep
+from repro.core.models import ModelKind
+from repro.crawler.database import SnapshotDatabase
+
+
+@dataclass(frozen=True)
+class StoreModelFits:
+    """Best fits of all three models to one store-day's rank curve."""
+
+    store: str
+    day: int
+    n_apps: int
+    n_users_assumed: int
+    fits: Dict[ModelKind, FitResult]
+    observed: np.ndarray
+
+    @property
+    def best(self) -> FitResult:
+        """The model with the smallest distance (the paper: APP-CLUSTERING)."""
+        return min(self.fits.values(), key=lambda fit: fit.distance)
+
+    def improvement_over(self, kind: ModelKind) -> float:
+        """How many times closer the best model is than ``kind``."""
+        other = self.fits[kind].distance
+        best = self.best.distance
+        if best <= 0:
+            return float("inf")
+        return other / best
+
+    def describe(self) -> str:
+        """Multi-line Figure-8 style summary."""
+        lines = [
+            f"[{self.store}] day {self.day}: {self.n_apps} apps, "
+            f"assumed users {self.n_users_assumed}"
+        ]
+        lines.extend("  " + fit.describe() for fit in self.fits.values())
+        return "\n".join(lines)
+
+
+def observed_rank_curve(
+    database: SnapshotDatabase, store: str, day: int
+) -> np.ndarray:
+    """Rank-sorted positive download counts of a store-day."""
+    downloads = database.download_vector(store, day).astype(np.float64)
+    positive = downloads[downloads > 0]
+    if positive.size == 0:
+        raise ValueError(f"store {store!r} has no downloads on day {day}")
+    return np.sort(positive)[::-1]
+
+
+def fit_store_day(
+    database: SnapshotDatabase,
+    store: str,
+    day: Optional[int] = None,
+    n_users: Optional[int] = None,
+    n_clusters: Optional[int] = None,
+    **grid_overrides,
+) -> StoreModelFits:
+    """Fit the three models to one store's measured downloads (Figure 8).
+
+    ``n_users`` defaults to the downloads of the most popular app, per the
+    Figure-10 finding.  ``n_clusters`` defaults to the store's observed
+    number of categories.
+    """
+    days = database.days(store)
+    if not days:
+        raise KeyError(f"no crawled days for store {store!r}")
+    day = days[-1] if day is None else day
+    observed = observed_rank_curve(database, store, day)
+    if n_users is None:
+        n_users = int(observed[0])
+    if n_clusters is None:
+        n_clusters = max(1, len(category_app_counts(database, store)))
+    fits = fit_all_models(
+        observed, n_users=n_users, n_clusters=n_clusters, **grid_overrides
+    )
+    return StoreModelFits(
+        store=store,
+        day=day,
+        n_apps=observed.size,
+        n_users_assumed=n_users,
+        fits=fits,
+        observed=observed,
+    )
+
+
+def first_last_day_distances(
+    database: SnapshotDatabase,
+    stores: Optional[Sequence[str]] = None,
+    **fit_kwargs,
+) -> List[StoreModelFits]:
+    """Figure 9's bars: model distances on the first and last crawled day."""
+    results: List[StoreModelFits] = []
+    for store in stores or database.stores():
+        days = database.days(store)
+        if len(days) < 2:
+            continue
+        for day in (days[0], days[-1]):
+            results.append(fit_store_day(database, store, day=day, **fit_kwargs))
+    return results
+
+
+def user_sweep_for_store(
+    database: SnapshotDatabase,
+    store: str,
+    day: Optional[int] = None,
+    user_fractions: Sequence[float] = (0.1, 0.25, 0.5, 1, 2, 5, 10, 20, 50),
+    n_clusters: Optional[int] = None,
+) -> List[Tuple[float, float]]:
+    """Figure 10's curve for one store-day.
+
+    Returns (user count as a fraction of top-app downloads, distance)
+    pairs; the paper finds the minimum near fraction 1.
+    """
+    days = database.days(store)
+    if not days:
+        raise KeyError(f"no crawled days for store {store!r}")
+    day = days[-1] if day is None else day
+    observed = observed_rank_curve(database, store, day)
+    if n_clusters is None:
+        n_clusters = max(1, len(category_app_counts(database, store)))
+    return user_count_sweep(observed, user_fractions, n_clusters=n_clusters)

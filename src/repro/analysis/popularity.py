@@ -1,0 +1,88 @@
+"""Popularity analysis over crawled data (Figures 2 and 3).
+
+Combines the Pareto-effect summary of Section 3.1 with the rank
+distribution / truncation analysis of Section 3.2, per store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pareto import ParetoSummary, pareto_summary
+from repro.core.powerlaw import TruncationReport, analyze_rank_distribution, rank_curve
+from repro.crawler.database import SnapshotDatabase
+from repro.stats.distributions import pareto_curve
+
+
+@dataclass(frozen=True)
+class PopularityReport:
+    """Figures 2 + 3 material for one store."""
+
+    store: str
+    day: int
+    pareto: ParetoSummary
+    truncation: TruncationReport
+    rank_series: Tuple[np.ndarray, np.ndarray]
+    pareto_series: Tuple[np.ndarray, np.ndarray]
+
+    def describe(self) -> str:
+        """Two-line textual summary."""
+        return (
+            f"[{self.store}] {self.pareto.describe()}\n"
+            f"[{self.store}] {self.truncation.describe()}"
+        )
+
+
+def popularity_report(
+    database: SnapshotDatabase,
+    store: str,
+    day: Optional[int] = None,
+    max_rank_points: int = 60,
+) -> PopularityReport:
+    """Build the popularity report of one store at one crawled day."""
+    days = database.days(store)
+    if not days:
+        raise KeyError(f"no crawled days for store {store!r}")
+    day = days[-1] if day is None else day
+    downloads = database.download_vector(store, day).astype(np.float64)
+    positive = downloads[downloads > 0]
+    if positive.size == 0:
+        raise ValueError(f"store {store!r} has no downloads on day {day}")
+    return PopularityReport(
+        store=store,
+        day=day,
+        pareto=pareto_summary(positive),
+        truncation=analyze_rank_distribution(positive),
+        rank_series=rank_curve(positive, max_points=max_rank_points),
+        pareto_series=pareto_curve(positive),
+    )
+
+
+def popularity_reports(
+    database: SnapshotDatabase, day_per_store: Optional[Dict[str, int]] = None
+) -> List[PopularityReport]:
+    """One report per store in the database (Figure 2's four curves)."""
+    day_per_store = day_per_store or {}
+    return [
+        popularity_report(database, store, day=day_per_store.get(store))
+        for store in database.stores()
+    ]
+
+
+def downloads_by_category(
+    database: SnapshotDatabase, store: str, day: Optional[int] = None
+) -> Dict[str, int]:
+    """Total downloads per category (Figure 5(d)'s distribution)."""
+    days = database.days(store)
+    if not days:
+        raise KeyError(f"no crawled days for store {store!r}")
+    day = days[-1] if day is None else day
+    totals: Dict[str, int] = {}
+    for snapshot in database.snapshots_on(store, day):
+        totals[snapshot.category] = (
+            totals.get(snapshot.category, 0) + snapshot.total_downloads
+        )
+    return totals

@@ -1,0 +1,46 @@
+"""App-delivery caching substrate (Section 7, Figure 19).
+
+The paper's implications section simulates a typical LRU app cache fed by
+download workloads generated with the three models, and shows that the
+clustering effect significantly reduces the hit ratio of a plain LRU
+cache; it argues for clustering-aware replacement policies.
+
+This package provides:
+
+- :mod:`repro.cache.policies` -- LRU, LFU, FIFO, SLRU, and a
+  category-aware policy (the "new replacement policy" direction the paper
+  proposes), all behind one interface;
+- :mod:`repro.cache.simulator` -- drives a policy with a download event
+  stream and accounts hits/misses;
+- :mod:`repro.cache.prefetch` -- category prefetching on top of a cache
+  (the paper's "effective prefetching" implication).
+"""
+
+from repro.cache.policies import (
+    CategoryAwareLruCache,
+    FifoCache,
+    LfuCache,
+    LruCache,
+    SegmentedLruCache,
+)
+from repro.cache.prefetch import CategoryPrefetcher
+from repro.cache.simulator import CacheSimulationResult, simulate_cache
+from repro.cache.tuning import (
+    best_protected_fraction,
+    clustering_tuned_cache,
+    sweep_protected_fraction,
+)
+
+__all__ = [
+    "CacheSimulationResult",
+    "CategoryAwareLruCache",
+    "CategoryPrefetcher",
+    "FifoCache",
+    "LfuCache",
+    "LruCache",
+    "SegmentedLruCache",
+    "best_protected_fraction",
+    "clustering_tuned_cache",
+    "simulate_cache",
+    "sweep_protected_fraction",
+]

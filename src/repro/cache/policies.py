@@ -1,0 +1,299 @@
+"""Cache replacement policies.
+
+All policies implement the same protocol: ``access(key) -> bool`` returns
+True on a hit and, on a miss, admits the key (evicting per policy).  The
+Figure 19 experiment uses :class:`LruCache`; the policy ablation bench
+compares the rest, including :class:`CategoryAwareLruCache`, which is an
+instance of the clustering-aware replacement direction the paper proposes
+in Section 7.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from typing import Callable, Dict, Hashable, Iterable
+
+
+class CachePolicy:
+    """Base class: shared capacity handling and hit/miss accounting."""
+
+    name = "base"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __contains__(self, key: Hashable) -> bool:
+        raise NotImplementedError
+
+    def access(self, key: Hashable) -> bool:
+        """Look up ``key``; on a miss, admit it.  Returns hit/miss."""
+        if self._lookup(key):
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._admit(key)
+        return False
+
+    def _lookup(self, key: Hashable) -> bool:
+        raise NotImplementedError
+
+    def _admit(self, key: Hashable) -> None:
+        raise NotImplementedError
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over total accesses (0.0 before any access)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def admit(self, key: Hashable) -> None:
+        """Place ``key`` into the cache without counting a hit or miss.
+
+        Evicts per policy when full.  This is the entry point proactive
+        mechanisms (prefetchers) use; ordinary demand traffic goes through
+        :meth:`access`.
+        """
+        if key not in self:
+            self._admit(key)
+
+    def warm(self, keys: Iterable[Hashable]) -> None:
+        """Pre-populate an empty-ish cache without counting hits or misses.
+
+        The paper initializes the cache with the most popular apps before
+        measuring; warming stops at capacity instead of evicting.
+        """
+        for key in keys:
+            if len(self) >= self.capacity:
+                break
+            if key not in self:
+                self._admit(key)
+
+
+class LruCache(CachePolicy):
+    """Least Recently Used -- the policy of the paper's Figure 19."""
+
+    name = "LRU"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._entries: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def _lookup(self, key: Hashable) -> bool:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True
+        return False
+
+    def _admit(self, key: Hashable) -> None:
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = None
+
+
+class FifoCache(CachePolicy):
+    """First In First Out: eviction ignores recency of use."""
+
+    name = "FIFO"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._entries: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def _lookup(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def _admit(self, key: Hashable) -> None:
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = None
+
+
+class LfuCache(CachePolicy):
+    """Least Frequently Used with FIFO tie-breaking."""
+
+    name = "LFU"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._frequency: Counter = Counter()
+        self._entries: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def _lookup(self, key: Hashable) -> bool:
+        if key in self._entries:
+            self._frequency[key] += 1
+            return True
+        return False
+
+    def _admit(self, key: Hashable) -> None:
+        if len(self._entries) >= self.capacity:
+            victim = min(
+                self._entries, key=lambda k: (self._frequency[k], 0)
+            )
+            del self._entries[victim]
+            del self._frequency[victim]
+        self._entries[key] = None
+        self._frequency[key] += 1
+
+
+class SegmentedLruCache(CachePolicy):
+    """SLRU: a probationary and a protected segment.
+
+    Keys enter the probationary segment; a hit promotes them to the
+    protected segment, shielding popular apps from the one-hit-wonder
+    churn that clustering workloads produce.
+    """
+
+    name = "SLRU"
+
+    def __init__(self, capacity: int, protected_fraction: float = 0.5) -> None:
+        super().__init__(capacity)
+        if not 0.0 < protected_fraction < 1.0:
+            raise ValueError("protected_fraction must be in (0, 1)")
+        self._protected_capacity = max(1, int(capacity * protected_fraction))
+        self._probation_capacity = max(1, capacity - self._protected_capacity)
+        self._protected: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._probation: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._protected) + len(self._probation)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._protected or key in self._probation
+
+    def _lookup(self, key: Hashable) -> bool:
+        if key in self._protected:
+            self._protected.move_to_end(key)
+            return True
+        if key in self._probation:
+            # Promote to protected; demote its LRU entry if full.
+            del self._probation[key]
+            if len(self._protected) >= self._protected_capacity:
+                demoted, _ = self._protected.popitem(last=False)
+                self._insert_probation(demoted)
+            self._protected[key] = None
+            return True
+        return False
+
+    def _insert_probation(self, key: Hashable) -> None:
+        if len(self._probation) >= self._probation_capacity:
+            self._probation.popitem(last=False)
+        self._probation[key] = None
+
+    def _admit(self, key: Hashable) -> None:
+        self._insert_probation(key)
+
+
+class CategoryAwareLruCache(CachePolicy):
+    """Clustering-aware LRU: per-category partitions sized by demand.
+
+    The paper argues replacement should account for the clustering-driven
+    access pattern.  This policy keeps one LRU segment per category and
+    dynamically sizes each segment proportionally to the category's recent
+    request share (an exponential moving average), so a burst of
+    same-category downloads cannot flush the whole cache.
+
+    Parameters
+    ----------
+    capacity:
+        Total entries across all segments.
+    category_of:
+        Maps a key to its category.
+    smoothing:
+        EMA factor for the per-category demand estimate.
+    """
+
+    name = "category-LRU"
+
+    def __init__(
+        self,
+        capacity: int,
+        category_of: Callable[[Hashable], Hashable],
+        smoothing: float = 0.005,
+    ) -> None:
+        super().__init__(capacity)
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self._category_of = category_of
+        self._smoothing = smoothing
+        self._segments: Dict[Hashable, "OrderedDict[Hashable, None]"] = {}
+        self._demand: Dict[Hashable, float] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Hashable) -> bool:
+        segment = self._segments.get(self._category_of(key))
+        return segment is not None and key in segment
+
+    def _update_demand(self, category: Hashable) -> None:
+        for known in self._demand:
+            self._demand[known] *= 1.0 - self._smoothing
+        self._demand[category] = self._demand.get(category, 0.0) + self._smoothing
+
+    def _quota(self, category: Hashable) -> int:
+        total_demand = sum(self._demand.values())
+        if total_demand <= 0:
+            return self.capacity
+        share = self._demand.get(category, 0.0) / total_demand
+        # Every seen category keeps at least one slot.
+        return max(1, int(share * self.capacity))
+
+    def _lookup(self, key: Hashable) -> bool:
+        category = self._category_of(key)
+        self._update_demand(category)
+        segment = self._segments.get(category)
+        if segment is not None and key in segment:
+            segment.move_to_end(key)
+            return True
+        return False
+
+    def _evict_one(self, incoming_category: Hashable) -> None:
+        """Evict from the segment most over its demand quota."""
+        worst_category = None
+        worst_overshoot = None
+        for category, segment in self._segments.items():
+            if not segment:
+                continue
+            overshoot = len(segment) - self._quota(category)
+            if category == incoming_category:
+                overshoot -= 1  # prefer keeping the active category intact
+            if worst_overshoot is None or overshoot > worst_overshoot:
+                worst_overshoot = overshoot
+                worst_category = category
+        if worst_category is None:
+            raise RuntimeError("eviction requested on an empty cache")
+        self._segments[worst_category].popitem(last=False)
+        self._size -= 1
+
+    def _admit(self, key: Hashable) -> None:
+        category = self._category_of(key)
+        if self._size >= self.capacity:
+            self._evict_one(category)
+        self._segments.setdefault(category, OrderedDict())[key] = None
+        self._size += 1

@@ -1,0 +1,79 @@
+"""Clustering-tuned cache configuration (the paper's Section 7 answer).
+
+The policy ablation (``bench_ablation_cache_policy.py``) shows that what
+clustering-driven demand punishes is *churn*: users' one-off,
+fetch-at-most-once dives into category tails flush the stable popular
+head out of recency-based caches.  The remedy is not per-category quotas
+(those starve the hot head at small sizes) but aggressive protection of
+proven entries: an SLRU whose protected segment takes most of the
+capacity.
+
+This module packages that finding: a factory for the clustering-tuned
+policy, and a sweep utility that finds the best protected fraction for a
+given workload empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cache.policies import SegmentedLruCache
+from repro.cache.simulator import CacheSimulationResult, simulate_cache
+from repro.core.models import DownloadEvent
+
+# Under APP-CLUSTERING workloads the hit ratio rises monotonically with
+# the protected fraction up to ~0.9 and flattens there (see the sweep in
+# bench_ablation_cache_policy.py); 0.9 is the tuned default.
+CLUSTERING_TUNED_PROTECTED_FRACTION = 0.9
+
+
+def clustering_tuned_cache(capacity: int) -> SegmentedLruCache:
+    """The recommended policy for clustering-driven app delivery.
+
+    An SLRU with 90% of capacity protected: one hit promotes an app into
+    the protected segment, and the small probation segment absorbs the
+    one-off category-tail churn without displacing proven entries.
+    """
+    return SegmentedLruCache(
+        capacity, protected_fraction=CLUSTERING_TUNED_PROTECTED_FRACTION
+    )
+
+
+def sweep_protected_fraction(
+    event_factory: Callable[[], Iterable[DownloadEvent]],
+    capacity: int,
+    fractions: Sequence[float] = (0.3, 0.5, 0.7, 0.85, 0.95),
+    warm_keys: Optional[Sequence[int]] = None,
+) -> List[Tuple[float, CacheSimulationResult]]:
+    """Hit ratio as a function of the SLRU protected fraction.
+
+    ``event_factory`` must return a fresh, identically distributed event
+    stream per call (e.g. ``spec.events`` of a
+    :class:`repro.workload.generators.WorkloadSpec`).  Returns
+    (fraction, result) pairs in the order given.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    results: List[Tuple[float, CacheSimulationResult]] = []
+    for fraction in fractions:
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"protected fraction must be in (0, 1): {fraction}")
+        cache = SegmentedLruCache(capacity, protected_fraction=fraction)
+        keys = warm_keys[:capacity] if warm_keys is not None else None
+        results.append(
+            (fraction, simulate_cache(event_factory(), cache, warm_keys=keys))
+        )
+    return results
+
+
+def best_protected_fraction(
+    event_factory: Callable[[], Iterable[DownloadEvent]],
+    capacity: int,
+    fractions: Sequence[float] = (0.3, 0.5, 0.7, 0.85, 0.95),
+    warm_keys: Optional[Sequence[int]] = None,
+) -> float:
+    """The protected fraction with the highest hit ratio on a workload."""
+    results = sweep_protected_fraction(
+        event_factory, capacity, fractions=fractions, warm_keys=warm_keys
+    )
+    return max(results, key=lambda pair: pair[1].hit_ratio)[0]

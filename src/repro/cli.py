@@ -1,0 +1,425 @@
+"""Command-line interface: the study as a set of composable commands.
+
+Usage (also via ``python -m repro``):
+
+    repro campaign --store slideme --out crawl.jsonl    # simulate + crawl
+    repro analyze  --db crawl.jsonl --store slideme     # the measurement study
+    repro fit      --db crawl.jsonl --store slideme     # Figures 8-9
+    repro forecast --db crawl.jsonl --store slideme     # future downloads
+    repro workload --kind APP-CLUSTERING --out trace.jsonl
+    repro cache    --scale 0.02                          # Figure 19
+
+Every command prints the same textual tables the benchmarks produce, so
+the pipeline can be driven without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.crawler.database import SnapshotDatabase
+from repro.crawler.scheduler import run_crawl_campaign
+from repro.marketplace.profiles import demo_profile, paper_profile, scaled_profile
+
+_DEFAULT_SCALES = dict(
+    app_scale=0.05, download_scale=5e-4, user_scale=2e-3, day_scale=0.2
+)
+
+
+def _add_campaign_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "campaign",
+        help="simulate a store, crawl it daily, and save the database",
+    )
+    parser.add_argument(
+        "--store",
+        default="demo",
+        choices=["demo", "anzhi", "appchina", "1mobile", "slideme"],
+        help="store profile (paper stores are scaled to laptop size)",
+    )
+    parser.add_argument("--out", required=True, help="output database (JSONL)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--app-scale", type=float, default=_DEFAULT_SCALES["app_scale"]
+    )
+    parser.add_argument(
+        "--download-scale", type=float, default=_DEFAULT_SCALES["download_scale"]
+    )
+    parser.add_argument(
+        "--user-scale", type=float, default=_DEFAULT_SCALES["user_scale"]
+    )
+    parser.add_argument(
+        "--day-scale", type=float, default=_DEFAULT_SCALES["day_scale"]
+    )
+    parser.add_argument(
+        "--no-comments",
+        action="store_true",
+        help="skip comment collection (faster; disables the affinity study)",
+    )
+    parser.set_defaults(handler=_run_campaign)
+
+
+def _run_campaign(args) -> int:
+    if args.store == "demo":
+        profile = demo_profile()
+    else:
+        profile = scaled_profile(
+            paper_profile(args.store),
+            app_scale=args.app_scale,
+            download_scale=args.download_scale,
+            user_scale=args.user_scale,
+            day_scale=args.day_scale,
+        )
+    print(
+        f"simulating and crawling {profile.name!r}: {profile.initial_apps} "
+        f"initial apps, {profile.n_users} users, {profile.crawl_days} crawl "
+        f"days..."
+    )
+    campaign = run_crawl_campaign(
+        profile, seed=args.seed, fetch_comments=not args.no_comments
+    )
+    campaign.database.save(args.out)
+    downloads = campaign.database.download_vector(
+        campaign.store_name, campaign.last_crawl_day
+    )
+    print(
+        f"saved {args.out}: {downloads.size} apps, "
+        f"{int(downloads.sum()):,} downloads, "
+        f"{len(campaign.database.comments(campaign.store_name)):,} comments"
+    )
+    return 0
+
+
+def _add_analyze_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "analyze", help="run the measurement study on a crawled database"
+    )
+    parser.add_argument("--db", required=True, help="database file (JSONL)")
+    parser.add_argument("--store", required=True)
+    parser.add_argument(
+        "--section",
+        default="all",
+        choices=["popularity", "updates", "affinity", "spam", "pricing",
+                 "income", "strategies", "growth", "all"],
+    )
+    parser.set_defaults(handler=_run_analyze)
+
+
+def _run_analyze(args) -> int:
+    database = SnapshotDatabase.load(args.db)
+    store = args.store
+    if store not in database.stores():
+        print(f"error: store {store!r} not in database "
+              f"(has: {', '.join(database.stores())})", file=sys.stderr)
+        return 2
+    section = args.section
+
+    if section in ("popularity", "all"):
+        from repro.analysis.popularity import popularity_report
+
+        print(popularity_report(database, store).describe())
+    if section in ("updates", "all"):
+        from repro.analysis.updates import update_distribution
+
+        print(update_distribution(database, store).describe())
+    if section in ("affinity", "all"):
+        from repro.analysis.affinity_study import affinity_study
+
+        if database.comments(store):
+            print(affinity_study(database, store).describe())
+        elif section == "affinity":
+            print("error: no comments in the database "
+                  "(crawl without --no-comments)", file=sys.stderr)
+            return 2
+    if section in ("spam", "all"):
+        from repro.analysis.spam import detect_spam_users
+
+        if database.comments(store):
+            print(detect_spam_users(database, store).describe())
+        elif section == "spam":
+            print("error: no comments in the database", file=sys.stderr)
+            return 2
+    if section in ("growth", "all"):
+        from repro.analysis.growth import growth_series, new_vs_catalog_share
+
+        print(growth_series(database, store).describe())
+        catalog, fresh = new_vs_catalog_share(database, store)
+        print(
+            f"[{store}] crawl-window growth split: "
+            f"{catalog * 100:.1f}% existing catalog, "
+            f"{fresh * 100:.1f}% crawl-era arrivals"
+        )
+    if section in ("pricing", "income", "strategies", "all"):
+        has_paid = any(
+            snapshot.price > 0
+            for snapshot in database.snapshots_on(store, database.days(store)[-1])
+        )
+        if not has_paid:
+            if section in ("pricing", "income", "strategies"):
+                print("error: store has no paid apps", file=sys.stderr)
+                return 2
+        else:
+            if section in ("pricing", "all"):
+                from repro.analysis.pricing_study import (
+                    free_paid_split,
+                    price_correlations,
+                )
+
+                print(free_paid_split(database, store).describe())
+                print(price_correlations(database, store).describe())
+            if section in ("income", "all"):
+                from repro.analysis.income import income_report
+
+                print(income_report(database, store).describe())
+            if section in ("strategies", "all"):
+                from repro.analysis.strategies import (
+                    break_even_report,
+                    developer_strategy_report,
+                )
+
+                print(developer_strategy_report(database, store).describe())
+                print(break_even_report(database, store).describe())
+    return 0
+
+
+def _add_fit_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fit", help="fit the three workload models to a store's downloads"
+    )
+    parser.add_argument("--db", required=True)
+    parser.add_argument("--store", required=True)
+    parser.add_argument("--day", type=int, default=None)
+    parser.set_defaults(handler=_run_fit)
+
+
+def _run_fit(args) -> int:
+    from repro.analysis.model_validation import fit_store_day
+
+    database = SnapshotDatabase.load(args.db)
+    fits = fit_store_day(database, args.store, day=args.day)
+    print(fits.describe())
+    return 0
+
+
+def _add_forecast_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "forecast",
+        help="forecast future downloads and flag under-performing apps",
+    )
+    parser.add_argument("--db", required=True)
+    parser.add_argument("--store", required=True)
+    parser.add_argument("--top", type=int, default=10,
+                        help="problematic apps to list")
+    parser.set_defaults(handler=_run_forecast)
+
+
+def _run_forecast(args) -> int:
+    import numpy as np
+
+    from repro.core.prediction import find_problematic_apps, forecast_downloads
+
+    database = SnapshotDatabase.load(args.db)
+    forecast = forecast_downloads(database, args.store)
+    observed = database.download_vector(args.store, forecast.target_day)
+    distance = forecast.evaluate(observed[observed > 0])
+    print(
+        f"forecast day {forecast.reference_day} -> {forecast.target_day}: "
+        f"predicted total {forecast.predicted_total():,.0f}, realized "
+        f"{int(observed.sum()):,} (Eq. 6 distance {distance:.3f}; fit "
+        f"{forecast.fit.describe()})"
+    )
+    problematic = find_problematic_apps(database, args.store)
+    print(f"{len(problematic)} apps growing far below their rank's expectation")
+    for app in problematic[: args.top]:
+        print(
+            f"  app {app.app_id} (rank {app.rank}): observed +"
+            f"{app.observed_growth}, expected +{app.expected_growth:,.0f}"
+        )
+    return 0
+
+
+def _add_workload_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "workload", help="generate a download workload trace"
+    )
+    parser.add_argument(
+        "--kind",
+        default="APP-CLUSTERING",
+        choices=["ZIPF", "ZIPF-at-most-once", "APP-CLUSTERING"],
+    )
+    parser.add_argument("--apps", type=int, default=1000)
+    parser.add_argument("--users", type=int, default=5000)
+    parser.add_argument("--downloads", type=int, default=20000)
+    parser.add_argument("--zr", type=float, default=1.7)
+    parser.add_argument("--zc", type=float, default=1.4)
+    parser.add_argument("--p", type=float, default=0.9)
+    parser.add_argument("--clusters", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", required=True, help="trace file (JSONL)")
+    parser.set_defaults(handler=_run_workload)
+
+
+def _run_workload(args) -> int:
+    from repro.core.models import ModelKind
+    from repro.workload.generators import WorkloadSpec
+    from repro.workload.trace import write_trace
+
+    spec = WorkloadSpec(
+        kind=ModelKind(args.kind),
+        n_apps=args.apps,
+        n_users=args.users,
+        total_downloads=args.downloads,
+        zr=args.zr,
+        zc=args.zc,
+        p=args.p,
+        n_clusters=args.clusters,
+        seed=args.seed,
+    )
+    count = write_trace(args.out, spec.events(), spec=spec)
+    print(f"wrote {count:,} events to {args.out}")
+    return 0
+
+
+def _add_cache_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "cache", help="run the Figure 19 cache experiment"
+    )
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument(
+        "--sizes", default="0.01,0.05,0.10,0.20",
+        help="comma-separated cache sizes as fractions of the catalog",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.set_defaults(handler=_run_cache)
+
+
+def _run_cache(args) -> int:
+    import numpy as np
+
+    from repro.cache.policies import LruCache
+    from repro.cache.simulator import simulate_cache
+    from repro.core.models import ModelKind
+    from repro.reporting.tables import render_table
+    from repro.workload.generators import figure19_spec
+
+    fractions = [float(part) for part in args.sizes.split(",")]
+    rows = []
+    specs = {
+        kind: figure19_spec(kind=kind, scale=args.scale, seed=args.seed)
+        for kind in ModelKind
+    }
+    warm = {
+        kind: list(np.argsort(spec.download_counts())[::-1])
+        for kind, spec in specs.items()
+    }
+    for fraction in fractions:
+        row = [f"{fraction * 100:g}%"]
+        for kind in ModelKind:
+            spec = specs[kind]
+            capacity = max(1, int(fraction * spec.n_apps))
+            result = simulate_cache(
+                spec.events(), LruCache(capacity), warm_keys=warm[kind][:capacity]
+            )
+            row.append(round(result.hit_ratio * 100, 1))
+        rows.append(row)
+    print(
+        render_table(
+            ["cache size"] + [kind.value + " (%)" for kind in ModelKind],
+            rows,
+            title="LRU hit ratio under the three workload models",
+        )
+    )
+    return 0
+
+
+def _add_report_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "report", help="render the full study for one store as a document"
+    )
+    parser.add_argument("--db", required=True)
+    parser.add_argument("--store", required=True)
+    parser.add_argument("--out", default=None, help="also write to a file")
+    parser.set_defaults(handler=_run_report)
+
+
+def _run_report(args) -> int:
+    from repro.analysis.report import full_report
+
+    database = SnapshotDatabase.load(args.db)
+    try:
+        text = full_report(database, args.store)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"(written to {args.out})", file=sys.stderr)
+    return 0
+
+
+def _add_export_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "export", help="export a crawled database to CSV files"
+    )
+    parser.add_argument("--db", required=True)
+    parser.add_argument("--store", default=None, help="restrict to one store")
+    parser.add_argument(
+        "--prefix", required=True,
+        help="output prefix; writes <prefix>_snapshots.csv, _comments.csv, _apks.csv",
+    )
+    parser.set_defaults(handler=_run_export)
+
+
+def _run_export(args) -> int:
+    from repro.crawler.exporters import (
+        export_apks_csv,
+        export_comments_csv,
+        export_snapshots_csv,
+    )
+
+    database = SnapshotDatabase.load(args.db)
+    for suffix, exporter in (
+        ("snapshots", export_snapshots_csv),
+        ("comments", export_comments_csv),
+        ("apks", export_apks_csv),
+    ):
+        path = f"{args.prefix}_{suffix}.csv"
+        rows = exporter(database, path, store=args.store)
+        print(f"wrote {rows:,} rows to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction toolkit for 'Rise of the Planet of the Apps' "
+            "(IMC 2013)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_campaign_parser(subparsers)
+    _add_analyze_parser(subparsers)
+    _add_fit_parser(subparsers)
+    _add_forecast_parser(subparsers)
+    _add_workload_parser(subparsers)
+    _add_cache_parser(subparsers)
+    _add_export_parser(subparsers)
+    _add_report_parser(subparsers)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""The paper's primary contribution.
+
+- :mod:`repro.core.affinity` -- the temporal affinity metric over category
+  strings (Section 4.2, Equations 1 and 3) and the random-walk baselines
+  (Equations 2 and 4).
+- :mod:`repro.core.models` -- Monte Carlo appstore workload simulators for
+  the ZIPF, ZIPF-at-most-once, and APP-CLUSTERING models (Section 5).
+- :mod:`repro.core.analytical` -- the closed-form expected downloads
+  ``D(i, j)`` of Equation 5.
+- :mod:`repro.core.fitting` -- the mean-relative-error distance (Equation 6)
+  and grid-search parameter fitting used to produce Figures 8-10.
+- :mod:`repro.core.pareto` -- Pareto-effect summaries (Section 3.1).
+- :mod:`repro.core.powerlaw` -- Zipf-trunk fitting and truncation detection
+  (Section 3.2).
+- :mod:`repro.core.revenue` -- developer income and the break-even ad
+  income of Equation 7 (Section 6).
+"""
+
+from repro.core.affinity import (
+    category_string,
+    collapse_repeats,
+    random_walk_affinity,
+    temporal_affinity,
+)
+from repro.core.analytical import expected_downloads
+from repro.core.fitting import FitResult, fit_model, mean_relative_error
+from repro.core.models import (
+    AppClusteringModel,
+    AppClusteringParams,
+    ModelKind,
+    ZipfAtMostOnceModel,
+    ZipfModel,
+    simulate_downloads,
+)
+from repro.core.pareto import ParetoSummary, pareto_summary
+from repro.core.powerlaw import TruncationReport, analyze_rank_distribution
+from repro.core.revenue import break_even_ad_income, developer_incomes
+
+__all__ = [
+    "AppClusteringModel",
+    "AppClusteringParams",
+    "FitResult",
+    "ModelKind",
+    "ParetoSummary",
+    "TruncationReport",
+    "ZipfAtMostOnceModel",
+    "ZipfModel",
+    "analyze_rank_distribution",
+    "break_even_ad_income",
+    "category_string",
+    "collapse_repeats",
+    "developer_incomes",
+    "expected_downloads",
+    "fit_model",
+    "mean_relative_error",
+    "pareto_summary",
+    "random_walk_affinity",
+    "simulate_downloads",
+    "temporal_affinity",
+]

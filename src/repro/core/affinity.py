@@ -1,0 +1,164 @@
+"""Temporal affinity of user selections to app categories (Section 4.2).
+
+The paper measures how strongly consecutive app selections of a user stay
+inside the same category.  The data structure is the *category string*: the
+chronological sequence of categories of the apps a user commented on, after
+collapsing immediately repeated apps.
+
+Two quantities are defined:
+
+- :func:`temporal_affinity` -- Equations 1 (depth 1) and 3 (depth ``d``):
+  the fraction of selections that share a category with at least one of
+  their ``d`` predecessors.
+- :func:`random_walk_affinity` -- Equations 2 (depth 1) and 4 (depth ``d``):
+  the affinity a user would exhibit when wandering among apps uniformly at
+  random, given the empirical distribution of apps over categories.  This
+  is the base case the measured affinity is compared against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+def collapse_repeats(items: Sequence) -> List:
+    """Suppress immediately repeated elements of a sequence.
+
+    The paper builds *app strings* by suppressing successive comments of
+    the same user on the same app: ``a1 a2 a3 a3 a1 a4`` becomes
+    ``a1 a2 a3 a1 a4``.  (Non-adjacent repeats are kept.)
+    """
+    collapsed: List = []
+    for item in items:
+        if not collapsed or collapsed[-1] != item:
+            collapsed.append(item)
+    return collapsed
+
+
+def category_string(
+    app_string: Sequence, category_of: Dict
+) -> List:
+    """Map an app string to its category string via ``category_of``.
+
+    ``category_of`` maps app identifiers to category identifiers.  Raises
+    ``KeyError`` for apps with no known category.
+    """
+    return [category_of[app] for app in app_string]
+
+
+def temporal_affinity(categories: Sequence, depth: int = 1) -> Optional[float]:
+    """The affinity metric ``Aff`` of the paper, for a given depth.
+
+    For a category string ``c1..cn``, this is the fraction of positions
+    ``i`` (counting from ``i = depth``) whose category equals at least one
+    of the ``depth`` preceding categories, i.e.::
+
+        Aff = sum_{i=depth..n-1} 1[c_i in {c_{i-1}, ..., c_{i-depth}}]
+              / (n - depth)
+
+    (0-based indexing here; the paper writes the same sum 1-based.)
+    Returns ``None`` when the string is too short to define the metric
+    (``n <= depth``), mirroring the paper's exclusion of users with a
+    single comment.
+
+    Examples
+    --------
+    >>> temporal_affinity(["a", "a", "a", "a"])
+    1.0
+    >>> temporal_affinity(["a", "a", "a", "b"])  # 2 of 3 transitions match
+    0.6666666666666666
+    >>> temporal_affinity(["a", "b", "a", "b"])  # oscillation: zero at depth 1
+    0.0
+    >>> temporal_affinity(["a", "b", "a", "b"], depth=2)  # ...but full at 2
+    1.0
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    n = len(categories)
+    if n <= depth:
+        return None
+    matches = 0
+    for i in range(depth, n):
+        window = categories[i - depth : i]
+        if categories[i] in window:
+            matches += 1
+    return matches / (n - depth)
+
+
+def random_walk_affinity(category_sizes: Sequence[int], depth: int = 1) -> float:
+    """Affinity of a uniform random walk over apps (Equations 2 and 4).
+
+    ``category_sizes[i]`` is the number of apps in category ``i``.  For
+    depth 1 this is the probability that two distinct uniformly random
+    apps share a category::
+
+        sum_i A_i * (A_i - 1) / (A * (A - 1))
+
+    For depth ``d`` the paper generalizes to the probability that a
+    selection shares a category with at least one of its ``d``
+    predecessors under sampling without immediate repetition, Equation 4::
+
+        sum_i A_i * (A_i - 1) * d * prod_{k=2..d}(A - k)
+        / prod_{k=0..d}(A - k)
+
+    which for small ``d`` is close to (but slightly below) the union bound
+    ``d * Aff_1``.  Because Equation 4 is built from that union-style
+    counting, it can exceed one for degenerate taxonomies (e.g. a single
+    category at depth >= 2, where the true probability is exactly one);
+    the result is clamped to [0, 1].
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    sizes = np.asarray(category_sizes, dtype=np.float64)
+    if sizes.ndim != 1 or sizes.size == 0:
+        raise ValueError("category_sizes must be a non-empty 1-D array")
+    if np.any(sizes < 0):
+        raise ValueError("category sizes must be non-negative")
+    total = float(sizes.sum())
+    if total < depth + 1:
+        raise ValueError(
+            f"need more than depth+1 = {depth + 1} apps, got {total:.0f}"
+        )
+
+    pair_count = float((sizes * (sizes - 1.0)).sum())
+    if depth == 1:
+        return pair_count / (total * (total - 1.0))
+
+    numerator = pair_count * depth
+    for k in range(2, depth + 1):
+        numerator *= total - k
+    denominator = 1.0
+    for k in range(0, depth + 1):
+        denominator *= total - k
+    return min(1.0, numerator / denominator)
+
+
+def affinity_by_group(
+    strings: Sequence[Sequence],
+    depth: int = 1,
+    min_group_size: int = 10,
+) -> Dict[int, List[float]]:
+    """Group affinity values by category-string length (Figure 6).
+
+    The paper groups users by their number of comments and averages the
+    affinity within each group, dropping groups with fewer than
+    ``min_group_size`` members (which also filters out spam users, whose
+    comment counts are unique outliers).  Returns a mapping
+    ``string_length -> list of affinities`` for groups that survive the
+    size filter.
+    """
+    if min_group_size < 1:
+        raise ValueError("min_group_size must be >= 1")
+    groups: Dict[int, List[float]] = {}
+    for string in strings:
+        value = temporal_affinity(string, depth=depth)
+        if value is None:
+            continue
+        groups.setdefault(len(string), []).append(value)
+    return {
+        length: values
+        for length, values in groups.items()
+        if len(values) >= min_group_size
+    }

@@ -1,0 +1,252 @@
+"""Closed-form expected downloads under APP-CLUSTERING (Equation 5).
+
+Section 5.1 of the paper derives the expected number of downloads for an
+app with overall rank ``i`` and within-cluster rank ``j``.  Each user makes
+``d`` downloads, of which ``(1 - p) * d`` are global-Zipf selections and
+``p * d`` are cluster-Zipf selections; the probability that one user ends
+up downloading the app is one minus the probability of missing it in all
+of those selections:
+
+    D(i, j) = U * [ 1 - (1 - P_G(i))^((1-p)*d) * (1 - P_c(j))^(p*d) ]
+
+where ``P_G(i)`` is the global Zipf mass of rank ``i`` over ``A`` apps and
+``P_c(j)`` the cluster Zipf mass of rank ``j`` over a cluster of size
+``S_C`` (all clusters equal-sized in the analysis).  The per-user miss
+probability treats selections as independent draws -- exactly the paper's
+approximation; fetch-at-most-once appears through the "did the user ever
+pick it" framing, which caps downloads at ``U``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.models import AppClusteringParams
+from repro.stats.zipf import generalized_harmonic
+
+
+def expected_downloads(
+    params: AppClusteringParams,
+    overall_rank,
+    cluster_rank,
+    cluster_size: Optional[int] = None,
+) -> np.ndarray:
+    """Expected downloads ``D(i, j)`` of Equation 5.
+
+    Parameters
+    ----------
+    params:
+        The model parameters (``U``, ``A``, ``D``, ``zr``, ``zc``, ``p``,
+        ``C``).
+    overall_rank:
+        Overall rank ``i`` (1-based); scalar or array.
+    cluster_rank:
+        Within-cluster rank ``j`` (1-based); scalar or array broadcastable
+        against ``overall_rank``.
+    cluster_size:
+        ``S_C``; defaults to the equal-size assumption ``A / C`` (rounded
+        up so every cluster rank stays valid).
+
+    Returns
+    -------
+    Expected download counts, clipped implicitly below ``U`` by the model
+    structure.
+    """
+    i = np.asarray(overall_rank, dtype=np.float64)
+    j = np.asarray(cluster_rank, dtype=np.float64)
+    if np.any(i < 1) or np.any(i > params.n_apps):
+        raise ValueError(f"overall ranks must lie in [1, {params.n_apps}]")
+
+    if cluster_size is None:
+        cluster_size = int(np.ceil(params.n_apps / params.n_clusters))
+    if cluster_size < 1:
+        raise ValueError("cluster_size must be positive")
+    if np.any(j < 1) or np.any(j > cluster_size):
+        raise ValueError(f"cluster ranks must lie in [1, {cluster_size}]")
+
+    d = params.downloads_per_user
+    global_mass = (i**-params.zr) / generalized_harmonic(params.n_apps, params.zr)
+    cluster_mass = (j**-params.zc) / generalized_harmonic(cluster_size, params.zc)
+
+    miss_global = (1.0 - global_mass) ** ((1.0 - params.p) * d)
+    miss_cluster = (1.0 - cluster_mass) ** (params.p * d)
+    hit_probability = 1.0 - miss_global * miss_cluster
+    return params.n_users * hit_probability
+
+
+def _cluster_rank_layout(params: AppClusteringParams):
+    """Within-cluster ranks and cluster sizes from the cluster assignment."""
+    clusters = params.cluster_assignment()
+    n_apps = params.n_apps
+    cluster_ranks = np.zeros(n_apps, dtype=np.int64)
+    sizes = np.zeros(int(clusters.max()) + 1, dtype=np.int64)
+    for app_index in range(n_apps):
+        cluster = clusters[app_index]
+        sizes[cluster] += 1
+        cluster_ranks[app_index] = sizes[cluster]
+    return clusters, cluster_ranks, sizes
+
+
+def expected_download_curve(
+    params: AppClusteringParams, cluster_size: Optional[int] = None
+) -> np.ndarray:
+    """Expected downloads for every app, ordered by overall rank (Eq. 5).
+
+    Uses the model's cluster assignment to derive each app's within-cluster
+    rank (apps of a cluster ordered by their overall rank), then evaluates
+    :func:`expected_downloads` vectorized over all apps.  This is the
+    paper's formula verbatim; see
+    :func:`expected_download_curve_corrected` for the variant that also
+    accounts for which cluster a clustered draw targets.
+    """
+    _, cluster_ranks, sizes = _cluster_rank_layout(params)
+    if cluster_size is None:
+        cluster_size = int(sizes.max())
+    overall_ranks = np.arange(1, params.n_apps + 1)
+    return expected_downloads(
+        params, overall_ranks, cluster_ranks, cluster_size=cluster_size
+    )
+
+
+def distinct_draw_hit_probabilities(pmf: np.ndarray, budget: float) -> np.ndarray:
+    """Per-item inclusion probability of ``budget`` distinct weighted draws.
+
+    Models sampling *without replacement*: drawing until ``budget``
+    distinct items have been collected from a categorical distribution
+    ``pmf`` (which is what the simulators' rejection loops implement).
+    Uses the standard Poissonization approximation: item ``j`` is included
+    with probability ``1 - exp(-pmf_j * T)`` where ``T`` solves
+    ``sum_j (1 - exp(-pmf_j * T)) = budget``.  ``T`` is found by bisection
+    (the left side is strictly increasing in ``T``).
+    """
+    pmf = np.asarray(pmf, dtype=np.float64)
+    if pmf.ndim != 1 or pmf.size == 0:
+        raise ValueError("pmf must be a non-empty 1-D array")
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    n = pmf.size
+    if budget <= 0:
+        return np.zeros(n)
+    if budget >= n:
+        return np.ones(n)
+
+    def expected_distinct(t: float) -> float:
+        return float(-np.expm1(-pmf * t).sum())
+
+    low, high = 0.0, 1.0
+    while expected_distinct(high) < budget:
+        high *= 2.0
+        if high > 1e18:
+            break
+    for _ in range(100):
+        mid = (low + high) / 2.0
+        if expected_distinct(mid) < budget:
+            low = mid
+        else:
+            high = mid
+    t_solution = (low + high) / 2.0
+    return -np.expm1(-pmf * t_solution)
+
+
+def expected_download_curve_corrected(
+    params: AppClusteringParams,
+) -> np.ndarray:
+    """Mean-field expected downloads with cluster-visit correction.
+
+    Equation 5 treats all ``p * d`` clustered selections of a user as
+    independent draws from the *target app's own* cluster.  In the actual
+    process (Section 5.1) two things differ: the cluster is chosen
+    uniformly among the clusters the user has previously *visited* (so
+    only visitors of cluster ``c`` ever draw from ``Zc``, splitting their
+    clustered budget across visited clusters), and fetch-at-most-once
+    turns every draw into a *distinct* selection (rejected repeats are
+    resampled).  The paper compensates by fitting through simulation; this
+    corrected closed form tracks the Monte Carlo output closely and makes
+    grid-search fitting cheap.
+
+    The construction, per user with ``d`` downloads:
+
+    - global selections: ``g = 1 + (1 - p) * (d - 1)`` distinct draws from
+      ``ZG`` (the first download plus the non-clustered remainder), with
+      per-app hit probabilities from
+      :func:`distinct_draw_hit_probabilities`;
+    - cluster visits: under the same Poissonized global process, cluster
+      ``c`` is visited with probability ``v_c = 1 - exp(-Q_c * T)`` where
+      ``Q_c`` is the cluster's global-mass share of the solved intensity;
+    - clustered selections: the ``p * (d - 1)`` clustered draws split
+      evenly over the ``m = sum_c v_c`` expected visited clusters, giving
+      ``k = p * (d - 1) / m`` distinct within-cluster draws for each
+      visited cluster;
+    - an app ``(i, j)`` in cluster ``c`` is downloaded unless it is missed
+      both globally and in its cluster:
+      ``P = 1 - (1 - hit_G(i)) * (1 - v_c * hit_c(j))``.
+    """
+    clusters, cluster_ranks, sizes = _cluster_rank_layout(params)
+    n_apps = params.n_apps
+    d = params.downloads_per_user
+
+    ranks = np.arange(1, n_apps + 1, dtype=np.float64)
+    global_mass = ranks**-params.zr / generalized_harmonic(n_apps, params.zr)
+
+    global_budget = min(float(n_apps), 1.0 + (1.0 - params.p) * max(d - 1.0, 0.0))
+    hit_global = distinct_draw_hit_probabilities(global_mass, global_budget)
+
+    # Visit probability per cluster: 1 - prod over members of their global
+    # miss probabilities (exact under the Poissonized process).
+    n_clusters = sizes.size
+    log_miss = np.log(np.clip(1.0 - hit_global, 1e-300, 1.0))
+    cluster_log_miss = np.zeros(n_clusters, dtype=np.float64)
+    np.add.at(cluster_log_miss, clusters, log_miss)
+    visit_probability = 1.0 - np.exp(cluster_log_miss)
+    expected_visited = max(float(visit_probability.sum()), 1.0)
+
+    cluster_budget_total = params.p * max(d - 1.0, 0.0)
+    per_cluster_budget = cluster_budget_total / expected_visited
+
+    hit_cluster = np.zeros(n_apps, dtype=np.float64)
+    for cluster_index in range(n_clusters):
+        members = np.flatnonzero(clusters == cluster_index)
+        if members.size == 0:
+            continue
+        member_ranks = cluster_ranks[members].astype(np.float64)
+        pmf = member_ranks**-params.zc
+        pmf /= pmf.sum()
+        budget = min(float(members.size), per_cluster_budget)
+        hit_cluster[members] = distinct_draw_hit_probabilities(pmf, budget)
+
+    v = visit_probability[clusters]
+    hit_probability = 1.0 - (1.0 - hit_global) * (1.0 - v * hit_cluster)
+    return params.n_users * hit_probability
+
+
+def expected_zipf_at_most_once(
+    n_apps: int, n_users: int, total_downloads: int, zr: float
+) -> np.ndarray:
+    """Expected downloads per rank under ZIPF-at-most-once.
+
+    The same hit-probability argument with ``p = 0``: a user making ``d``
+    global draws downloads rank ``i`` with probability
+    ``1 - (1 - P_G(i))**d``, and downloads saturate at ``U``.  This is the
+    Gummadi-style fetch-at-most-once curve the paper compares against.
+    """
+    if n_apps < 1 or n_users < 1:
+        raise ValueError("n_apps and n_users must be positive")
+    if total_downloads < 0:
+        raise ValueError("total_downloads must be non-negative")
+    d = total_downloads / n_users
+    ranks = np.arange(1, n_apps + 1, dtype=np.float64)
+    mass = ranks**-zr / generalized_harmonic(n_apps, zr)
+    return n_users * (1.0 - (1.0 - mass) ** d)
+
+
+def expected_zipf(n_apps: int, total_downloads: int, zr: float) -> np.ndarray:
+    """Expected downloads per rank under the unconstrained ZIPF model."""
+    if n_apps < 1:
+        raise ValueError("n_apps must be positive")
+    if total_downloads < 0:
+        raise ValueError("total_downloads must be non-negative")
+    ranks = np.arange(1, n_apps + 1, dtype=np.float64)
+    mass = ranks**-zr / generalized_harmonic(n_apps, zr)
+    return total_downloads * mass

@@ -1,0 +1,84 @@
+"""Pareto-effect summaries (Section 3.1).
+
+Figure 2 of the paper shows that a small share of apps carries most of the
+downloads: roughly 10% of apps account for 70-90% of downloads across the
+four stores, with the top 1% alone responsible for 30-70%.  This module
+computes those headline statistics plus the full CDF curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.stats.distributions import cumulative_share, pareto_curve
+
+
+@dataclass(frozen=True)
+class ParetoSummary:
+    """Headline concentration statistics of a download distribution."""
+
+    n_apps: int
+    total_downloads: int
+    share_top_1pct: float
+    share_top_10pct: float
+    share_top_20pct: float
+    gini: float
+
+    def describe(self) -> str:
+        """A one-line Figure-2 style caption."""
+        return (
+            f"top 1% of apps -> {self.share_top_1pct * 100:.1f}% of downloads; "
+            f"top 10% -> {self.share_top_10pct * 100:.1f}%; "
+            f"top 20% -> {self.share_top_20pct * 100:.1f}% "
+            f"(Gini {self.gini:.3f})"
+        )
+
+
+def gini_coefficient(values) -> float:
+    """Gini coefficient of a non-negative distribution.
+
+    Not in the paper, but the standard single-number summary of the
+    concentration Figure 2 visualizes; used by the ablation benches.
+    """
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    if np.any(values < 0):
+        raise ValueError("values must be non-negative")
+    total = values.sum()
+    if total <= 0:
+        raise ValueError("values must have a positive sum")
+    n = values.size
+    index = np.arange(1, n + 1, dtype=np.float64)
+    return float((2.0 * (index * values).sum() / (n * total)) - (n + 1.0) / n)
+
+
+def pareto_summary(downloads) -> ParetoSummary:
+    """Compute the Figure-2 headline statistics for a download vector."""
+    downloads = np.asarray(downloads, dtype=np.float64)
+    shares = cumulative_share(downloads, [0.01, 0.10, 0.20])
+    return ParetoSummary(
+        n_apps=int(downloads.size),
+        total_downloads=int(downloads.sum()),
+        share_top_1pct=float(shares[0]),
+        share_top_10pct=float(shares[1]),
+        share_top_20pct=float(shares[2]),
+        gini=gini_coefficient(downloads),
+    )
+
+
+def pareto_curves(
+    downloads_by_store: Dict[str, Sequence[float]], points: int = 100
+) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """The full Figure-2 CDF curve per store.
+
+    Returns ``store -> (x, y)`` with x the percentage of apps (most popular
+    first) and y the cumulative percentage of downloads.
+    """
+    return {
+        store: pareto_curve(downloads, points=points)
+        for store, downloads in downloads_by_store.items()
+    }

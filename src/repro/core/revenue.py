@@ -1,0 +1,224 @@
+"""Developer income and break-even ad income (Section 6).
+
+The paper estimates each developer's income as the sum over their paid
+apps of downloads times average price, then compares two revenue
+strategies: selling paid apps vs. giving the app away and monetizing with
+advertisements.  The comparison is the *break-even ad income per download*
+(Equation 7): the per-download ad revenue a free app needs in order to
+match the income of an average paid app,
+
+    AdIncome = (sum_i Downloads_paid(i) * Price(i) / N_paid)
+               / (sum_j Downloads_free(j) / N_free)
+
+i.e. average paid-app revenue divided by average free-app downloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PaidAppRecord:
+    """What the revenue analysis needs to know about one paid app."""
+
+    app_id: int
+    developer_id: int
+    category: str
+    price: float
+    downloads: int
+
+    def __post_init__(self) -> None:
+        if self.price <= 0:
+            raise ValueError("paid apps must have a positive price")
+        if self.downloads < 0:
+            raise ValueError("downloads must be non-negative")
+
+    @property
+    def revenue(self) -> float:
+        """Gross revenue = downloads (purchases) times average price."""
+        return self.downloads * self.price
+
+
+@dataclass(frozen=True)
+class FreeAppRecord:
+    """What the revenue analysis needs to know about one free app."""
+
+    app_id: int
+    developer_id: int
+    category: str
+    downloads: int
+    has_ads: bool = True
+
+    def __post_init__(self) -> None:
+        if self.downloads < 0:
+            raise ValueError("downloads must be non-negative")
+
+
+def developer_incomes(
+    paid_apps: Sequence[PaidAppRecord],
+    commission: float = 0.0,
+) -> Dict[int, float]:
+    """Total income per developer from their paid apps.
+
+    ``commission`` is the store's cut (SlideMe takes 5%; the paper's
+    analysis assumes developers keep the full amount, i.e. commission 0).
+    Developers with paid apps but zero purchases appear with income 0.
+    """
+    if not 0.0 <= commission < 1.0:
+        raise ValueError("commission must be in [0, 1)")
+    incomes: Dict[int, float] = {}
+    for app in paid_apps:
+        incomes[app.developer_id] = incomes.get(app.developer_id, 0.0) + (
+            app.revenue * (1.0 - commission)
+        )
+    return incomes
+
+
+def revenue_by_category(
+    paid_apps: Sequence[PaidAppRecord],
+) -> Dict[str, float]:
+    """Gross paid-app revenue per category (the Figure-15 numerator)."""
+    revenue: Dict[str, float] = {}
+    for app in paid_apps:
+        revenue[app.category] = revenue.get(app.category, 0.0) + app.revenue
+    return revenue
+
+
+def category_breakdown(
+    paid_apps: Sequence[PaidAppRecord],
+) -> List[Tuple[str, float, float, float]]:
+    """Figure 15 rows: (category, revenue %, apps %, developers %).
+
+    Percentages are over the paid-app population; categories are sorted by
+    descending revenue share.
+    """
+    if not paid_apps:
+        raise ValueError("no paid apps to analyze")
+    revenue = revenue_by_category(paid_apps)
+    total_revenue = sum(revenue.values())
+    apps_per_category: Dict[str, int] = {}
+    developers_per_category: Dict[str, set] = {}
+    for app in paid_apps:
+        apps_per_category[app.category] = apps_per_category.get(app.category, 0) + 1
+        developers_per_category.setdefault(app.category, set()).add(app.developer_id)
+    total_apps = len(paid_apps)
+    all_developers = {app.developer_id for app in paid_apps}
+    rows = []
+    for category in revenue:
+        revenue_pct = (
+            100.0 * revenue[category] / total_revenue if total_revenue > 0 else 0.0
+        )
+        apps_pct = 100.0 * apps_per_category[category] / total_apps
+        developers_pct = (
+            100.0 * len(developers_per_category[category]) / len(all_developers)
+        )
+        rows.append((category, revenue_pct, apps_pct, developers_pct))
+    rows.sort(key=lambda row: row[1], reverse=True)
+    return rows
+
+
+def break_even_ad_income(
+    paid_apps: Sequence[PaidAppRecord],
+    free_apps: Sequence[FreeAppRecord],
+    ads_only: bool = True,
+) -> float:
+    """Equation 7: per-download ad revenue a free app needs to match paid.
+
+    Parameters
+    ----------
+    paid_apps, free_apps:
+        The two populations being compared.
+    ads_only:
+        Restrict the free population to apps that actually embed ads, as
+        the paper does ("We consider only free apps with ads in this
+        analysis").
+    """
+    if not paid_apps:
+        raise ValueError("no paid apps to compare against")
+    free_pool = [app for app in free_apps if app.has_ads] if ads_only else list(free_apps)
+    if not free_pool:
+        raise ValueError("no free apps (with ads) to compare")
+    average_paid_revenue = sum(app.revenue for app in paid_apps) / len(paid_apps)
+    average_free_downloads = sum(app.downloads for app in free_pool) / len(free_pool)
+    if average_free_downloads <= 0:
+        return float("inf")
+    return average_paid_revenue / average_free_downloads
+
+
+def break_even_by_popularity_tier(
+    paid_apps: Sequence[PaidAppRecord],
+    free_apps: Sequence[FreeAppRecord],
+    tiers: Sequence[Tuple[str, float, float]] = (
+        ("most popular", 0.0, 0.2),
+        ("medium popularity", 0.2, 0.7),
+        ("unpopular", 0.7, 1.0),
+    ),
+) -> Dict[str, float]:
+    """Figure 17's tier view: break-even income per free-app popularity tier.
+
+    ``tiers`` are (name, start_fraction, end_fraction) slices of the free
+    apps ranked by downloads (0.0 = most popular).  The paper's tiers are
+    top 20%, next 50%, bottom 30%.
+    """
+    free_pool = [app for app in free_apps if app.has_ads]
+    if not free_pool:
+        raise ValueError("no free apps with ads")
+    ranked = sorted(free_pool, key=lambda app: app.downloads, reverse=True)
+    results: Dict[str, float] = {}
+    n = len(ranked)
+    for name, start, end in tiers:
+        if not 0.0 <= start < end <= 1.0:
+            raise ValueError(f"invalid tier bounds: {name} [{start}, {end})")
+        slice_apps = ranked[int(start * n) : max(int(start * n) + 1, int(end * n))]
+        results[name] = break_even_ad_income(paid_apps, slice_apps, ads_only=True)
+    return results
+
+
+def break_even_by_category(
+    paid_apps: Sequence[PaidAppRecord],
+    free_apps: Sequence[FreeAppRecord],
+) -> Dict[str, float]:
+    """Figure 18: break-even ad income computed per category.
+
+    Categories missing either paid or free apps are skipped (the
+    comparison is undefined there).
+    """
+    paid_by_category: Dict[str, List[PaidAppRecord]] = {}
+    for app in paid_apps:
+        paid_by_category.setdefault(app.category, []).append(app)
+    free_by_category: Dict[str, List[FreeAppRecord]] = {}
+    for app in free_apps:
+        if app.has_ads:
+            free_by_category.setdefault(app.category, []).append(app)
+    results: Dict[str, float] = {}
+    for category, paid_group in paid_by_category.items():
+        free_group = free_by_category.get(category)
+        if not free_group:
+            continue
+        results[category] = break_even_ad_income(paid_group, free_group)
+    return results
+
+
+def income_quantity_correlation(
+    paid_apps: Sequence[PaidAppRecord],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Figure 14's data: (apps per developer, income per developer) arrays.
+
+    Returns parallel arrays over developers; feed them to
+    :func:`repro.stats.correlation.pearson` to get the paper's
+    quality-over-quantity coefficient (~0.008).
+    """
+    apps_per_developer: Dict[int, int] = {}
+    for app in paid_apps:
+        apps_per_developer[app.developer_id] = (
+            apps_per_developer.get(app.developer_id, 0) + 1
+        )
+    incomes = developer_incomes(paid_apps)
+    developer_ids = sorted(apps_per_developer)
+    counts = np.array([apps_per_developer[d] for d in developer_ids], dtype=np.float64)
+    totals = np.array([incomes.get(d, 0.0) for d in developer_ids], dtype=np.float64)
+    return counts, totals

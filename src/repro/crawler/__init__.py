@@ -1,0 +1,48 @@
+"""Data-collection substrate: the paper's crawling architecture, simulated.
+
+Figure 1 of the paper shows the collection pipeline: per-store crawlers
+(Scrapy + a headless browser for dynamic pages) route their HTTP requests
+through a pool of ~100 PlanetLab proxies (Chinese nodes for the Chinese
+stores, which rate-limit foreign clients), fetch per-app statistics pages
+and APKs daily, and store everything in a local database.
+
+We rebuild that pipeline against the simulated stores:
+
+- :mod:`repro.crawler.ratelimit` -- token-bucket rate limiting, used both
+  by the store front-end (to throttle abusive clients) and by the crawler
+  (to stay under the store's threshold).
+- :mod:`repro.crawler.proxies` -- the proxy pool with geographic tags,
+  failure injection, and blacklist survival.
+- :mod:`repro.crawler.webapi` -- the store's "web interface": paged app
+  listings, per-app statistic pages, comment pages, and APK fetches, with
+  geo-blocking and per-client throttling.
+- :mod:`repro.crawler.database` -- the snapshot database (daily per-app
+  records, comments, APK versions) with JSONL persistence.
+- :mod:`repro.crawler.crawler` -- the crawl engine: initial full snapshot
+  then daily incremental revisits.
+- :mod:`repro.crawler.scheduler` -- drives stores and crawlers through a
+  multi-day campaign, producing the dataset the analysis layer consumes.
+"""
+
+from repro.crawler.crawler import CrawlStats, StoreCrawler
+from repro.crawler.database import AppSnapshot, SnapshotDatabase
+from repro.crawler.proxies import Proxy, ProxyError, ProxyPool
+from repro.crawler.ratelimit import RateLimitExceeded, TokenBucket
+from repro.crawler.scheduler import CrawlCampaign, run_crawl_campaign
+from repro.crawler.webapi import GeoBlockedError, StoreWebApi
+
+__all__ = [
+    "AppSnapshot",
+    "CrawlCampaign",
+    "CrawlStats",
+    "GeoBlockedError",
+    "Proxy",
+    "ProxyError",
+    "ProxyPool",
+    "RateLimitExceeded",
+    "SnapshotDatabase",
+    "StoreCrawler",
+    "StoreWebApi",
+    "TokenBucket",
+    "run_crawl_campaign",
+]

@@ -1,0 +1,188 @@
+"""The crawl engine: full snapshot then daily incremental revisits.
+
+The paper's collection process has two phases per store: an initial crawl
+that indexes every listed app, followed by daily re-visits that refresh
+each known app's statistics, pick up newly listed apps, re-fetch comment
+pages, and archive any APK version not yet downloaded.  Requests go
+through a randomly chosen proxy (Chinese proxies only, for geo-fenced
+stores), retrying on transient proxy failures, and the crawler paces
+itself with a token bucket to respect the store's request threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.crawler.database import ApkRecord, AppSnapshot, SnapshotDatabase
+from repro.crawler.proxies import NoProxyAvailable, ProxyError, ProxyPool
+from repro.crawler.ratelimit import RateLimitExceeded, TokenBucket
+from repro.crawler.webapi import GeoBlockedError, StoreWebApi
+
+
+@dataclass
+class CrawlStats:
+    """Bookkeeping for one crawler over its lifetime."""
+
+    requests: int = 0
+    retries: int = 0
+    rate_limit_hits: int = 0
+    proxy_failures: int = 0
+    apps_crawled: int = 0
+    apks_fetched: int = 0
+    comments_fetched: int = 0
+
+
+class CrawlError(Exception):
+    """Raised when a request cannot be completed after all retries."""
+
+
+class StoreCrawler:
+    """Crawls one store's web API into a snapshot database.
+
+    Parameters
+    ----------
+    api:
+        The store's web interface.
+    database:
+        Where observations are stored.
+    proxy_pool:
+        Proxies to route requests through.
+    requests_per_second:
+        Self-imposed request pacing (kept below the store's threshold, as
+        the paper's crawlers were designed to comply with each store's
+        limits).
+    max_retries:
+        Attempts per request before giving up.
+    """
+
+    def __init__(
+        self,
+        api: StoreWebApi,
+        database: SnapshotDatabase,
+        proxy_pool: ProxyPool,
+        requests_per_second: float = 8.0,
+        max_retries: int = 5,
+    ) -> None:
+        if requests_per_second <= 0:
+            raise ValueError("requests_per_second must be positive")
+        if max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        self._api = api
+        self._database = database
+        self._proxies = proxy_pool
+        self._pacer = TokenBucket(
+            rate=requests_per_second, capacity=max(1.0, requests_per_second)
+        )
+        self.max_retries = max_retries
+        self.stats = CrawlStats()
+        self._clock = 0.0
+
+    @property
+    def clock(self) -> float:
+        """The crawler's simulated wall clock, in seconds."""
+        return self._clock
+
+    def _request(self, endpoint, *args):
+        """Issue one request through a random proxy with retries."""
+        country = self._api.requires_country
+        last_error: Optional[Exception] = None
+        for _ in range(self.max_retries):
+            # Self-pacing: wait (by advancing the simulated clock) until
+            # the crawler's own budget allows another request.
+            wait = self._pacer.time_until_available(self._clock)
+            self._clock += wait
+            self._pacer.try_consume(self._clock)
+
+            try:
+                proxy = self._proxies.pick(self._api.store_name, country)
+            except NoProxyAvailable as error:
+                raise CrawlError(str(error)) from error
+            try:
+                self._proxies.request_through(proxy)
+            except ProxyError as error:
+                self.stats.proxy_failures += 1
+                self.stats.retries += 1
+                last_error = error
+                continue
+            client = f"proxy-{proxy.proxy_id}"
+            try:
+                result = endpoint(*args, client, proxy.country, self._clock)
+            except RateLimitExceeded as error:
+                self.stats.rate_limit_hits += 1
+                self.stats.retries += 1
+                self._clock += error.retry_after
+                last_error = error
+                continue
+            except GeoBlockedError as error:
+                # The store blocked this proxy; drop it and retry elsewhere.
+                self._proxies.blacklist(proxy.proxy_id, self._api.store_name)
+                self.stats.retries += 1
+                last_error = error
+                continue
+            self.stats.requests += 1
+            return result
+        raise CrawlError(
+            f"request failed after {self.max_retries} attempts: {last_error}"
+        )
+
+    def _discover_app_ids(self) -> List[int]:
+        """Walk all listing pages and return every listed app id."""
+        n_pages = self._request(self._api.n_pages)
+        app_ids: List[int] = []
+        for page in range(n_pages):
+            app_ids.extend(self._request(self._api.list_page, page))
+        return app_ids
+
+    def crawl_day(self, day: int, fetch_comments: bool = True) -> int:
+        """Run one daily crawl; returns the number of apps snapshotted.
+
+        ``day`` is the store's simulation day being observed; the paper's
+        crawler tags each observation with its crawl date the same way.
+        """
+        app_ids = self._discover_app_ids()
+        known_apks = self._database.latest_apk_per_app(self._api.store_name)
+        for app_id in app_ids:
+            page = self._request(self._api.app_page, app_id)
+            self._database.add_snapshot(
+                AppSnapshot(
+                    store=self._api.store_name,
+                    day=day,
+                    app_id=page.app_id,
+                    name=page.name,
+                    category=page.category,
+                    developer_id=page.developer_id,
+                    price=page.price,
+                    declares_ads=page.declares_ads,
+                    total_downloads=page.statistics.total_downloads,
+                    rating_count=page.statistics.rating_count,
+                    average_rating=page.statistics.average_rating,
+                    comment_count=page.statistics.comment_count,
+                    version_name=page.statistics.version_name,
+                )
+            )
+            self.stats.apps_crawled += 1
+
+            # Fetch the APK only when we have not yet archived this version
+            # (the paper: "we download each app version only once").
+            known = known_apks.get(app_id)
+            if known is None or known.version_name != page.statistics.version_name:
+                apk = self._request(self._api.download_apk, app_id)
+                stored = self._database.add_apk(
+                    ApkRecord(
+                        store=self._api.store_name,
+                        app_id=apk.app_id,
+                        version_name=apk.version_name,
+                        package_name=apk.package_name,
+                        size_mb=apk.size_mb,
+                        embedded_libraries=apk.embedded_libraries,
+                    )
+                )
+                if stored:
+                    self.stats.apks_fetched += 1
+
+            if fetch_comments and page.statistics.comment_count > 0:
+                comments = self._request(self._api.app_comments, app_id)
+                self._database.add_comments(self._api.store_name, comments)
+                self.stats.comments_fetched += len(comments)
+        return len(app_ids)

@@ -1,0 +1,246 @@
+"""Snapshot database: what the crawler stores, and what analyses consume.
+
+The paper's crawlers write every observation to a local database: per-app
+daily statistics, all user comments, and every APK version.  This module
+is that database, kept in memory with optional JSONL persistence so a
+multi-day crawl can be saved and reloaded without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.marketplace.entities import Comment
+
+
+@dataclass(frozen=True)
+class AppSnapshot:
+    """One (app, day) observation from a crawl."""
+
+    store: str
+    day: int
+    app_id: int
+    name: str
+    category: str
+    developer_id: int
+    price: float
+    declares_ads: bool
+    total_downloads: int
+    rating_count: int
+    average_rating: float
+    comment_count: int
+    version_name: str
+
+
+@dataclass(frozen=True)
+class ApkRecord:
+    """One APK version archived by the crawler."""
+
+    store: str
+    app_id: int
+    version_name: str
+    package_name: str
+    size_mb: float
+    embedded_libraries: Tuple[str, ...]
+
+
+class SnapshotDatabase:
+    """In-memory crawl database with JSONL import/export.
+
+    Snapshots are indexed by (store, day, app_id); comments and APKs are
+    appended.  Query helpers return the shapes the analysis layer wants:
+    per-app download vectors on a day, per-app deltas between days, and
+    per-user comment streams.
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: Dict[Tuple[str, int, int], AppSnapshot] = {}
+        self._comments: Dict[str, List[Comment]] = {}
+        self._comment_keys: Dict[str, set] = {}
+        self._apks: Dict[Tuple[str, int, str], ApkRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def add_snapshot(self, snapshot: AppSnapshot) -> None:
+        """Insert or overwrite one (store, day, app) observation."""
+        key = (snapshot.store, snapshot.day, snapshot.app_id)
+        self._snapshots[key] = snapshot
+
+    def add_comments(self, store: str, comments: Iterable[Comment]) -> None:
+        """Append comments, de-duplicating observations across daily crawls.
+
+        The crawler re-fetches every comment page daily; only comments not
+        yet recorded are added (identity = user, app, day, rating).
+        """
+        existing = self._comments.setdefault(store, [])
+        seen = self._comment_keys.setdefault(store, set())
+        for comment in comments:
+            key = (comment.user_id, comment.app_id, comment.day, comment.rating)
+            if key not in seen:
+                existing.append(comment)
+                seen.add(key)
+
+    def add_apk(self, apk: ApkRecord) -> bool:
+        """Archive an APK version; returns False when already stored.
+
+        The paper downloads each app version exactly once.
+        """
+        key = (apk.store, apk.app_id, apk.version_name)
+        if key in self._apks:
+            return False
+        self._apks[key] = apk
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def stores(self) -> List[str]:
+        """Store names present in the database."""
+        return sorted({key[0] for key in self._snapshots})
+
+    def days(self, store: str) -> List[int]:
+        """Crawled days for a store, ascending."""
+        return sorted({key[1] for key in self._snapshots if key[0] == store})
+
+    def snapshots_on(self, store: str, day: int) -> List[AppSnapshot]:
+        """All app snapshots of a store on one day."""
+        return [
+            snapshot
+            for (s, d, _), snapshot in self._snapshots.items()
+            if s == store and d == day
+        ]
+
+    def snapshot(self, store: str, day: int, app_id: int) -> Optional[AppSnapshot]:
+        """One observation, or None when the app was not crawled that day."""
+        return self._snapshots.get((store, day, app_id))
+
+    def app_ids(self, store: str) -> List[int]:
+        """Every app ever observed in a store."""
+        return sorted({key[2] for key in self._snapshots if key[0] == store})
+
+    def download_vector(self, store: str, day: int) -> np.ndarray:
+        """Per-app total downloads on a day (order: ascending app id)."""
+        snapshots = self.snapshots_on(store, day)
+        if not snapshots:
+            raise KeyError(f"no snapshots for store {store!r} on day {day}")
+        snapshots.sort(key=lambda s: s.app_id)
+        return np.array([s.total_downloads for s in snapshots], dtype=np.int64)
+
+    def download_deltas(
+        self, store: str, first_day: int, last_day: int
+    ) -> Dict[int, int]:
+        """Per-app download growth between two crawled days.
+
+        Apps that appeared after ``first_day`` are counted from zero.
+        """
+        start = {s.app_id: s.total_downloads for s in self.snapshots_on(store, first_day)}
+        end = {s.app_id: s.total_downloads for s in self.snapshots_on(store, last_day)}
+        if not end:
+            raise KeyError(f"no snapshots for store {store!r} on day {last_day}")
+        return {
+            app_id: downloads - start.get(app_id, 0)
+            for app_id, downloads in end.items()
+        }
+
+    def update_counts(
+        self, store: str, first_day: int, last_day: int
+    ) -> Dict[int, int]:
+        """Per-app number of version changes observed between two days."""
+        first = {
+            s.app_id: s.version_name for s in self.snapshots_on(store, first_day)
+        }
+        versions_seen: Dict[int, set] = {}
+        for day in self.days(store):
+            if day < first_day or day > last_day:
+                continue
+            for snapshot in self.snapshots_on(store, day):
+                versions_seen.setdefault(snapshot.app_id, set()).add(
+                    snapshot.version_name
+                )
+        return {
+            app_id: max(0, len(versions) - 1)
+            for app_id, versions in versions_seen.items()
+        }
+
+    def comments(self, store: str) -> List[Comment]:
+        """All comments of a store in insertion order."""
+        return list(self._comments.get(store, []))
+
+    def comment_streams(self, store: str) -> Dict[int, List[Comment]]:
+        """Per-user comment streams in chronological order."""
+        streams: Dict[int, List[Comment]] = {}
+        for comment in self._comments.get(store, []):
+            streams.setdefault(comment.user_id, []).append(comment)
+        for stream in streams.values():
+            stream.sort(key=lambda c: c.day)
+        return streams
+
+    def apks(self, store: str) -> List[ApkRecord]:
+        """All archived APK versions for a store."""
+        return [apk for key, apk in self._apks.items() if key[0] == store]
+
+    def latest_apk_per_app(self, store: str) -> Dict[int, ApkRecord]:
+        """The most recently archived APK version of every app."""
+        latest: Dict[int, ApkRecord] = {}
+        for record in self.apks(store):
+            latest[record.app_id] = record
+        return latest
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the database to a JSONL file."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for snapshot in self._snapshots.values():
+                handle.write(
+                    json.dumps({"kind": "snapshot", **asdict(snapshot)}) + "\n"
+                )
+            for store, comments in self._comments.items():
+                for comment in comments:
+                    handle.write(
+                        json.dumps(
+                            {"kind": "comment", "store": store, **asdict(comment)}
+                        )
+                        + "\n"
+                    )
+            for apk in self._apks.values():
+                record = asdict(apk)
+                record["embedded_libraries"] = list(apk.embedded_libraries)
+                handle.write(json.dumps({"kind": "apk", **record}) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "SnapshotDatabase":
+        """Read a database previously written by :meth:`save`."""
+        path = Path(path)
+        database = cls()
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                kind = record.pop("kind")
+                if kind == "snapshot":
+                    database.add_snapshot(AppSnapshot(**record))
+                elif kind == "comment":
+                    store = record.pop("store")
+                    database.add_comments(store, [Comment(**record)])
+                elif kind == "apk":
+                    record["embedded_libraries"] = tuple(
+                        record["embedded_libraries"]
+                    )
+                    database.add_apk(ApkRecord(**record))
+                else:
+                    raise ValueError(f"unknown record kind {kind!r}")
+        return database

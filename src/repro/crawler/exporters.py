@@ -1,0 +1,117 @@
+"""Export crawled data as CSV for downstream analytics tools.
+
+The snapshot database's native format is JSONL (lossless round trip);
+these exporters flatten the three record kinds into CSVs that load
+directly into pandas/R/spreadsheets, which is how a measurement group
+would actually hand the dataset to collaborators.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional
+
+from repro.crawler.database import SnapshotDatabase
+
+
+def export_snapshots_csv(
+    database: SnapshotDatabase, path, store: Optional[str] = None
+) -> int:
+    """Write all (store, day, app) snapshots to CSV; returns row count."""
+    path = Path(path)
+    stores = [store] if store is not None else database.stores()
+    rows = 0
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "store",
+                "day",
+                "app_id",
+                "name",
+                "category",
+                "developer_id",
+                "price",
+                "declares_ads",
+                "total_downloads",
+                "rating_count",
+                "average_rating",
+                "comment_count",
+                "version_name",
+            ]
+        )
+        for store_name in stores:
+            for day in database.days(store_name):
+                for snapshot in database.snapshots_on(store_name, day):
+                    writer.writerow(
+                        [
+                            snapshot.store,
+                            snapshot.day,
+                            snapshot.app_id,
+                            snapshot.name,
+                            snapshot.category,
+                            snapshot.developer_id,
+                            snapshot.price,
+                            int(snapshot.declares_ads),
+                            snapshot.total_downloads,
+                            snapshot.rating_count,
+                            f"{snapshot.average_rating:.4f}",
+                            snapshot.comment_count,
+                            snapshot.version_name,
+                        ]
+                    )
+                    rows += 1
+    return rows
+
+
+def export_comments_csv(
+    database: SnapshotDatabase, path, store: Optional[str] = None
+) -> int:
+    """Write all comments to CSV; returns row count."""
+    path = Path(path)
+    stores = [store] if store is not None else database.stores()
+    rows = 0
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["store", "user_id", "app_id", "day", "rating"])
+        for store_name in stores:
+            for comment in database.comments(store_name):
+                writer.writerow(
+                    [store_name, comment.user_id, comment.app_id, comment.day,
+                     comment.rating]
+                )
+                rows += 1
+    return rows
+
+
+def export_apks_csv(
+    database: SnapshotDatabase, path, store: Optional[str] = None
+) -> int:
+    """Write the APK archive index to CSV; returns row count.
+
+    Embedded libraries are joined with ``;`` in a single column.
+    """
+    path = Path(path)
+    stores = [store] if store is not None else database.stores()
+    rows = 0
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["store", "app_id", "version_name", "package_name", "size_mb",
+             "embedded_libraries"]
+        )
+        for store_name in stores:
+            for apk in database.apks(store_name):
+                writer.writerow(
+                    [
+                        apk.store,
+                        apk.app_id,
+                        apk.version_name,
+                        apk.package_name,
+                        f"{apk.size_mb:.2f}",
+                        ";".join(apk.embedded_libraries),
+                    ]
+                )
+                rows += 1
+    return rows

@@ -1,0 +1,136 @@
+"""Crawl-quality assessment: how complete and consistent a crawl is.
+
+A measurement study stands on its collection quality; the paper's
+Section 2 spends most of its length on exactly this (rate limits,
+blacklisting, proxy placement, per-store crawlers).  This module audits
+a finished crawl the way a reviewer would:
+
+- **coverage**: which fraction of each day's listed apps was actually
+  snapshotted, and whether any days are missing from the cadence;
+- **consistency**: cumulative counters (downloads, comments, ratings)
+  must never decrease between observations of the same app;
+- **staleness**: apps that stopped being observed before the crawl's
+  final day (delisted, or lost to crawl failures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.crawler.database import SnapshotDatabase
+
+
+@dataclass(frozen=True)
+class CrawlQualityReport:
+    """The audit result for one store's crawl."""
+
+    store: str
+    n_days: int
+    expected_cadence: int
+    missing_days: Tuple[int, ...]
+    apps_observed: int
+    mean_daily_coverage: float
+    monotonicity_violations: Tuple[Tuple[int, int, str], ...]
+    stale_apps: Tuple[int, ...]
+
+    @property
+    def is_clean(self) -> bool:
+        """No missing days, no counter regressions."""
+        return not self.missing_days and not self.monotonicity_violations
+
+    def describe(self) -> str:
+        """A one-paragraph audit summary."""
+        issues = []
+        if self.missing_days:
+            issues.append(f"{len(self.missing_days)} missing days")
+        if self.monotonicity_violations:
+            issues.append(
+                f"{len(self.monotonicity_violations)} counter regressions"
+            )
+        if self.stale_apps:
+            issues.append(f"{len(self.stale_apps)} apps went stale")
+        verdict = "; ".join(issues) if issues else "clean"
+        return (
+            f"[{self.store}] {self.n_days} crawled days, "
+            f"{self.apps_observed} apps, mean daily coverage "
+            f"{self.mean_daily_coverage * 100:.1f}% -- {verdict}"
+        )
+
+
+def _infer_cadence(days: List[int]) -> int:
+    """The most common gap between consecutive crawled days."""
+    if len(days) < 2:
+        return 1
+    gaps: Dict[int, int] = {}
+    for previous, current in zip(days, days[1:]):
+        gap = current - previous
+        gaps[gap] = gaps.get(gap, 0) + 1
+    return max(gaps, key=lambda gap: (gaps[gap], -gap))
+
+
+def assess_crawl_quality(
+    database: SnapshotDatabase, store: str
+) -> CrawlQualityReport:
+    """Audit one store's crawl for completeness and consistency."""
+    days = database.days(store)
+    if not days:
+        raise ValueError(f"store {store!r} has no crawled days")
+
+    cadence = _infer_cadence(days)
+    missing: List[int] = []
+    for previous, current in zip(days, days[1:]):
+        gap = current - previous
+        if gap > cadence:
+            missing.extend(range(previous + cadence, current, cadence))
+
+    # Per-day coverage: apps snapshotted today / apps ever seen up to today
+    # that are still listed (approximated by "seen today or later").
+    all_apps = database.app_ids(store)
+    last_seen: Dict[int, int] = {}
+    first_seen: Dict[int, int] = {}
+    for day in days:
+        for snapshot in database.snapshots_on(store, day):
+            first_seen.setdefault(snapshot.app_id, day)
+            last_seen[snapshot.app_id] = day
+
+    coverages: List[float] = []
+    for day in days:
+        active = [
+            app_id
+            for app_id in all_apps
+            if first_seen[app_id] <= day <= last_seen[app_id]
+        ]
+        if not active:
+            continue
+        observed = len(database.snapshots_on(store, day))
+        coverages.append(min(1.0, observed / len(active)))
+    mean_coverage = sum(coverages) / len(coverages) if coverages else 0.0
+
+    # Monotonicity: cumulative counters never decrease.
+    violations: List[Tuple[int, int, str]] = []
+    previous_counters: Dict[int, Tuple[int, int]] = {}
+    for day in days:
+        for snapshot in database.snapshots_on(store, day):
+            counters = (snapshot.total_downloads, snapshot.comment_count)
+            before = previous_counters.get(snapshot.app_id)
+            if before is not None:
+                if counters[0] < before[0]:
+                    violations.append((day, snapshot.app_id, "downloads"))
+                if counters[1] < before[1]:
+                    violations.append((day, snapshot.app_id, "comments"))
+            previous_counters[snapshot.app_id] = counters
+
+    stale = tuple(
+        app_id for app_id in all_apps if last_seen[app_id] < days[-1]
+    )
+    return CrawlQualityReport(
+        store=store,
+        n_days=len(days),
+        expected_cadence=cadence,
+        missing_days=tuple(missing),
+        apps_observed=len(all_apps),
+        mean_daily_coverage=mean_coverage,
+        monotonicity_violations=tuple(violations),
+        stale_apps=stale,
+    )

@@ -1,0 +1,87 @@
+"""Token-bucket rate limiting.
+
+The stores the paper crawled enforce per-client request thresholds (the
+Chinese stores also rate-limit foreign clients aggressively).  Both sides
+of our simulation use the same primitive: the store's web API throttles
+each client address, and the crawler self-throttles to stay compliant.
+
+The bucket runs on a simulated clock (a float timestamp the caller
+advances), so crawls of months of store time execute in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class RateLimitExceeded(Exception):
+    """Raised by the web API when a client exceeds its request budget."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(f"rate limit exceeded; retry after {retry_after:.3f}s")
+        self.retry_after = retry_after
+
+
+@dataclass
+class TokenBucket:
+    """A classic token bucket on an external clock.
+
+    Parameters
+    ----------
+    rate:
+        Tokens replenished per unit of simulated time.
+    capacity:
+        Maximum tokens the bucket can hold (burst size).
+    """
+
+    rate: float
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._tokens = self.capacity
+        self._last_refill = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now < self._last_refill:
+            raise ValueError(
+                f"clock moved backwards: {now} < {self._last_refill}"
+            )
+        elapsed = now - self._last_refill
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+        self._last_refill = now
+
+    def try_consume(self, now: float, tokens: float = 1.0) -> bool:
+        """Consume ``tokens`` at time ``now``; False if unavailable."""
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        self._refill(now)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def consume_or_raise(self, now: float, tokens: float = 1.0) -> None:
+        """Consume or raise :class:`RateLimitExceeded` with a retry hint."""
+        if not self.try_consume(now, tokens):
+            deficit = tokens - self._tokens
+            raise RateLimitExceeded(retry_after=deficit / self.rate)
+
+    def time_until_available(self, now: float, tokens: float = 1.0) -> float:
+        """Simulated seconds until ``tokens`` will be available."""
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        if tokens > self.capacity:
+            raise ValueError("requested tokens exceed bucket capacity")
+        self._refill(now)
+        if self._tokens >= tokens:
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+    @property
+    def available_tokens(self) -> float:
+        """Tokens currently in the bucket (as of the last refill)."""
+        return self._tokens

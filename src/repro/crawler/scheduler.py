@@ -1,0 +1,152 @@
+"""Crawl campaigns: store simulation interleaved with daily crawls.
+
+A campaign binds a simulated store and a crawler together and plays out
+the paper's measurement timeline: a warmup phase where the store runs
+without observation (accumulating the pre-crawl download history), then a
+crawl phase where each simulated day ends with a crawler visit.  The
+result is the :class:`repro.crawler.database.SnapshotDatabase` the whole
+analysis layer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.crawler.crawler import StoreCrawler
+from repro.crawler.database import SnapshotDatabase
+from repro.crawler.proxies import ProxyPool
+from repro.crawler.webapi import StoreWebApi
+from repro.marketplace.generator import GeneratedStore, build_store
+from repro.marketplace.profiles import StoreProfile
+from repro.stats.rng import SeedLike, derive_seed, make_rng
+
+# Chinese stores geo-fence their web APIs; the crawler must route their
+# requests through proxies located in China (paper, Section 2.2).
+_GEO_FENCED_STORES = ("anzhi", "appchina")
+
+
+@dataclass
+class CrawlCampaign:
+    """The artifacts of one completed measurement campaign."""
+
+    generated: GeneratedStore
+    database: SnapshotDatabase
+    crawler: StoreCrawler
+    first_crawl_day: int
+    last_crawl_day: int
+
+    @property
+    def store_name(self) -> str:
+        """Name of the crawled store."""
+        return self.generated.store.name
+
+    @property
+    def crawled_days(self) -> List[int]:
+        """The days on which snapshots were taken."""
+        return self.database.days(self.store_name)
+
+
+def run_crawl_campaign(
+    profile: StoreProfile,
+    seed: SeedLike = None,
+    database: Optional[SnapshotDatabase] = None,
+    proxy_pool: Optional[ProxyPool] = None,
+    fetch_comments: bool = True,
+    crawl_every: int = 1,
+    keep_download_log: bool = False,
+) -> CrawlCampaign:
+    """Generate a store, warm it up, and crawl it daily.
+
+    Parameters
+    ----------
+    profile:
+        The store's scale/behaviour profile.
+    seed:
+        Master seed; the store and the crawler get derived substreams.
+    database:
+        An existing database to crawl into (so several stores can share
+        one, as the paper's collection host did).
+    proxy_pool:
+        Shared proxy fleet; a PlanetLab-like pool is created if omitted.
+    fetch_comments:
+        Whether the crawler collects comment pages (needed for the
+        affinity study; Anzhi is the store the paper uses for it).
+    crawl_every:
+        Crawl every N-th day (1 = daily, like the paper).
+    keep_download_log:
+        Whether the store keeps its raw event log (needed only by tests
+        and the cache experiments).
+    """
+    if crawl_every < 1:
+        raise ValueError("crawl_every must be >= 1")
+    base_seed = int(make_rng(seed).integers(0, 2**62))
+    generated = build_store(
+        profile,
+        seed=derive_seed(base_seed, "store"),
+        keep_download_log=keep_download_log,
+    )
+    store = generated.store
+    database = database if database is not None else SnapshotDatabase()
+    if proxy_pool is None:
+        proxy_pool = ProxyPool.planetlab_like(
+            n_proxies=100, seed=derive_seed(base_seed, "proxies")
+        )
+
+    allowed = ("cn",) if profile.name in _GEO_FENCED_STORES else None
+    api = StoreWebApi(store, allowed_countries=allowed)
+    crawler = StoreCrawler(api, database, proxy_pool)
+
+    # Warmup: the store lives unobserved, accumulating download history.
+    store.advance_days(profile.warmup_days)
+
+    # Crawl phase: each simulated day ends with a crawler visit that
+    # observes the day's closing statistics.
+    first_crawl_day = store.day
+    last_crawl_day = first_crawl_day
+    for offset in range(profile.crawl_days):
+        store.advance_day()
+        observed_day = store.day - 1
+        if offset % crawl_every == 0 or offset == profile.crawl_days - 1:
+            crawler.crawl_day(observed_day, fetch_comments=fetch_comments)
+            last_crawl_day = observed_day
+    return CrawlCampaign(
+        generated=generated,
+        database=database,
+        crawler=crawler,
+        first_crawl_day=first_crawl_day,
+        last_crawl_day=last_crawl_day,
+    )
+
+
+def run_multi_store_campaign(
+    profiles: Dict[str, StoreProfile],
+    seed: SeedLike = None,
+    fetch_comments_for: Optional[List[str]] = None,
+    crawl_every: int = 1,
+) -> Dict[str, CrawlCampaign]:
+    """Crawl several stores into one shared database (the paper's setup).
+
+    ``fetch_comments_for`` limits comment collection to specific stores
+    (the paper's affinity study only needed Anzhi's comments, which carry
+    precise timestamps).
+    """
+    database = SnapshotDatabase()
+    base_seed = int(make_rng(seed).integers(0, 2**62))
+    proxy_pool = ProxyPool.planetlab_like(
+        n_proxies=100, seed=derive_seed(base_seed, "proxies")
+    )
+    campaigns: Dict[str, CrawlCampaign] = {}
+    for name, profile in profiles.items():
+        fetch_comments = (
+            fetch_comments_for is None or name in fetch_comments_for
+        )
+        campaigns[name] = run_crawl_campaign(
+            profile,
+            seed=derive_seed(base_seed, "campaign", name),
+            database=database,
+            proxy_pool=proxy_pool,
+            fetch_comments=fetch_comments,
+            crawl_every=crawl_every,
+        )
+    return campaigns

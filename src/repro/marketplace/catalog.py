@@ -1,0 +1,186 @@
+"""Category taxonomies.
+
+Apps in each store are grouped into thematic categories -- the paper's
+"clusters" (Section 4: Anzhi has 34 categories; the cache experiment of
+Section 7 uses 30).  The taxonomy also records the relative size of each
+category (fraction of the store's apps), because the random-walk affinity
+baseline (Equations 2 and 4) depends on the empirical category sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.stats.rng import SeedLike, make_rng
+from repro.stats.zipf import zipf_weights
+
+# Category names modelled on the SlideMe taxonomy the paper lists in
+# Figures 15 and 18, extended with generic names to reach larger taxonomies.
+_BASE_CATEGORY_NAMES: Tuple[str, ...] = (
+    "fun/games",
+    "utilities",
+    "e-books",
+    "music",
+    "productivity",
+    "entertainment",
+    "communications",
+    "social",
+    "educational",
+    "travel",
+    "lifestyle",
+    "wallpapers",
+    "health/fitness",
+    "religion",
+    "collaboration",
+    "location/maps",
+    "home/hobby",
+    "enterprise",
+    "developer",
+    "other",
+    "news",
+    "finance",
+    "photography",
+    "shopping",
+    "sports",
+    "weather",
+    "medical",
+    "comics",
+    "personalization",
+    "transportation",
+    "libraries",
+    "business",
+    "media/video",
+    "casual",
+)
+
+
+@dataclass(frozen=True)
+class CategoryTaxonomy:
+    """An ordered set of categories with their app-count shares.
+
+    ``shares`` sums to one; ``shares[i]`` is the fraction of the store's
+    apps listed in ``names[i]``.
+    """
+
+    names: Tuple[str, ...]
+    shares: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.names) != len(self.shares):
+            raise ValueError("names and shares must have equal length")
+        if len(self.names) == 0:
+            raise ValueError("taxonomy must contain at least one category")
+        if len(set(self.names)) != len(self.names):
+            raise ValueError("category names must be unique")
+        if any(share <= 0 for share in self.shares):
+            raise ValueError("all category shares must be positive")
+        total = sum(self.shares)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"shares must sum to 1, got {total}")
+
+    @property
+    def n_categories(self) -> int:
+        """Number of categories."""
+        return len(self.names)
+
+    def index_of(self, name: str) -> int:
+        """Index of a category name; raises ``KeyError`` if absent."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown category: {name!r}") from None
+
+    def app_counts(self, total_apps: int) -> np.ndarray:
+        """Integer app counts per category summing exactly to ``total_apps``.
+
+        Uses largest-remainder apportionment so rounding never loses apps,
+        and every category keeps at least one app when possible.
+        """
+        if total_apps < self.n_categories:
+            raise ValueError(
+                f"need at least {self.n_categories} apps to populate "
+                f"{self.n_categories} categories, got {total_apps}"
+            )
+        raw = np.asarray(self.shares) * total_apps
+        counts = np.floor(raw).astype(np.int64)
+        counts = np.maximum(counts, 1)
+        deficit = total_apps - int(counts.sum())
+        if deficit > 0:
+            remainders = raw - np.floor(raw)
+            for index in np.argsort(remainders)[::-1][:deficit]:
+                counts[index] += 1
+        elif deficit < 0:
+            # Took too many due to the minimum of one; shave the largest.
+            for index in np.argsort(counts)[::-1]:
+                if deficit == 0:
+                    break
+                if counts[index] > 1:
+                    counts[index] -= 1
+                    deficit += 1
+        if int(counts.sum()) != total_apps:
+            raise RuntimeError("apportionment failed to conserve app count")
+        return counts
+
+    def random_walk_affinity(self, total_apps: int, depth: int = 1) -> float:
+        """Random-walk affinity baseline over this taxonomy (Eqs. 2 and 4).
+
+        Delegates to :func:`repro.core.affinity.random_walk_affinity` on the
+        apportioned category sizes.  Defined here for convenience because
+        the taxonomy owns the category-size distribution.
+        """
+        from repro.core.affinity import random_walk_affinity
+
+        return random_walk_affinity(self.app_counts(total_apps), depth=depth)
+
+
+def default_taxonomy(
+    n_categories: int = 34,
+    concentration: float = 0.6,
+    seed: SeedLike = None,
+) -> CategoryTaxonomy:
+    """Build a taxonomy with mildly skewed category sizes.
+
+    Category sizes follow a weak Zipf law (exponent ``concentration``) so
+    that, as in Figure 5(d) of the paper, no category dominates: with the
+    default parameters the largest category holds roughly 10-13% of apps.
+    A small random jitter breaks exact ties between adjacent categories.
+    """
+    if n_categories < 1:
+        raise ValueError("n_categories must be positive")
+    if n_categories > len(_BASE_CATEGORY_NAMES):
+        names = list(_BASE_CATEGORY_NAMES)
+        names.extend(
+            f"category-{index}"
+            for index in range(len(_BASE_CATEGORY_NAMES), n_categories)
+        )
+    else:
+        names = list(_BASE_CATEGORY_NAMES[:n_categories])
+
+    rng = make_rng(seed)
+    weights = zipf_weights(n_categories, concentration)
+    jitter = rng.uniform(0.9, 1.1, size=n_categories)
+    weights = weights * jitter
+    shares = weights / weights.sum()
+    return CategoryTaxonomy(names=tuple(names), shares=tuple(float(s) for s in shares))
+
+
+def uniform_taxonomy(n_categories: int) -> CategoryTaxonomy:
+    """A taxonomy where every category has the same share.
+
+    Matches the equal-cluster-size simplification the paper makes in the
+    analytical model of Section 5.1.
+    """
+    if n_categories < 1:
+        raise ValueError("n_categories must be positive")
+    if n_categories > len(_BASE_CATEGORY_NAMES):
+        names = list(_BASE_CATEGORY_NAMES) + [
+            f"category-{index}"
+            for index in range(len(_BASE_CATEGORY_NAMES), n_categories)
+        ]
+    else:
+        names = list(_BASE_CATEGORY_NAMES[:n_categories])
+    share = 1.0 / n_categories
+    return CategoryTaxonomy(names=tuple(names), shares=tuple([share] * n_categories))

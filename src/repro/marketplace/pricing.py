@@ -1,0 +1,91 @@
+"""Price assignment for paid apps.
+
+Section 6.1 of the paper observes (Figure 12) that both the number of apps
+and the average downloads per app decrease with price: developers cluster
+at low price points, and expensive apps are less popular.  This module
+draws per-app prices from a truncated log-normal-like distribution over
+common price points, and supplies the price-sensitivity factor the
+behaviour engine uses so that downloads end up negatively correlated with
+price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.rng import SeedLike, make_rng
+
+# Common app price points, in dollars.  App prices in real stores snap to
+# psychological points ($0.99, $1.99, ...) rather than arbitrary values.
+_PRICE_POINTS = np.array(
+    [0.99, 1.49, 1.99, 2.49, 2.99, 3.99, 4.99, 5.99, 6.99, 7.99,
+     8.99, 9.99, 12.99, 14.99, 19.99, 24.99, 29.99, 39.99, 49.99],
+    dtype=np.float64,
+)
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Distribution over price points plus a demand-elasticity factor.
+
+    Parameters
+    ----------
+    median_price:
+        Roughly where the mass of app prices sits.  The paper reports an
+        average paid-app revenue per download of $3.9 on SlideMe.
+    dispersion:
+        Log-scale spread: larger values yield more expensive outliers.
+    elasticity:
+        Demand sensitivity to price.  The appeal of an app with price ``P``
+        is multiplied by ``(1 + P)**-elasticity``, producing the negative
+        downloads-price correlation of Figure 12.
+    """
+
+    median_price: float = 2.99
+    dispersion: float = 0.75
+    elasticity: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.median_price <= 0:
+            raise ValueError("median_price must be positive")
+        if self.dispersion <= 0:
+            raise ValueError("dispersion must be positive")
+        if self.elasticity < 0:
+            raise ValueError("elasticity must be non-negative")
+
+    def sample_prices(self, count: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw ``count`` prices snapped to common price points."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng = make_rng(seed)
+        raw = rng.lognormal(
+            mean=np.log(self.median_price), sigma=self.dispersion, size=count
+        )
+        # Snap each raw draw to the nearest price point.
+        indices = np.searchsorted(_PRICE_POINTS, raw)
+        indices = np.clip(indices, 0, _PRICE_POINTS.size - 1)
+        lower = np.clip(indices - 1, 0, _PRICE_POINTS.size - 1)
+        pick_lower = np.abs(_PRICE_POINTS[lower] - raw) < np.abs(
+            _PRICE_POINTS[indices] - raw
+        )
+        snapped = np.where(pick_lower, _PRICE_POINTS[lower], _PRICE_POINTS[indices])
+        return snapped
+
+    def demand_factor(self, price) -> np.ndarray:
+        """Multiplier applied to an app's appeal due to its price.
+
+        Free apps (price 0) get factor 1; a $49.99 app with the default
+        elasticity gets ~0.14, so high prices strongly suppress casual
+        downloads.
+        """
+        price = np.asarray(price, dtype=np.float64)
+        if np.any(price < 0):
+            raise ValueError("prices must be non-negative")
+        return (1.0 + price) ** -self.elasticity
+
+
+def price_points() -> np.ndarray:
+    """The catalog of price points used by :class:`PricingModel` (a copy)."""
+    return _PRICE_POINTS.copy()

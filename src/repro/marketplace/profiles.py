@@ -1,0 +1,273 @@
+"""Per-store scale profiles calibrated to Table 1 of the paper.
+
+Table 1 summarizes the crawled dataset: per store, the crawling period, the
+total apps at the first and last day, the average number of new apps per
+day, the total downloads at the first and last day, and the average daily
+downloads.  A :class:`StoreProfile` captures those scale parameters plus
+the behavioural parameters (Zipf exponents, clustering probability) that
+the paper later fits per store (Figure 8).
+
+Simulating the real scale (tens of thousands of apps, tens of millions of
+downloads per day) is neither necessary nor useful on a laptop; the
+distributional shapes the paper studies are scale-free.  Use
+:func:`scaled_profile` to shrink a paper profile while preserving its
+structure, which is what the benchmarks do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.marketplace.behavior import BehaviorParams
+
+
+@dataclass(frozen=True)
+class StoreProfile:
+    """Scale and behaviour parameters of one simulated appstore.
+
+    Parameters
+    ----------
+    name:
+        Store name ("anzhi", "appchina", "1mobile", "slideme").
+    initial_apps:
+        Apps listed when crawling starts (after the warmup period).
+    new_apps_per_day:
+        Average apps added per day during the crawl (Poisson rate).
+    crawl_days:
+        Length of the crawl, in days.
+    warmup_days:
+        Days of store activity simulated before the crawl begins, so that
+        the first crawled snapshot already carries download history (the
+        paper's first-day totals are far above zero).
+    daily_downloads:
+        Average downloads per day during the crawl (Poisson rate).
+    warmup_daily_downloads:
+        Average downloads per day during warmup.
+    n_users:
+        Size of the user population.  The paper's Figure 10 finds the
+        best model fit when the user count is close to the downloads of
+        the most popular app, so profiles keep ``n_users`` within a small
+        factor of expected top-app downloads.
+    n_categories:
+        Number of app categories (Anzhi has 34).
+    paid_fraction:
+        Fraction of apps that are paid (0 everywhere except SlideMe,
+        where the paper reports 25.3%).
+    behavior:
+        The clustering-behaviour knobs (``p``, ``zr``, ``zc``).
+    comment_probability:
+        Chance a download produces a rated public comment.
+    spam_users:
+        Number of spam accounts that post large volumes of comments
+        (the paper found and excluded such users in the Anzhi data).
+    update_rate_active:
+        Daily update probability for the minority of actively maintained
+        apps.
+    active_app_fraction:
+        Fraction of apps that receive updates at all (the paper: >80% of
+        apps saw zero updates in two months).
+    """
+
+    name: str
+    initial_apps: int
+    new_apps_per_day: float
+    crawl_days: int
+    warmup_days: int
+    daily_downloads: float
+    warmup_daily_downloads: float
+    n_users: int
+    n_categories: int = 34
+    paid_fraction: float = 0.0
+    behavior: BehaviorParams = BehaviorParams()
+    comment_probability: float = 0.08
+    spam_users: int = 0
+    update_rate_active: float = 0.02
+    active_app_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.initial_apps < 1:
+            raise ValueError("initial_apps must be positive")
+        if self.crawl_days < 1:
+            raise ValueError("crawl_days must be positive")
+        if self.warmup_days < 0:
+            raise ValueError("warmup_days must be non-negative")
+        if self.new_apps_per_day < 0:
+            raise ValueError("new_apps_per_day must be non-negative")
+        if self.daily_downloads < 0 or self.warmup_daily_downloads < 0:
+            raise ValueError("download rates must be non-negative")
+        if self.n_users < 1:
+            raise ValueError("n_users must be positive")
+        if not 0.0 <= self.paid_fraction <= 1.0:
+            raise ValueError("paid_fraction must be in [0, 1]")
+        if not 0.0 <= self.comment_probability <= 1.0:
+            raise ValueError("comment_probability must be in [0, 1]")
+        if not 0.0 <= self.active_app_fraction <= 1.0:
+            raise ValueError("active_app_fraction must be in [0, 1]")
+        if not 0.0 <= self.update_rate_active <= 1.0:
+            raise ValueError("update_rate_active must be in [0, 1]")
+
+    @property
+    def total_days(self) -> int:
+        """Warmup plus crawl duration."""
+        return self.warmup_days + self.crawl_days
+
+    @property
+    def expected_final_apps(self) -> int:
+        """Expected app count at the end of the crawl."""
+        return self.initial_apps + int(self.new_apps_per_day * self.crawl_days)
+
+
+# The paper's Table 1, expressed as full-scale profiles.  The behaviour
+# parameters per store come from the best fits reported in Figure 8
+# (e.g. AppChina: zr=1.7, p=0.9, zc=1.4; 1Mobile: zr=1.7, p=0.95, zc=1.5).
+_PAPER_PROFILES: Dict[str, StoreProfile] = {
+    "anzhi": StoreProfile(
+        name="anzhi",
+        initial_apps=58_423,
+        new_apps_per_day=29.6,
+        crawl_days=60,
+        warmup_days=120,
+        daily_downloads=23_700_000,
+        warmup_daily_downloads=11_600_000,
+        n_users=7_000_000,
+        n_categories=34,
+        behavior=BehaviorParams(
+            cluster_probability=0.90,
+            global_exponent=1.4,
+            cluster_exponent=1.4,
+        ),
+        comment_probability=0.05,
+        spam_users=25,
+    ),
+    "appchina": StoreProfile(
+        name="appchina",
+        initial_apps=33_183,
+        new_apps_per_day=336.0,
+        crawl_days=65,
+        warmup_days=90,
+        daily_downloads=24_100_000,
+        warmup_daily_downloads=11_400_000,
+        n_users=8_000_000,
+        n_categories=30,
+        behavior=BehaviorParams(
+            cluster_probability=0.90,
+            global_exponent=1.7,
+            cluster_exponent=1.4,
+        ),
+        comment_probability=0.04,
+    ),
+    "1mobile": StoreProfile(
+        name="1mobile",
+        initial_apps=128_455,
+        new_apps_per_day=210.4,
+        crawl_days=133,
+        warmup_days=180,
+        daily_downloads=651_500,
+        warmup_daily_downloads=2_000_000,
+        n_users=2_500_000,
+        n_categories=32,
+        behavior=BehaviorParams(
+            cluster_probability=0.95,
+            global_exponent=1.7,
+            cluster_exponent=1.5,
+        ),
+        comment_probability=0.03,
+    ),
+    "slideme": StoreProfile(
+        name="slideme",
+        initial_apps=16_902,  # 12,296 free + 4,606 paid
+        new_apps_per_day=34.5,  # 28.0 free + 6.5 paid
+        crawl_days=153,
+        warmup_days=180,
+        daily_downloads=220_900,  # 215.7K free + 5.2K paid
+        warmup_daily_downloads=350_000,
+        n_users=900_000,
+        n_categories=20,
+        paid_fraction=0.253,
+        behavior=BehaviorParams(
+            cluster_probability=0.90,
+            global_exponent=0.95,
+            cluster_exponent=1.2,
+        ),
+        comment_probability=0.05,
+    ),
+}
+
+
+def paper_profiles() -> Dict[str, StoreProfile]:
+    """The four full-scale profiles of Table 1 (a fresh copy)."""
+    return dict(_PAPER_PROFILES)
+
+
+def paper_profile(name: str) -> StoreProfile:
+    """One full-scale profile by store name."""
+    try:
+        return _PAPER_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(_PAPER_PROFILES))
+        raise KeyError(f"unknown store {name!r}; known stores: {known}") from None
+
+
+def scaled_profile(
+    profile: StoreProfile,
+    app_scale: float = 0.05,
+    download_scale: float = 0.0005,
+    user_scale: float = 0.002,
+    day_scale: float = 1.0,
+) -> StoreProfile:
+    """Shrink a profile to laptop size while preserving its structure.
+
+    Apps, downloads, users, and days scale independently because they have
+    very different computational costs: every download is a simulated
+    event, while apps only cost memory.  The default scales turn Anzhi
+    (58k apps, 24M downloads/day) into roughly 2.9k apps and 12k
+    downloads/day -- enough for every distributional shape in the paper to
+    be measurable in seconds.
+    """
+    for name, value in (
+        ("app_scale", app_scale),
+        ("download_scale", download_scale),
+        ("user_scale", user_scale),
+        ("day_scale", day_scale),
+    ):
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+    return replace(
+        profile,
+        initial_apps=max(profile.n_categories, int(profile.initial_apps * app_scale)),
+        new_apps_per_day=profile.new_apps_per_day * app_scale,
+        crawl_days=max(2, int(profile.crawl_days * day_scale)),
+        warmup_days=max(1, int(profile.warmup_days * day_scale)),
+        daily_downloads=max(1.0, profile.daily_downloads * download_scale),
+        warmup_daily_downloads=max(
+            1.0, profile.warmup_daily_downloads * download_scale
+        ),
+        n_users=max(10, int(profile.n_users * user_scale)),
+        spam_users=min(profile.spam_users, max(0, int(profile.n_users * user_scale) // 40)),
+    )
+
+
+def demo_profile(name: str = "demo", **overrides) -> StoreProfile:
+    """A tiny profile for tests and the quickstart example."""
+    defaults = dict(
+        name=name,
+        initial_apps=300,
+        new_apps_per_day=2.0,
+        crawl_days=10,
+        warmup_days=5,
+        daily_downloads=800.0,
+        warmup_daily_downloads=800.0,
+        n_users=400,
+        n_categories=10,
+        paid_fraction=0.0,
+        behavior=BehaviorParams(
+            cluster_probability=0.9,
+            global_exponent=1.3,
+            cluster_exponent=1.3,
+        ),
+        comment_probability=0.15,
+        spam_users=2,
+    )
+    defaults.update(overrides)
+    return StoreProfile(**defaults)

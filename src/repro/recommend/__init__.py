@@ -1,0 +1,28 @@
+"""Recommendation substrate (Section 7's "better recommendation systems").
+
+The paper argues the clustering effect should inform appstore
+recommendation: a collaborative-filtering recommender only suggests apps
+downloaded by similar users, whereas a clustering-aware recommender can
+also surface popular apps from the categories a user recently engaged
+with, giving a richer candidate set and respecting temporal affinity.
+
+- :mod:`repro.recommend.collaborative` -- classic user-user collaborative
+  filtering over the download matrix.
+- :mod:`repro.recommend.clustering_aware` -- the paper's proposal:
+  recency-weighted category affinity plus per-category popularity.
+- :mod:`repro.recommend.evaluation` -- leave-last-out offline evaluation
+  comparing recommenders on hit rate.
+"""
+
+from repro.recommend.clustering_aware import ClusteringAwareRecommender
+from repro.recommend.collaborative import CollaborativeFilteringRecommender
+from repro.recommend.evaluation import EvaluationResult, evaluate_recommenders
+from repro.recommend.popularity import PopularityRecommender
+
+__all__ = [
+    "ClusteringAwareRecommender",
+    "CollaborativeFilteringRecommender",
+    "EvaluationResult",
+    "PopularityRecommender",
+    "evaluate_recommenders",
+]

@@ -1,0 +1,85 @@
+"""User-user collaborative filtering over the download matrix.
+
+The baseline recommender the paper contrasts with: find users with
+similar download histories (cosine similarity over binary download
+vectors) and recommend the apps most downloaded by the nearest
+neighbours that the target user does not yet own.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+
+class CollaborativeFilteringRecommender:
+    """Classic user-user CF on binary download histories.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Size of the similar-user neighbourhood per query.
+    min_overlap:
+        Minimum number of co-downloaded apps for a user pair to be
+        considered similar at all (suppresses one-app coincidences).
+    """
+
+    name = "collaborative-filtering"
+
+    def __init__(self, n_neighbors: int = 20, min_overlap: int = 1) -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if min_overlap < 1:
+            raise ValueError("min_overlap must be >= 1")
+        self.n_neighbors = n_neighbors
+        self.min_overlap = min_overlap
+        self._histories: Dict[Hashable, Set[Hashable]] = {}
+        self._owners: Dict[Hashable, Set[Hashable]] = {}
+
+    def fit(self, histories: Dict[Hashable, Sequence[Hashable]]) -> None:
+        """Index per-user download histories (order is ignored here)."""
+        self._histories = {
+            user: set(apps) for user, apps in histories.items() if apps
+        }
+        self._owners = {}
+        for user, apps in self._histories.items():
+            for app in apps:
+                self._owners.setdefault(app, set()).add(user)
+
+    def _similarity(self, a: Set[Hashable], b: Set[Hashable]) -> float:
+        overlap = len(a & b)
+        if overlap < self.min_overlap:
+            return 0.0
+        return overlap / float(np.sqrt(len(a) * len(b)))
+
+    def _neighbors(self, user: Hashable) -> List[Tuple[Hashable, float]]:
+        history = self._histories.get(user)
+        if not history:
+            return []
+        # Candidate neighbours: only users sharing at least one app.
+        candidates: Set[Hashable] = set()
+        for app in history:
+            candidates |= self._owners.get(app, set())
+        candidates.discard(user)
+        scored = [
+            (other, self._similarity(history, self._histories[other]))
+            for other in candidates
+        ]
+        scored = [(other, score) for other, score in scored if score > 0]
+        scored.sort(key=lambda pair: pair[1], reverse=True)
+        return scored[: self.n_neighbors]
+
+    def recommend(self, user: Hashable, k: int = 10) -> List[Hashable]:
+        """Top-``k`` apps for a user, by similarity-weighted ownership."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        history = self._histories.get(user, set())
+        scores: Dict[Hashable, float] = {}
+        for neighbor, similarity in self._neighbors(user):
+            for app in self._histories[neighbor]:
+                if app in history:
+                    continue
+                scores[app] = scores.get(app, 0.0) + similarity
+        ranked = sorted(scores.items(), key=lambda pair: pair[1], reverse=True)
+        return [app for app, _ in ranked[:k]]

@@ -1,0 +1,52 @@
+"""Global-popularity recommendation baseline.
+
+The simplest possible recommender: suggest the globally most downloaded
+apps the user does not yet own.  It ignores both similarity and
+categories, so it bounds from below what the clustering-aware and
+collaborative recommenders must beat -- and on Zipf-dominated traffic it
+is surprisingly hard to beat, which is exactly why the paper argues the
+clustering effect is the signal worth exploiting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence
+
+
+class PopularityRecommender:
+    """Recommend the most-owned apps the user lacks."""
+
+    name = "global-popularity"
+
+    def __init__(self) -> None:
+        self._histories: Dict[Hashable, set] = {}
+        self._ranking: List[Hashable] = []
+
+    def fit(
+        self,
+        histories: Dict[Hashable, Sequence[Hashable]],
+        popularity: Optional[Dict[Hashable, float]] = None,
+    ) -> None:
+        """Index histories; rank apps by ownership (or given popularity)."""
+        self._histories = {user: set(apps) for user, apps in histories.items()}
+        if popularity is None:
+            popularity = {}
+            for apps in histories.values():
+                for app in apps:
+                    popularity[app] = popularity.get(app, 0.0) + 1.0
+        self._ranking = sorted(
+            popularity, key=lambda app: popularity[app], reverse=True
+        )
+
+    def recommend(self, user: Hashable, k: int = 10) -> List[Hashable]:
+        """The top-``k`` most popular apps the user does not own."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        owned = self._histories.get(user, set())
+        picks: List[Hashable] = []
+        for app in self._ranking:
+            if app not in owned:
+                picks.append(app)
+                if len(picks) == k:
+                    break
+        return picks

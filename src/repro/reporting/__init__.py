@@ -1,0 +1,20 @@
+"""Textual reporting: ASCII tables and figure series.
+
+The benchmarks regenerate every table and figure of the paper as text;
+this package provides the renderers so all benches print consistently.
+
+- :mod:`repro.reporting.tables` -- column-aligned ASCII tables.
+- :mod:`repro.reporting.figures` -- (x, y) series printers for CDF and
+  log-log rank plots, plus simple unicode sparkline bars for quick visual
+  inspection in a terminal.
+"""
+
+from repro.reporting.figures import render_cdf, render_series, sparkline
+from repro.reporting.tables import render_table
+
+__all__ = [
+    "render_cdf",
+    "render_series",
+    "render_table",
+    "sparkline",
+]

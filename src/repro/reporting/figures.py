@@ -1,0 +1,112 @@
+"""Textual figure rendering: series printers and sparklines.
+
+Benchmarks print each figure as rows of (x, y) values so the shape --
+who wins, where the crossovers fall -- is readable and diffable without a
+plotting stack; a unicode sparkline accompanies each series for quick
+visual inspection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values, width: int = 40, log_scale: bool = False) -> str:
+    """A one-line character gradient of a numeric series.
+
+    ``log_scale`` maps values through log10 first (handy for rank plots
+    spanning orders of magnitude); non-positive values render as blanks.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    # Resample to the requested width by picking evenly spaced points.
+    indices = np.linspace(0, values.size - 1, min(width, values.size)).astype(int)
+    sampled = values[indices]
+    if log_scale:
+        with np.errstate(divide="ignore"):
+            sampled = np.where(sampled > 0, np.log10(sampled), np.nan)
+    finite = sampled[np.isfinite(sampled)]
+    if finite.size == 0:
+        return " " * indices.size
+    low, high = float(finite.min()), float(finite.max())
+    span = high - low
+    characters = []
+    for value in sampled:
+        if not np.isfinite(value):
+            characters.append(" ")
+            continue
+        if span == 0:
+            level = len(_SPARK_LEVELS) - 1
+        else:
+            level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        characters.append(_SPARK_LEVELS[level])
+    return "".join(characters)
+
+
+def render_series(
+    x,
+    y,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+    max_rows: int = 20,
+    float_format: str = ",.2f",
+) -> str:
+    """Print an (x, y) series as aligned rows plus a sparkline."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1 or x.size == 0:
+        raise ValueError("x and y must be non-empty 1-D arrays of equal shape")
+    if max_rows < 2:
+        raise ValueError("max_rows must be >= 2")
+
+    if x.size > max_rows:
+        indices = np.unique(
+            np.linspace(0, x.size - 1, max_rows).astype(int)
+        )
+    else:
+        indices = np.arange(x.size)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    x_cells = [format(float(value), float_format) for value in x[indices]]
+    y_cells = [format(float(value), float_format) for value in y[indices]]
+    x_width = max(len(x_label), *(len(cell) for cell in x_cells))
+    y_width = max(len(y_label), *(len(cell) for cell in y_cells))
+    lines.append(f"{x_label.rjust(x_width)}  {y_label.rjust(y_width)}")
+    lines.extend(
+        f"{x_cell.rjust(x_width)}  {y_cell.rjust(y_width)}"
+        for x_cell, y_cell in zip(x_cells, y_cells)
+    )
+    lines.append(f"shape: [{sparkline(y)}]")
+    return "\n".join(lines)
+
+
+def render_cdf(
+    samples,
+    label: str,
+    probes: Sequence[float] = (0.25, 0.5, 0.75, 0.9, 0.95, 0.99),
+    float_format: str = ",.2f",
+) -> str:
+    """Print the quantiles of a sample the way a CDF figure is read."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1 or samples.size == 0:
+        raise ValueError("samples must be a non-empty 1-D array")
+    values = np.quantile(samples, probes)
+    rows = [
+        f"  P{int(q * 100):02d} = {format(float(v), float_format)}"
+        for q, v in zip(probes, values)
+    ]
+    header = (
+        f"{label}: n={samples.size}, "
+        f"mean={format(float(samples.mean()), float_format)}"
+    )
+    return "\n".join([header] + rows)

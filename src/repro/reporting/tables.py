@@ -1,0 +1,76 @@
+"""Column-aligned ASCII table rendering.
+
+Minimal but careful: right-aligns numeric columns, left-aligns text,
+formats floats compactly, and never wraps -- benchmark output is meant to
+be diffable run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _format_cell(value: Any, float_format: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    if isinstance(value, int):
+        return format(value, ",")
+    return str(value)
+
+
+def _is_numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    float_format: str = ",.2f",
+    title: Optional[str] = None,
+) -> str:
+    """Render rows under headers as an aligned ASCII table.
+
+    Numeric columns (numeric in every non-empty cell) are right-aligned.
+    """
+    if not headers:
+        raise ValueError("headers must not be empty")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+
+    formatted = [
+        [_format_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    numeric_column = [
+        all(_is_numeric(row[col]) or row[col] is None for row in rows) and bool(rows)
+        for col in range(len(headers))
+    ]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in formatted))
+        if formatted
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for col, cell in enumerate(cells):
+            if numeric_column[col]:
+                parts.append(cell.rjust(widths[col]))
+            else:
+                parts.append(cell.ljust(widths[col]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in formatted)
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Ad-revenue simulation: closing the loop on Equation 7.
+
+The paper compares paid and free-with-ads revenue strategies only through
+the *break-even ad income per download*, because it has "no data about
+the usage of free apps upon installation, i.e., clicks and impressions,
+to approximate the actual income".  Our substrate can generate that
+missing data: this package simulates post-install app usage sessions,
+ad impressions and clicks, and the resulting developer income, so the
+break-even threshold of Equation 7 can be validated ex post -- which
+apps actually out-earn their paid counterparts, and at what effective
+ad rates.
+
+- :mod:`repro.revenue_sim.usage` -- post-install usage model (retention,
+  sessions per day, session length).
+- :mod:`repro.revenue_sim.ads` -- impression/click/eCPM income model.
+- :mod:`repro.revenue_sim.comparison` -- strategy comparison harness.
+"""
+
+from repro.revenue_sim.ads import AdMonetization
+from repro.revenue_sim.comparison import StrategyComparison, compare_strategies
+from repro.revenue_sim.usage import UsageModel
+
+__all__ = [
+    "AdMonetization",
+    "StrategyComparison",
+    "UsageModel",
+    "compare_strategies",
+]

@@ -1,0 +1,81 @@
+"""Ad monetization: impressions, clicks, and income per install.
+
+Converts the usage model's session counts into developer income through
+the standard mobile advertising funnel: impressions per session, a
+click-through rate, cost-per-click revenue plus an impression-based eCPM
+component.  The resulting *income per download* is the quantity the
+paper's Equation 7 bounds from the paid side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.revenue_sim.usage import UsageModel
+from repro.stats.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class AdMonetization:
+    """Ad funnel parameters.
+
+    Parameters
+    ----------
+    impressions_per_session:
+        Mean banner/interstitial impressions shown per session.
+    click_through_rate:
+        Probability an impression is clicked.
+    revenue_per_click:
+        Developer revenue per click, dollars.
+    ecpm:
+        Impression-based revenue per 1000 impressions, dollars (paid on
+        top of clicks).
+    """
+
+    impressions_per_session: float = 3.0
+    click_through_rate: float = 0.01
+    revenue_per_click: float = 0.05
+    ecpm: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.impressions_per_session <= 0:
+            raise ValueError("impressions_per_session must be positive")
+        if not 0.0 <= self.click_through_rate <= 1.0:
+            raise ValueError("click_through_rate must be in [0, 1]")
+        if self.revenue_per_click < 0 or self.ecpm < 0:
+            raise ValueError("revenue rates must be non-negative")
+
+    def expected_income_per_download(
+        self, usage: UsageModel, category: str
+    ) -> float:
+        """Closed-form expected developer income per install."""
+        sessions = usage.expected_sessions(category)
+        impressions = sessions * self.impressions_per_session
+        click_income = impressions * self.click_through_rate * self.revenue_per_click
+        impression_income = impressions / 1000.0 * self.ecpm
+        return click_income + impression_income
+
+    def simulate_income(
+        self,
+        usage: UsageModel,
+        category: str,
+        n_installs: int,
+        seed: SeedLike = None,
+    ) -> np.ndarray:
+        """Per-install realized income for ``n_installs`` users.
+
+        Session counts come from the usage model; impressions are Poisson
+        per session; clicks are binomial over impressions.
+        """
+        rng = make_rng(seed)
+        sessions = usage.sample_sessions(category, n_installs, seed=rng)
+        if sessions.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        impressions = rng.poisson(self.impressions_per_session * sessions)
+        clicks = rng.binomial(impressions, self.click_through_rate)
+        return (
+            clicks * self.revenue_per_click
+            + impressions / 1000.0 * self.ecpm
+        )

@@ -1,0 +1,105 @@
+"""Strategy comparison: simulated ad income vs. the Equation-7 threshold.
+
+The paper estimates the per-download ad income a free app *needs*
+(break-even); this harness simulates the per-download ad income a free
+app *gets* under an explicit usage/monetization model, and reports which
+side of the threshold each category lands on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.revenue import (
+    FreeAppRecord,
+    PaidAppRecord,
+    break_even_by_category,
+)
+from repro.revenue_sim.ads import AdMonetization
+from repro.revenue_sim.usage import UsageModel
+from repro.stats.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class CategoryOutcome:
+    """Comparison of earned vs needed ad income for one category."""
+
+    category: str
+    break_even_income: float
+    simulated_income: float
+
+    @property
+    def free_strategy_wins(self) -> bool:
+        """Whether simulated ad income clears the break-even threshold."""
+        return self.simulated_income >= self.break_even_income
+
+    @property
+    def margin(self) -> float:
+        """Earned minus needed income per download."""
+        return self.simulated_income - self.break_even_income
+
+
+@dataclass(frozen=True)
+class StrategyComparison:
+    """Ex-post validation of the free-with-ads strategy, per category."""
+
+    outcomes: List[CategoryOutcome]
+
+    @property
+    def categories_where_free_wins(self) -> List[str]:
+        """Categories whose simulated ad income beats the threshold."""
+        return [o.category for o in self.outcomes if o.free_strategy_wins]
+
+    @property
+    def win_fraction(self) -> float:
+        """Fraction of compared categories where free-with-ads wins."""
+        if not self.outcomes:
+            return 0.0
+        return len(self.categories_where_free_wins) / len(self.outcomes)
+
+    def describe(self) -> str:
+        """One summary line."""
+        return (
+            f"free-with-ads beats the paid strategy in "
+            f"{len(self.categories_where_free_wins)}/{len(self.outcomes)} "
+            f"categories under the simulated ad funnel"
+        )
+
+
+def compare_strategies(
+    paid_apps: Sequence[PaidAppRecord],
+    free_apps: Sequence[FreeAppRecord],
+    usage: Optional[UsageModel] = None,
+    monetization: Optional[AdMonetization] = None,
+    installs_per_category: int = 2000,
+    seed: SeedLike = None,
+) -> StrategyComparison:
+    """Compare earned vs needed ad income per category.
+
+    For every category with both paid and free apps, computes the
+    Equation-7 break-even threshold from the records, simulates
+    ``installs_per_category`` installs through the usage + ad funnel,
+    and reports which side of the threshold the realized income lands on.
+    """
+    if installs_per_category < 1:
+        raise ValueError("installs_per_category must be >= 1")
+    usage = usage or UsageModel()
+    monetization = monetization or AdMonetization()
+    rng = make_rng(seed)
+
+    thresholds = break_even_by_category(paid_apps, free_apps)
+    outcomes: List[CategoryOutcome] = []
+    for category in sorted(thresholds):
+        incomes = monetization.simulate_income(
+            usage, category, installs_per_category, seed=rng
+        )
+        simulated = float(incomes.mean()) if incomes.size else 0.0
+        outcomes.append(
+            CategoryOutcome(
+                category=category,
+                break_even_income=thresholds[category],
+                simulated_income=simulated,
+            )
+        )
+    return StrategyComparison(outcomes=outcomes)

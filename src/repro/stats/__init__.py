@@ -1,0 +1,46 @@
+"""Statistics toolkit used throughout the reproduction.
+
+This package provides the low-level numerical building blocks shared by the
+marketplace simulator, the workload models, and the analysis pipeline:
+
+- :mod:`repro.stats.rng` -- deterministic random number generation helpers.
+- :mod:`repro.stats.sampling` -- the alias method for O(1) categorical
+  sampling, used heavily by the Monte Carlo download simulators.
+- :mod:`repro.stats.zipf` -- finite Zipf (zeta) distributions, which underpin
+  every popularity model in the paper.
+- :mod:`repro.stats.distributions` -- empirical CDFs, quantiles, histogram
+  binning, and rank-size transforms.
+- :mod:`repro.stats.correlation` -- Pearson correlation (the paper reports
+  Pearson coefficients in Figures 12, 14, and 15).
+- :mod:`repro.stats.confidence` -- normal-approximation confidence intervals
+  (Figure 6 plots 95% CIs per user group).
+- :mod:`repro.stats.loglog` -- least-squares slope estimation on log-log
+  rank/frequency data (the Zipf exponents annotated in Figures 3 and 11).
+"""
+
+from repro.stats.confidence import mean_confidence_interval
+from repro.stats.correlation import pearson
+from repro.stats.distributions import (
+    Ecdf,
+    cumulative_share,
+    log_spaced_ranks,
+    rank_sizes,
+)
+from repro.stats.loglog import fit_loglog_slope
+from repro.stats.rng import make_rng, spawn_rngs
+from repro.stats.sampling import AliasSampler
+from repro.stats.zipf import ZipfDistribution
+
+__all__ = [
+    "AliasSampler",
+    "Ecdf",
+    "ZipfDistribution",
+    "cumulative_share",
+    "fit_loglog_slope",
+    "log_spaced_ranks",
+    "make_rng",
+    "mean_confidence_interval",
+    "pearson",
+    "rank_sizes",
+    "spawn_rngs",
+]

@@ -1,0 +1,92 @@
+"""Distribution comparison: KS statistics, QQ data, log-binned ratios.
+
+The paper compares distributions informally (overlaid log-log curves and
+the Equation-6 distance).  These utilities add the standard formal
+companions, used by the model-validation tests and the ablation benches:
+
+- :func:`ks_statistic` -- the two-sample Kolmogorov-Smirnov distance,
+  a scale-free measure of how far apart two samples' CDFs are;
+- :func:`qq_points` -- quantile-quantile pairs for plotting two samples
+  against each other;
+- :func:`log_binned_ratio` -- per-decade ratios of two positive samples'
+  mass, which localizes *where* (head, trunk, tail) two rank curves
+  disagree.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.stats.distributions import Ecdf
+
+
+def ks_statistic(sample_a, sample_b) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (no p-value).
+
+    Returns ``sup_x |F_a(x) - F_b(x)|`` over the pooled support; 0 means
+    identical empirical distributions, 1 means disjoint supports.
+    """
+    a = np.asarray(sample_a, dtype=np.float64)
+    b = np.asarray(sample_b, dtype=np.float64)
+    if a.ndim != 1 or b.ndim != 1 or a.size == 0 or b.size == 0:
+        raise ValueError("samples must be non-empty 1-D arrays")
+    ecdf_a = Ecdf.from_samples(a)
+    ecdf_b = Ecdf.from_samples(b)
+    grid = np.union1d(ecdf_a.sorted_values, ecdf_b.sorted_values)
+    return float(np.max(np.abs(ecdf_a(grid) - ecdf_b(grid))))
+
+
+def qq_points(
+    sample_a, sample_b, n_points: int = 50
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantile-quantile pairs of two samples.
+
+    Returns ``(quantiles_a, quantiles_b)`` evaluated at ``n_points``
+    evenly spaced probabilities in (0, 1); points on the diagonal mean
+    the distributions agree at that quantile.
+    """
+    if n_points < 2:
+        raise ValueError("n_points must be >= 2")
+    a = np.asarray(sample_a, dtype=np.float64)
+    b = np.asarray(sample_b, dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("samples must be non-empty")
+    probabilities = np.linspace(0.0, 1.0, n_points + 2)[1:-1]
+    return (
+        np.quantile(a, probabilities),
+        np.quantile(b, probabilities),
+    )
+
+
+def log_binned_ratio(
+    sample_a, sample_b, bins_per_decade: int = 2
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Mass ratio of two positive samples per logarithmic bin.
+
+    Returns ``(bin_centers, ratios)`` where ``ratios[i]`` is the share of
+    sample A's total mass in bin ``i`` divided by sample B's share there
+    (``inf`` where B has no mass, ``nan`` where neither has).  Useful to
+    localize head/tail disagreements between two download curves.
+    """
+    if bins_per_decade < 1:
+        raise ValueError("bins_per_decade must be >= 1")
+    a = np.asarray(sample_a, dtype=np.float64)
+    b = np.asarray(sample_b, dtype=np.float64)
+    a = a[a > 0]
+    b = b[b > 0]
+    if a.size == 0 or b.size == 0:
+        raise ValueError("samples must contain positive values")
+    low = np.floor(np.log10(min(a.min(), b.min())))
+    high = np.ceil(np.log10(max(a.max(), b.max())))
+    n_bins = max(1, int((high - low) * bins_per_decade))
+    edges = np.logspace(low, high, n_bins + 1)
+    mass_a, _ = np.histogram(a, bins=edges, weights=a)
+    mass_b, _ = np.histogram(b, bins=edges, weights=b)
+    share_a = mass_a / a.sum()
+    share_b = mass_b / b.sum()
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = share_a / share_b
+    centers = np.sqrt(edges[:-1] * edges[1:])
+    return centers, ratios

@@ -1,0 +1,80 @@
+"""Correlation coefficients.
+
+The paper reports Pearson's correlation coefficient in several places:
+price vs. downloads (-0.229) and price vs. number of apps (-0.240) in
+Figure 12, income vs. number of apps per developer (0.008) in Figure 14,
+and the category-level revenue/apps/developers correlations of Section 6.2.
+We implement Pearson (and Spearman as a robustness companion) from first
+principles so the analysis layer does not need scipy at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """A correlation coefficient together with the sample size used."""
+
+    coefficient: float
+    n: int
+
+    def __float__(self) -> float:
+        return self.coefficient
+
+
+def _validate_pair(x, y) -> tuple:
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.ndim != 1 or y.ndim != 1:
+        raise ValueError("inputs must be 1-D arrays")
+    if x.size != y.size:
+        raise ValueError(f"length mismatch: {x.size} vs {y.size}")
+    if x.size < 2:
+        raise ValueError("need at least 2 observations")
+    if not (np.all(np.isfinite(x)) and np.all(np.isfinite(y))):
+        raise ValueError("inputs must be finite")
+    return x, y
+
+
+def pearson(x, y) -> CorrelationResult:
+    """Pearson's product-moment correlation coefficient.
+
+    Returns a coefficient of 0.0 when either input is constant (the paper's
+    convention of "not correlated" rather than an undefined value).
+    """
+    x, y = _validate_pair(x, y)
+    x_centered = x - x.mean()
+    y_centered = y - y.mean()
+    denom = np.sqrt((x_centered**2).sum() * (y_centered**2).sum())
+    if denom == 0:
+        return CorrelationResult(coefficient=0.0, n=x.size)
+    coefficient = float((x_centered * y_centered).sum() / denom)
+    # Guard against floating point drift outside [-1, 1].
+    coefficient = max(-1.0, min(1.0, coefficient))
+    return CorrelationResult(coefficient=coefficient, n=x.size)
+
+
+def _ranks_with_ties(values: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based) with ties sharing their mean rank."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.size, dtype=np.float64)
+    sorted_values = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        average_rank = (i + j) / 2.0 + 1.0
+        ranks[order[i : j + 1]] = average_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(x, y) -> CorrelationResult:
+    """Spearman's rank correlation (Pearson over tie-averaged ranks)."""
+    x, y = _validate_pair(x, y)
+    return pearson(_ranks_with_ties(x), _ranks_with_ties(y))

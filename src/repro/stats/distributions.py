@@ -1,0 +1,155 @@
+"""Empirical distribution utilities: ECDFs, rank-size transforms, binning.
+
+These are the workhorses behind every CDF-style figure in the paper
+(Figures 2, 4, 5, 7, 13, 16) and the rank-downloads plots (Figures 3, 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical cumulative distribution function.
+
+    Stores the sorted sample once; evaluation is a binary search.
+
+    Examples
+    --------
+    >>> ecdf = Ecdf.from_samples([1, 2, 2, 4])
+    >>> float(ecdf(2))
+    0.75
+    """
+
+    sorted_values: np.ndarray
+
+    @classmethod
+    def from_samples(cls, samples) -> "Ecdf":
+        values = np.asarray(samples, dtype=np.float64)
+        if values.ndim != 1:
+            raise ValueError(f"samples must be 1-D, got shape {values.shape}")
+        if values.size == 0:
+            raise ValueError("samples must be non-empty")
+        if not np.all(np.isfinite(values)):
+            raise ValueError("samples must be finite")
+        return cls(sorted_values=np.sort(values))
+
+    @property
+    def n(self) -> int:
+        """Sample size."""
+        return self.sorted_values.size
+
+    def __call__(self, x) -> np.ndarray:
+        """Fraction of samples less than or equal to ``x``."""
+        x = np.asarray(x, dtype=np.float64)
+        positions = np.searchsorted(self.sorted_values, x, side="right")
+        return positions / self.n
+
+    def quantile(self, q) -> np.ndarray:
+        """Inverse CDF: smallest sample value with CDF >= ``q``."""
+        q = np.asarray(q, dtype=np.float64)
+        if np.any(q < 0) or np.any(q > 1):
+            raise ValueError("quantiles must lie in [0, 1]")
+        positions = np.ceil(q * self.n).astype(np.int64)
+        positions = np.clip(positions - 1, 0, self.n - 1)
+        return self.sorted_values[positions]
+
+    def support(self) -> Tuple[float, float]:
+        """The (min, max) of the underlying sample."""
+        return float(self.sorted_values[0]), float(self.sorted_values[-1])
+
+    def evaluation_grid(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (x, F(x)) at every distinct sample value, for plotting."""
+        values = np.unique(self.sorted_values)
+        return values, self(values)
+
+
+def rank_sizes(values) -> np.ndarray:
+    """Sort values into rank order: index 0 is the largest (rank 1).
+
+    This is the transform behind "downloads per app as a function of app
+    rank" (Figure 3): ``rank_sizes(downloads)[i]`` is the download count of
+    the app with rank ``i + 1``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError(f"values must be 1-D, got shape {values.shape}")
+    return np.sort(values)[::-1]
+
+
+def cumulative_share(values, top_fraction) -> np.ndarray:
+    """Share of the total carried by the top ``top_fraction`` of items.
+
+    This computes the Pareto-effect statistics of Figure 2: e.g.
+    ``cumulative_share(downloads, 0.10)`` is the fraction of all downloads
+    attributable to the most popular 10% of apps.  Accepts scalars or arrays
+    of fractions.
+    """
+    ranked = rank_sizes(values)
+    total = ranked.sum()
+    if total <= 0:
+        raise ValueError("values must have a positive sum")
+    fractions = np.atleast_1d(np.asarray(top_fraction, dtype=np.float64))
+    if np.any(fractions < 0) or np.any(fractions > 1):
+        raise ValueError("top_fraction must lie in [0, 1]")
+    cumulative = np.cumsum(ranked) / total
+    counts = np.ceil(fractions * ranked.size).astype(np.int64)
+    shares = np.where(counts == 0, 0.0, cumulative[np.maximum(counts - 1, 0)])
+    if np.isscalar(top_fraction) or np.asarray(top_fraction).ndim == 0:
+        return shares[0]
+    return shares
+
+
+def pareto_curve(values, points: int = 100) -> Tuple[np.ndarray, np.ndarray]:
+    """The full Figure-2 curve: (normalized rank %, cumulative download %).
+
+    Returns two arrays of length ``points``: the x-axis (percentage of apps,
+    from most to least popular) and the y-axis (cumulative percentage of
+    downloads accounted for by those apps).
+    """
+    if points < 2:
+        raise ValueError("points must be at least 2")
+    ranked = rank_sizes(values)
+    total = ranked.sum()
+    if total <= 0:
+        raise ValueError("values must have a positive sum")
+    cumulative = np.cumsum(ranked) / total
+    fractions = np.linspace(1.0 / points, 1.0, points)
+    counts = np.ceil(fractions * ranked.size).astype(np.int64)
+    y = cumulative[counts - 1] * 100.0
+    x = fractions * 100.0
+    return x, y
+
+
+def log_spaced_ranks(n: int, points: int = 60) -> np.ndarray:
+    """Approximately log-spaced 1-based ranks covering ``1..n``.
+
+    Used when summarizing rank-downloads series for textual figures: a
+    log-log plot needs dense coverage at the head and sparse at the tail.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if points <= 0:
+        raise ValueError(f"points must be positive, got {points}")
+    raw = np.unique(
+        np.round(np.logspace(0, np.log10(n), points)).astype(np.int64)
+    )
+    return raw[(raw >= 1) & (raw <= n)]
+
+
+def histogram_shares(values, bin_edges) -> np.ndarray:
+    """Fraction of the total sum of ``values`` falling into each bin.
+
+    ``bin_edges`` follows numpy's convention (len(bins) = len(edges) - 1).
+    Used for "percentage of downloads per category price bin" style plots.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    sums, _ = np.histogram(values, bins=bin_edges, weights=values)
+    total = values.sum()
+    if total <= 0:
+        raise ValueError("values must have a positive sum")
+    return sums / total

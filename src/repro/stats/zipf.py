@@ -1,0 +1,136 @@
+"""Finite Zipf (zeta) distributions.
+
+Every popularity model in the paper is built on finite Zipf laws: an object
+with rank ``i`` (1-based) among ``n`` objects is chosen with probability
+proportional to ``1 / i**exponent``.  The paper uses two such laws: ``ZG``
+over the global app ranking (exponent ``zr``) and ``Zc`` over each cluster's
+internal ranking (exponent ``zc``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.stats.rng import SeedLike
+from repro.stats.sampling import AliasSampler
+
+
+def zipf_weights(n: int, exponent: float) -> np.ndarray:
+    """Unnormalized Zipf weights ``1 / rank**exponent`` for ranks 1..n."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return ranks**-exponent
+
+
+def generalized_harmonic(n: int, exponent: float) -> float:
+    """The normalization constant ``H(n, s) = sum_{k=1..n} 1/k**s``."""
+    return float(zipf_weights(n, exponent).sum())
+
+
+@dataclass(frozen=True)
+class ZipfDistribution:
+    """A finite Zipf distribution over ranks ``1..n``.
+
+    Parameters
+    ----------
+    n:
+        Number of ranked objects.
+    exponent:
+        The Zipf exponent (``zr`` or ``zc`` in the paper).  Zero gives a
+        uniform distribution; larger values concentrate mass on low ranks.
+    """
+
+    n: int
+    exponent: float
+    _pmf: np.ndarray = field(init=False, repr=False, compare=False)
+    _sampler: AliasSampler = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        weights = zipf_weights(self.n, self.exponent)
+        pmf = weights / weights.sum()
+        object.__setattr__(self, "_pmf", pmf)
+        object.__setattr__(self, "_sampler", AliasSampler(pmf))
+
+    def pmf(self, rank) -> np.ndarray:
+        """Probability of each 1-based rank (scalar or array input)."""
+        rank = np.asarray(rank)
+        if np.any(rank < 1) or np.any(rank > self.n):
+            raise ValueError(f"ranks must lie in [1, {self.n}]")
+        return self._pmf[rank - 1]
+
+    def cdf(self, rank) -> np.ndarray:
+        """Cumulative probability up to and including each 1-based rank."""
+        rank = np.asarray(rank)
+        if np.any(rank < 1) or np.any(rank > self.n):
+            raise ValueError(f"ranks must lie in [1, {self.n}]")
+        cumulative = np.cumsum(self._pmf)
+        return cumulative[rank - 1]
+
+    def sample_ranks(self, size: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw ``size`` 1-based ranks distributed per this Zipf law."""
+        return self._sampler.sample(size, seed=seed) + 1
+
+    def sample_indices(self, size: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw ``size`` 0-based indices (rank minus one)."""
+        return self._sampler.sample(size, seed=seed)
+
+    def sample_one_index(self, rng: np.random.Generator) -> int:
+        """Draw a single 0-based index with an existing generator."""
+        return self._sampler.sample_one(rng)
+
+    def expected_counts(self, total_draws: int) -> np.ndarray:
+        """Expected number of times each rank is drawn in ``total_draws``."""
+        if total_draws < 0:
+            raise ValueError("total_draws must be non-negative")
+        return self._pmf * total_draws
+
+
+def fit_zipf_exponent_mle(counts, max_exponent: float = 5.0) -> float:
+    """Maximum-likelihood Zipf exponent from per-rank counts.
+
+    ``counts[i]`` is the number of observations of the rank-``i+1`` object.
+    The discrete MLE maximizes ``-s * sum(c_i * log i) - N * log H(n, s)``
+    over the exponent ``s``; we solve it by golden-section search, which is
+    robust because the log-likelihood is unimodal in ``s``.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 1 or counts.size < 2:
+        raise ValueError("counts must be a 1-D array with at least 2 entries")
+    if np.any(counts < 0):
+        raise ValueError("counts must be non-negative")
+    total = counts.sum()
+    if total <= 0:
+        raise ValueError("counts must not be all zero")
+
+    n = counts.size
+    log_ranks = np.log(np.arange(1, n + 1, dtype=np.float64))
+    weighted_log_rank_sum = float((counts * log_ranks).sum())
+
+    def negative_log_likelihood(s: float) -> float:
+        return s * weighted_log_rank_sum + total * np.log(
+            generalized_harmonic(n, s)
+        )
+
+    low, high = 0.0, max_exponent
+    golden = (np.sqrt(5.0) - 1.0) / 2.0
+    x1 = high - golden * (high - low)
+    x2 = low + golden * (high - low)
+    f1 = negative_log_likelihood(x1)
+    f2 = negative_log_likelihood(x2)
+    for _ in range(200):
+        if high - low < 1e-10:
+            break
+        if f1 < f2:
+            high, x2, f2 = x2, x1, f1
+            x1 = high - golden * (high - low)
+            f1 = negative_log_likelihood(x1)
+        else:
+            low, x1, f1 = x1, x2, f2
+            x2 = low + golden * (high - low)
+            f2 = negative_log_likelihood(x2)
+    return (low + high) / 2.0

@@ -1,0 +1,22 @@
+"""Workload generation API: the models as reusable event-stream producers.
+
+The paper's models are useful beyond the validation experiments -- e.g.
+to feed the cache simulator (Figure 19), to stress recommendation systems,
+or to drive capacity planning.  This package packages them as workload
+generators with trace save/replay support.
+
+- :mod:`repro.workload.generators` -- configured event-stream factories
+  for the three models.
+- :mod:`repro.workload.trace` -- write an event stream to disk (JSONL)
+  and replay it later.
+"""
+
+from repro.workload.generators import WorkloadSpec, make_workload
+from repro.workload.trace import read_trace, write_trace
+
+__all__ = [
+    "WorkloadSpec",
+    "make_workload",
+    "read_trace",
+    "write_trace",
+]

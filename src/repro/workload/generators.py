@@ -1,0 +1,121 @@
+"""Configured workload generators over the three download models.
+
+A :class:`WorkloadSpec` captures everything needed to regenerate an event
+stream deterministically (model kind, population sizes, Zipf exponents,
+clustering parameters, seed), so experiments can share identical
+workloads and ablations can vary one knob at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core.models import (
+    AppClusteringModel,
+    AppClusteringParams,
+    DownloadEvent,
+    ModelKind,
+    ZipfAtMostOnceModel,
+    ZipfModel,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A reproducible workload definition.
+
+    The defaults are the paper's Figure 19 configuration scaled only in
+    counts: apps divided into equal clusters, ``zr = 1.7``, ``zc = 1.4``,
+    ``p = 0.9``.
+    """
+
+    kind: ModelKind
+    n_apps: int
+    n_users: int
+    total_downloads: int
+    zr: float = 1.7
+    zc: float = 1.4
+    p: float = 0.9
+    n_clusters: int = 30
+    cluster_of: Optional[Tuple[int, ...]] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_apps < 1 or self.n_users < 1:
+            raise ValueError("n_apps and n_users must be positive")
+        if self.total_downloads < 0:
+            raise ValueError("total_downloads must be non-negative")
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be positive")
+
+    def with_kind(self, kind: ModelKind) -> "WorkloadSpec":
+        """The same workload under a different model (for comparisons)."""
+        return replace(self, kind=kind)
+
+    def cluster_assignment(self) -> np.ndarray:
+        """Cluster index per app (round-robin unless explicitly given)."""
+        if self.cluster_of is not None:
+            return np.asarray(self.cluster_of, dtype=np.int64)
+        return np.arange(self.n_apps, dtype=np.int64) % self.n_clusters
+
+    def events(self) -> Iterator[DownloadEvent]:
+        """A fresh event stream for this spec (deterministic in the seed)."""
+        return make_workload(self)
+
+    def download_counts(self) -> np.ndarray:
+        """Materialize the per-app download counts of this workload."""
+        counts = np.zeros(self.n_apps, dtype=np.int64)
+        for event in self.events():
+            counts[event.app_index] += 1
+        return counts
+
+
+def make_workload(spec: WorkloadSpec) -> Iterator[DownloadEvent]:
+    """Instantiate the model of a spec and return its event stream."""
+    if spec.kind == ModelKind.ZIPF:
+        model = ZipfModel(spec.n_apps, spec.zr)
+        return model.iter_events(spec.n_users, spec.total_downloads, seed=spec.seed)
+    if spec.kind == ModelKind.ZIPF_AT_MOST_ONCE:
+        amo = ZipfAtMostOnceModel(spec.n_apps, spec.zr)
+        return amo.iter_events(spec.n_users, spec.total_downloads, seed=spec.seed)
+    if spec.kind == ModelKind.APP_CLUSTERING:
+        params = AppClusteringParams(
+            n_apps=spec.n_apps,
+            n_users=spec.n_users,
+            total_downloads=spec.total_downloads,
+            zr=spec.zr,
+            zc=spec.zc,
+            p=spec.p,
+            n_clusters=spec.n_clusters,
+            cluster_of=spec.cluster_of,
+        )
+        return AppClusteringModel(params).iter_events(seed=spec.seed)
+    raise ValueError(f"unknown model kind: {spec.kind!r}")
+
+
+def figure19_spec(
+    kind: ModelKind = ModelKind.APP_CLUSTERING,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> WorkloadSpec:
+    """The paper's Figure 19 appstore, optionally scaled down.
+
+    At ``scale=1``: 60,000 apps in 30 categories, 600,000 users, and
+    2,000,000 downloads with ``zr=1.7``, ``zc=1.4``, ``p=0.9``.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return WorkloadSpec(
+        kind=kind,
+        n_apps=max(30, int(60_000 * scale)),
+        n_users=max(10, int(600_000 * scale)),
+        total_downloads=max(1, int(2_000_000 * scale)),
+        zr=1.7,
+        zc=1.4,
+        p=0.9,
+        n_clusters=30,
+        seed=seed,
+    )

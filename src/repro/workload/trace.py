@@ -1,0 +1,78 @@
+"""Workload trace persistence: save and replay event streams.
+
+Traces are JSONL files, one event per line, with a header line carrying
+the generating spec so a trace is self-describing.  Replaying a trace is
+cheaper than regenerating it and guarantees byte-identical workloads
+across experiments and machines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.core.models import DownloadEvent, ModelKind
+from repro.workload.generators import WorkloadSpec
+
+
+def write_trace(path, events: Iterable[DownloadEvent], spec: Optional[WorkloadSpec] = None) -> int:
+    """Write an event stream to a JSONL trace; returns the event count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        if spec is not None:
+            header = asdict(spec)
+            header["kind"] = spec.kind.value
+            handle.write(json.dumps({"header": header}) + "\n")
+        for event in events:
+            handle.write(f"{event.user_id} {event.app_index}\n")
+            count += 1
+    return count
+
+
+def read_trace(path) -> Tuple[Optional[WorkloadSpec], Iterator[DownloadEvent]]:
+    """Open a trace; returns (spec or None, lazy event iterator).
+
+    The iterator holds the file open until exhausted; consume it fully or
+    discard it promptly.
+    """
+    path = Path(path)
+    handle = path.open("r", encoding="utf-8")
+    first = handle.readline()
+    spec: Optional[WorkloadSpec] = None
+    pending_line: Optional[str] = None
+    if first:
+        stripped = first.strip()
+        if stripped.startswith("{"):
+            record = json.loads(stripped)
+            header = record.get("header")
+            if header is not None:
+                header["kind"] = ModelKind(header["kind"])
+                if header.get("cluster_of") is not None:
+                    header["cluster_of"] = tuple(header["cluster_of"])
+                spec = WorkloadSpec(**header)
+            else:
+                raise ValueError(f"unrecognized trace header in {path}")
+        else:
+            pending_line = first
+
+    def iterate() -> Iterator[DownloadEvent]:
+        try:
+            if pending_line is not None:
+                yield _parse_event(pending_line)
+            for line in handle:
+                if line.strip():
+                    yield _parse_event(line)
+        finally:
+            handle.close()
+
+    return spec, iterate()
+
+
+def _parse_event(line: str) -> DownloadEvent:
+    parts = line.split()
+    if len(parts) != 2:
+        raise ValueError(f"malformed trace line: {line!r}")
+    return DownloadEvent(user_id=int(parts[0]), app_index=int(parts[1]))

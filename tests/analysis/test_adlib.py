@@ -1,0 +1,87 @@
+"""Tests for repro.analysis.adlib (the ad-library scanner)."""
+
+import pytest
+
+from repro.analysis.adlib import (
+    declaration_accuracy,
+    scan_apks,
+    scan_store_for_ads,
+)
+from repro.crawler.database import ApkRecord
+
+
+def apk(app_id, libraries, version="1.0"):
+    return ApkRecord(
+        store="s",
+        app_id=app_id,
+        version_name=version,
+        package_name=f"com.s.app{app_id}",
+        size_mb=3.5,
+        embedded_libraries=tuple(libraries),
+    )
+
+
+class TestScanApks:
+    def test_detects_ad_network(self):
+        result = scan_apks("s", [apk(1, ["com.adrift.sdk", "com.google.gson"])])
+        assert result.per_app[1] is True
+        assert result.n_with_ads == 1
+
+    def test_clean_app(self):
+        result = scan_apks("s", [apk(1, ["com.google.gson"])])
+        assert result.per_app[1] is False
+        assert result.ad_fraction == 0.0
+
+    def test_subpackage_counts(self):
+        result = scan_apks("s", [apk(1, ["com.adrift.sdk.banner.view"])])
+        assert result.per_app[1] is True
+
+    def test_latest_version_wins(self):
+        records = [
+            apk(1, ["com.adrift.sdk"], version="1.0"),
+            apk(1, ["com.google.gson"], version="1.1"),
+        ]
+        result = scan_apks("s", records)
+        assert result.per_app[1] is False
+
+    def test_network_counts(self):
+        records = [
+            apk(1, ["com.adrift.sdk"]),
+            apk(2, ["com.adrift.sdk", "com.mobipop.ads"]),
+        ]
+        result = scan_apks("s", records)
+        assert result.network_counts["com.adrift.sdk"] == 2
+        assert result.network_counts["com.mobipop.ads"] == 1
+        assert result.top_networks(1)[0][0] == "com.adrift.sdk"
+
+    def test_empty_scan(self):
+        result = scan_apks("s", [])
+        assert result.ad_fraction == 0.0
+        assert result.n_scanned == 0
+
+
+class TestScanStore:
+    def test_scan_fraction_in_paper_ballpark(self, slideme_campaign):
+        """Section 6.3: ~67% of free apps embed a top-20 ad network."""
+        result = scan_store_for_ads(
+            slideme_campaign.database, "slideme-test", free_only=True
+        )
+        assert 0.5 < result.ad_fraction < 0.85
+
+    def test_free_only_scans_fewer(self, slideme_campaign):
+        everything = scan_store_for_ads(slideme_campaign.database, "slideme-test")
+        free_only = scan_store_for_ads(
+            slideme_campaign.database, "slideme-test", free_only=True
+        )
+        assert free_only.n_scanned < everything.n_scanned
+
+    def test_describe(self, slideme_campaign):
+        result = scan_store_for_ads(slideme_campaign.database, "slideme-test")
+        assert "%" in result.describe()
+
+
+class TestDeclarationAccuracy:
+    def test_declarations_generally_true(self, slideme_campaign):
+        """The paper finds the page's ad claim is 'generally true'."""
+        accuracy = declaration_accuracy(slideme_campaign.database, "slideme-test")
+        assert accuracy > 0.9

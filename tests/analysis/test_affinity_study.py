@@ -1,0 +1,68 @@
+"""Tests for repro.analysis.affinity_study (Figures 6-7)."""
+
+import pytest
+
+from repro.analysis.affinity_study import affinity_study, category_app_counts
+
+
+class TestAffinityStudy:
+    @pytest.fixture(scope="class")
+    def study(self, demo_campaign):
+        return affinity_study(
+            demo_campaign.database, "demo", min_group_size=5
+        )
+
+    def test_all_depths_present(self, study):
+        assert set(study.by_depth) == {1, 2, 3}
+
+    def test_affinity_exceeds_random_walk(self, study):
+        """The paper's central finding: measured affinity beats random."""
+        for depth, result in study.by_depth.items():
+            assert result.overall_mean > result.random_walk, (
+                f"depth {depth}: affinity not above baseline"
+            )
+
+    def test_strong_lift_at_depth_one(self, study):
+        """The paper reports a 3.9x lift at depth 1; require a clear one."""
+        assert study.by_depth[1].lift_over_random > 2.0
+
+    def test_affinity_and_baseline_increase_with_depth(self, study):
+        means = [study.by_depth[d].overall_mean for d in (1, 2, 3)]
+        baselines = [study.by_depth[d].random_walk for d in (1, 2, 3)]
+        assert means[0] < means[1] < means[2]
+        assert baselines[0] < baselines[1] < baselines[2]
+
+    def test_medians_increase_with_depth(self, study):
+        """Figure 7: medians rise with depth (paper: 0.5 / 0.58 / 0.67)."""
+        medians = [study.by_depth[d].median for d in (1, 2, 3)]
+        assert medians[0] <= medians[1] <= medians[2]
+
+    def test_group_points_have_intervals(self, study):
+        points = study.by_depth[1].group_points
+        assert points
+        for point in points:
+            assert point.interval.lower <= point.mean <= point.interval.upper
+            assert 0.0 <= point.mean <= 1.0
+
+    def test_ecdf_spans_unit_interval(self, study):
+        ecdf = study.by_depth[1].ecdf()
+        low, high = ecdf.support()
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_describe(self, study):
+        text = study.describe()
+        assert "depth 1" in text and "random walk" in text
+
+
+class TestCategoryAppCounts:
+    def test_counts_positive(self, demo_campaign):
+        counts = category_app_counts(demo_campaign.database, "demo")
+        assert counts
+        assert all(count > 0 for count in counts)
+
+    def test_counts_sum_to_app_total(self, demo_campaign):
+        counts = category_app_counts(demo_campaign.database, "demo")
+        snapshots = demo_campaign.database.snapshots_on(
+            "demo", demo_campaign.last_crawl_day
+        )
+        assert sum(counts) == len(snapshots)

@@ -1,0 +1,98 @@
+"""Tests for repro.analysis.model_validation (Figures 8-10)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.model_validation import (
+    first_last_day_distances,
+    fit_store_day,
+    observed_rank_curve,
+    user_sweep_for_store,
+)
+from repro.core.models import ModelKind
+
+SMALL_GRIDS = dict(
+    zr_grid=(0.9, 1.1, 1.3, 1.5),
+    zc_grid=(1.2, 1.4),
+    p_grid=(0.7, 0.9),
+)
+
+
+class TestObservedRankCurve:
+    def test_sorted_descending(self, demo_campaign):
+        curve = observed_rank_curve(
+            demo_campaign.database, "demo", demo_campaign.last_crawl_day
+        )
+        assert np.all(np.diff(curve) <= 0)
+        assert np.all(curve > 0)
+
+
+class TestFitStoreDay:
+    @pytest.fixture(scope="class")
+    def fits(self, demo_campaign):
+        return fit_store_day(demo_campaign.database, "demo", **SMALL_GRIDS)
+
+    def test_all_models_fitted(self, fits):
+        assert set(fits.fits) == set(ModelKind)
+
+    def test_app_clustering_wins(self, fits):
+        """Figure 9: APP-CLUSTERING has the smallest distance."""
+        assert fits.best.kind == ModelKind.APP_CLUSTERING
+
+    def test_improvement_factors(self, fits):
+        assert fits.improvement_over(ModelKind.ZIPF) >= 1.0
+        assert fits.improvement_over(ModelKind.ZIPF_AT_MOST_ONCE) >= 1.0
+
+    def test_default_users_is_top_app(self, fits, demo_campaign):
+        curve = observed_rank_curve(
+            demo_campaign.database, "demo", demo_campaign.last_crawl_day
+        )
+        assert fits.n_users_assumed == int(curve[0])
+
+    def test_describe(self, fits):
+        text = fits.describe()
+        assert "APP-CLUSTERING" in text and "ZIPF" in text
+
+
+class TestFirstLastDayDistances:
+    def test_two_rows_per_store(self, demo_campaign):
+        results = first_last_day_distances(
+            demo_campaign.database, **SMALL_GRIDS
+        )
+        assert len(results) == 2
+        days = [result.day for result in results]
+        assert days == [
+            demo_campaign.first_crawl_day,
+            demo_campaign.last_crawl_day,
+        ]
+
+    def test_clustering_wins_on_both_days(self, demo_campaign):
+        for result in first_last_day_distances(
+            demo_campaign.database, **SMALL_GRIDS
+        ):
+            assert result.best.kind == ModelKind.APP_CLUSTERING
+
+
+class TestUserSweep:
+    def test_sweep_shape(self, demo_campaign):
+        sweep = user_sweep_for_store(
+            demo_campaign.database,
+            "demo",
+            user_fractions=(0.25, 1.0, 4.0),
+            n_clusters=12,
+        )
+        assert [fraction for fraction, _ in sweep] == [0.25, 1.0, 4.0]
+        assert all(distance >= 0 for _, distance in sweep)
+
+    def test_extreme_user_counts_fit_worse(self, demo_campaign):
+        """Figure 10: very small or very large U increases the distance."""
+        sweep = dict(
+            user_sweep_for_store(
+                demo_campaign.database,
+                "demo",
+                user_fractions=(0.1, 1.0, 50.0),
+                n_clusters=12,
+            )
+        )
+        assert sweep[1.0] <= sweep[0.1]
+        assert sweep[1.0] <= sweep[50.0]

@@ -1,0 +1,67 @@
+"""Tests for repro.analysis.popularity (Figures 2-3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.popularity import (
+    downloads_by_category,
+    popularity_report,
+    popularity_reports,
+)
+
+
+class TestPopularityReport:
+    def test_report_fields(self, demo_campaign):
+        report = popularity_report(demo_campaign.database, "demo")
+        assert report.store == "demo"
+        assert report.pareto.n_apps > 0
+        assert report.truncation.trunk.slope > 0
+        ranks, values = report.rank_series
+        assert ranks[0] == 1.0
+        assert np.all(values >= 0)
+
+    def test_pareto_effect_present(self, demo_campaign):
+        """The top 20% of apps must carry a disproportionate share."""
+        report = popularity_report(demo_campaign.database, "demo")
+        assert report.pareto.share_top_20pct > 0.30
+
+    def test_both_truncations_detected(self, demo_campaign):
+        """The synthetic store reproduces the paper's double truncation."""
+        report = popularity_report(demo_campaign.database, "demo")
+        assert report.truncation.has_tail_truncation
+
+    def test_default_is_last_day(self, demo_campaign):
+        report = popularity_report(demo_campaign.database, "demo")
+        assert report.day == demo_campaign.last_crawl_day
+
+    def test_explicit_day(self, demo_campaign):
+        day = demo_campaign.first_crawl_day
+        report = popularity_report(demo_campaign.database, "demo", day=day)
+        assert report.day == day
+
+    def test_unknown_store_rejected(self, demo_campaign):
+        with pytest.raises(KeyError):
+            popularity_report(demo_campaign.database, "nope")
+
+    def test_describe_two_lines(self, demo_campaign):
+        text = popularity_report(demo_campaign.database, "demo").describe()
+        assert text.count("\n") == 1
+        assert "top 1%" in text
+
+    def test_reports_cover_all_stores(self, demo_campaign):
+        reports = popularity_reports(demo_campaign.database)
+        assert [r.store for r in reports] == ["demo"]
+
+
+class TestDownloadsByCategory:
+    def test_totals_match_vector(self, demo_campaign):
+        database = demo_campaign.database
+        totals = downloads_by_category(database, "demo")
+        vector = database.download_vector("demo", demo_campaign.last_crawl_day)
+        assert sum(totals.values()) == int(vector.sum())
+
+    def test_no_dominant_category(self, demo_campaign):
+        """Figure 5(d): the most popular category stays modest."""
+        totals = downloads_by_category(demo_campaign.database, "demo")
+        grand = sum(totals.values())
+        assert max(totals.values()) / grand < 0.5

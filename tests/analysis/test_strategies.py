@@ -1,0 +1,81 @@
+"""Tests for repro.analysis.strategies (Figures 16-18)."""
+
+import pytest
+
+from repro.analysis.strategies import (
+    break_even_report,
+    developer_strategy_report,
+    free_app_records,
+)
+
+
+class TestFreeAppRecords:
+    def test_records_extracted(self, slideme_campaign):
+        records = free_app_records(slideme_campaign.database, "slideme-test")
+        assert records
+        assert any(record.has_ads for record in records)
+        assert any(not record.has_ads for record in records)
+
+
+class TestDeveloperStrategyReport:
+    @pytest.fixture(scope="class")
+    def report(self, slideme_campaign):
+        return developer_strategy_report(
+            slideme_campaign.database, "slideme-test"
+        )
+
+    def test_most_developers_offer_few_apps(self, report):
+        """Figure 16(a): ~95% of developers offer fewer than 10 apps."""
+        assert report.apps_per_developer_free(9) > 0.85
+        assert report.apps_per_developer_paid(9) > 0.85
+
+    def test_developers_focus_on_few_categories(self, report):
+        """Figure 16(b): 99% of developers work in at most 5 categories."""
+        assert report.categories_per_developer_free(5) > 0.9
+        assert report.categories_per_developer_paid(5) > 0.9
+
+    def test_strategy_mix_sums_to_one(self, report):
+        total = sum(report.strategy_mix.values())
+        assert total == pytest.approx(1.0)
+
+    def test_single_strategy_dominates(self, report):
+        """Section 6.3: most developers choose one pricing strategy."""
+        mix = report.strategy_mix
+        assert mix["free_only"] + mix["paid_only"] > mix["both"]
+
+    def test_describe(self, report):
+        assert "single-app developers" in report.describe()
+
+
+class TestBreakEvenReport:
+    @pytest.fixture(scope="class")
+    def report(self, slideme_campaign):
+        return break_even_report(slideme_campaign.database, "slideme-test")
+
+    def test_overall_break_even_positive(self, report):
+        assert report.overall > 0
+
+    def test_popular_apps_need_less(self, report):
+        """Figure 17: popular free apps break even at a lower ad income."""
+        tiers = report.by_tier
+        assert tiers["most popular"] < tiers["unpopular"]
+
+    def test_by_category_nonempty(self, report):
+        assert report.by_category
+        assert all(value > 0 for value in report.by_category.values())
+
+    def test_music_expensive_to_match(self, report):
+        """Figure 18: music (blockbuster paid apps) is hardest to match."""
+        by_category = report.by_category
+        if "music" in by_category:
+            others = [v for k, v in by_category.items() if k != "music"]
+            assert by_category["music"] > min(others)
+
+    def test_over_time_series(self, report, slideme_campaign):
+        assert report.over_time
+        days = [day for day, _ in report.over_time]
+        assert days == sorted(days)
+        assert all(value > 0 for _, value in report.over_time)
+
+    def test_describe(self, report):
+        assert "per download" in report.describe()

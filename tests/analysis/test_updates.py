@@ -1,0 +1,42 @@
+"""Tests for repro.analysis.updates (Figure 4)."""
+
+import pytest
+
+from repro.analysis.updates import update_distribution
+
+
+class TestUpdateDistribution:
+    def test_most_apps_never_updated(self, demo_campaign):
+        """Figure 4: the large majority of apps sees zero updates."""
+        distribution = update_distribution(demo_campaign.database, "demo")
+        assert distribution.fraction_never_updated > 0.6
+
+    def test_nearly_all_have_few_updates(self, demo_campaign):
+        distribution = update_distribution(demo_campaign.database, "demo")
+        assert distribution.fraction_with_at_most(4) > 0.95
+
+    def test_top_apps_also_rarely_updated(self, demo_campaign):
+        """Figure 4's companion: the top 10% most popular apps too."""
+        distribution = update_distribution(
+            demo_campaign.database, "demo", top_fraction=0.1
+        )
+        assert distribution.fraction_never_updated > 0.4
+
+    def test_top_fraction_shrinks_population(self, demo_campaign):
+        full = update_distribution(demo_campaign.database, "demo")
+        top = update_distribution(demo_campaign.database, "demo", top_fraction=0.1)
+        assert len(top.updates_per_app) < len(full.updates_per_app)
+
+    def test_window_bounds_validated(self, demo_campaign):
+        database = demo_campaign.database
+        day = demo_campaign.first_crawl_day
+        with pytest.raises(ValueError):
+            update_distribution(database, "demo", first_day=day, last_day=day)
+
+    def test_top_fraction_validated(self, demo_campaign):
+        with pytest.raises(ValueError):
+            update_distribution(demo_campaign.database, "demo", top_fraction=0.0)
+
+    def test_describe(self, demo_campaign):
+        text = update_distribution(demo_campaign.database, "demo").describe()
+        assert "never updated" in text

@@ -1,0 +1,138 @@
+"""Tests for repro.cache.policies."""
+
+import numpy as np
+import pytest
+
+from repro.cache.policies import (
+    CategoryAwareLruCache,
+    FifoCache,
+    LfuCache,
+    LruCache,
+    SegmentedLruCache,
+)
+
+ALL_POLICIES = [
+    lambda capacity: LruCache(capacity),
+    lambda capacity: FifoCache(capacity),
+    lambda capacity: LfuCache(capacity),
+    lambda capacity: SegmentedLruCache(capacity),
+    lambda capacity: CategoryAwareLruCache(capacity, category_of=lambda k: k % 3),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_POLICIES)
+class TestPolicyInvariants:
+    def test_capacity_never_exceeded(self, factory):
+        cache = factory(10)
+        rng = np.random.default_rng(0)
+        for key in rng.integers(0, 100, size=500):
+            cache.access(int(key))
+            assert len(cache) <= 10
+
+    def test_hit_miss_accounting(self, factory):
+        cache = factory(10)
+        rng = np.random.default_rng(1)
+        accesses = 300
+        for key in rng.integers(0, 30, size=accesses):
+            cache.access(int(key))
+        assert cache.hits + cache.misses == accesses
+        assert 0.0 <= cache.hit_ratio <= 1.0
+
+    def test_repeat_access_hits(self, factory):
+        cache = factory(5)
+        assert not cache.access(1)  # cold miss
+        assert cache.access(1)  # now cached
+
+    def test_contains_after_admit(self, factory):
+        cache = factory(5)
+        cache.access(42)
+        assert 42 in cache
+
+    def test_warm_does_not_count(self, factory):
+        cache = factory(5)
+        cache.warm([1, 2, 3])
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.access(1)
+
+    def test_warm_respects_capacity(self, factory):
+        cache = factory(3)
+        cache.warm(range(10))
+        assert len(cache) <= 3
+
+    def test_invalid_capacity(self, factory):
+        with pytest.raises(ValueError):
+            factory(0)
+
+    def test_working_set_within_capacity_all_hits(self, factory):
+        cache = factory(20)
+        for _ in range(5):
+            for key in range(10):
+                cache.access(key)
+        # After the first cold pass, everything fits: only 10 misses.
+        assert cache.misses == 10
+        assert cache.hits == 40
+
+
+class TestLruSpecifics:
+    def test_lru_eviction_order(self):
+        cache = LruCache(2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # 1 becomes most recent
+        cache.access(3)  # evicts 2
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_fifo_ignores_recency(self):
+        cache = FifoCache(2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # hit, but does not refresh insertion order
+        cache.access(3)  # evicts 1 (first in)
+        assert 1 not in cache and 2 in cache and 3 in cache
+
+
+class TestLfuSpecifics:
+    def test_lfu_keeps_frequent(self):
+        cache = LfuCache(2)
+        for _ in range(5):
+            cache.access("hot")
+        cache.access("warm")
+        cache.access("cold")  # evicts "warm" (lowest frequency)
+        assert "hot" in cache
+        assert "warm" not in cache
+
+
+class TestSlruSpecifics:
+    def test_promotion_protects_popular(self):
+        cache = SegmentedLruCache(10, protected_fraction=0.5)
+        cache.access("popular")
+        cache.access("popular")  # promoted to the protected segment
+        # Flood the probation segment.
+        for key in range(100):
+            cache.access(key)
+        assert "popular" in cache
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            SegmentedLruCache(10, protected_fraction=1.0)
+
+
+class TestCategoryAwareSpecifics:
+    def test_burst_cannot_flush_other_categories(self):
+        """A same-category burst must not evict the whole cache."""
+        cache = CategoryAwareLruCache(
+            20, category_of=lambda key: 0 if key < 1000 else 1
+        )
+        # Establish steady demand for category 1.
+        for key in range(1000, 1010):
+            cache.access(key)
+            cache.access(key)
+        # Burst of fresh category-0 keys, larger than the cache.
+        for key in range(50):
+            cache.access(key)
+        survivors = sum(1 for key in range(1000, 1010) if key in cache)
+        assert survivors >= 1
+
+    def test_smoothing_validated(self):
+        with pytest.raises(ValueError):
+            CategoryAwareLruCache(5, category_of=lambda k: 0, smoothing=0.0)

@@ -1,0 +1,90 @@
+"""Tests for repro.cache.simulator (the Figure 19 experiment machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.policies import LruCache
+from repro.cache.simulator import (
+    AVERAGE_APP_SIZE_MB,
+    hit_ratio_curve,
+    simulate_cache,
+)
+from repro.core.models import DownloadEvent, ModelKind
+from repro.workload.generators import WorkloadSpec
+
+
+def small_spec(kind: ModelKind, seed: int = 0) -> WorkloadSpec:
+    return WorkloadSpec(
+        kind=kind,
+        n_apps=600,
+        n_users=3000,
+        total_downloads=12_000,
+        zr=1.7,
+        zc=1.4,
+        p=0.9,
+        n_clusters=30,
+        seed=seed,
+    )
+
+
+class TestSimulateCache:
+    def test_accounting(self):
+        events = [DownloadEvent(0, i % 5) for i in range(100)]
+        result = simulate_cache(iter(events), LruCache(10))
+        assert result.n_accesses == 100
+        assert result.hits + result.misses == 100
+        # Working set of 5 fits in capacity 10: only cold misses.
+        assert result.misses == 5
+
+    def test_warm_keys_prime_cache(self):
+        events = [DownloadEvent(0, 1)]
+        result = simulate_cache(iter(events), LruCache(4), warm_keys=[1, 2])
+        assert result.hits == 1 and result.misses == 0
+
+    def test_capacity_mb_uses_paper_app_size(self):
+        events = [DownloadEvent(0, 0)]
+        result = simulate_cache(iter(events), LruCache(100))
+        assert result.capacity_mb == pytest.approx(100 * AVERAGE_APP_SIZE_MB)
+
+    def test_describe(self):
+        result = simulate_cache(iter([DownloadEvent(0, 0)]), LruCache(10))
+        assert "hit ratio" in result.describe()
+
+
+class TestFigure19Ordering:
+    def test_model_ordering(self):
+        """The paper's central cache finding: ZIPF > ZIPF-AMO > CLUSTERING."""
+        capacity = 30  # 5% of apps
+        ratios = {}
+        for kind in ModelKind:
+            spec = small_spec(kind)
+            counts = spec.download_counts()
+            warm = list(np.argsort(counts)[::-1][:capacity])
+            result = simulate_cache(spec.events(), LruCache(capacity), warm_keys=warm)
+            ratios[kind] = result.hit_ratio
+        assert ratios[ModelKind.ZIPF] > ratios[ModelKind.ZIPF_AT_MOST_ONCE]
+        assert (
+            ratios[ModelKind.ZIPF_AT_MOST_ONCE]
+            > ratios[ModelKind.APP_CLUSTERING]
+        )
+
+    def test_hit_ratio_grows_with_capacity(self):
+        spec = small_spec(ModelKind.APP_CLUSTERING)
+        counts = spec.download_counts()
+        warm = list(np.argsort(counts)[::-1])
+        results = hit_ratio_curve(
+            lambda: spec.events(),
+            cache_sizes=[6, 30, 120],
+            warm_keys=warm,
+        )
+        ratios = [result.hit_ratio for result in results]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_lru_still_effective_overall(self):
+        """Figure 19's other message: caching works (hit ratio is high)."""
+        spec = small_spec(ModelKind.APP_CLUSTERING)
+        counts = spec.download_counts()
+        capacity = 60  # 10% of apps
+        warm = list(np.argsort(counts)[::-1][:capacity])
+        result = simulate_cache(spec.events(), LruCache(capacity), warm_keys=warm)
+        assert result.hit_ratio > 0.5

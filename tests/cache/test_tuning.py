@@ -1,0 +1,98 @@
+"""Tests for repro.cache.tuning (clustering-tuned SLRU configuration)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.policies import LruCache, SegmentedLruCache
+from repro.cache.simulator import simulate_cache
+from repro.cache.tuning import (
+    CLUSTERING_TUNED_PROTECTED_FRACTION,
+    best_protected_fraction,
+    clustering_tuned_cache,
+    sweep_protected_fraction,
+)
+from repro.core.models import ModelKind
+from repro.workload.generators import figure19_spec
+
+
+@pytest.fixture(scope="module")
+def clustering_spec():
+    return figure19_spec(kind=ModelKind.APP_CLUSTERING, scale=0.01, seed=9)
+
+
+@pytest.fixture(scope="module")
+def warm_order(clustering_spec):
+    counts = clustering_spec.download_counts()
+    return list(np.argsort(counts)[::-1])
+
+
+class TestClusteringTunedCache:
+    def test_is_heavily_protected_slru(self):
+        cache = clustering_tuned_cache(100)
+        assert isinstance(cache, SegmentedLruCache)
+        assert CLUSTERING_TUNED_PROTECTED_FRACTION >= 0.8
+
+    def test_beats_lru_on_clustering_workload(self, clustering_spec, warm_order):
+        """The headline claim of the tuning module."""
+        capacity = max(1, int(0.02 * clustering_spec.n_apps))
+        lru = simulate_cache(
+            clustering_spec.events(),
+            LruCache(capacity),
+            warm_keys=warm_order[:capacity],
+        )
+        tuned = simulate_cache(
+            clustering_spec.events(),
+            clustering_tuned_cache(capacity),
+            warm_keys=warm_order[:capacity],
+        )
+        assert tuned.hit_ratio > lru.hit_ratio
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            clustering_tuned_cache(0)
+
+
+class TestSweep:
+    def test_sweep_shape(self, clustering_spec, warm_order):
+        capacity = max(1, int(0.02 * clustering_spec.n_apps))
+        results = sweep_protected_fraction(
+            clustering_spec.events,
+            capacity,
+            fractions=(0.3, 0.9),
+            warm_keys=warm_order,
+        )
+        assert [fraction for fraction, _ in results] == [0.3, 0.9]
+        for _, result in results:
+            assert 0.0 <= result.hit_ratio <= 1.0
+
+    def test_higher_protection_wins_under_clustering(
+        self, clustering_spec, warm_order
+    ):
+        capacity = max(1, int(0.02 * clustering_spec.n_apps))
+        results = dict(
+            sweep_protected_fraction(
+                clustering_spec.events,
+                capacity,
+                fractions=(0.3, 0.9),
+                warm_keys=warm_order,
+            )
+        )
+        assert results[0.9].hit_ratio > results[0.3].hit_ratio
+
+    def test_best_fraction_is_high(self, clustering_spec, warm_order):
+        capacity = max(1, int(0.02 * clustering_spec.n_apps))
+        best = best_protected_fraction(
+            clustering_spec.events,
+            capacity,
+            fractions=(0.3, 0.6, 0.9),
+            warm_keys=warm_order,
+        )
+        assert best >= 0.6
+
+    def test_validation(self, clustering_spec):
+        with pytest.raises(ValueError):
+            sweep_protected_fraction(clustering_spec.events, 0)
+        with pytest.raises(ValueError):
+            sweep_protected_fraction(
+                clustering_spec.events, 10, fractions=(1.0,)
+            )

@@ -1,0 +1,58 @@
+"""Shared fixtures: pre-built campaigns reused across analysis tests.
+
+Building a store and crawling it is the expensive part of most tests, so
+two campaigns are built once per session: a free-only store (for the
+popularity/affinity analyses) and a SlideMe-like store with paid apps
+(for the pricing/income analyses).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crawler.scheduler import CrawlCampaign, run_crawl_campaign
+from repro.marketplace.behavior import BehaviorParams
+from repro.marketplace.profiles import demo_profile
+
+
+@pytest.fixture(scope="session")
+def demo_campaign() -> CrawlCampaign:
+    """A crawled free-only store with enough activity for every analysis."""
+    profile = demo_profile(
+        name="demo",
+        initial_apps=400,
+        new_apps_per_day=2.0,
+        crawl_days=20,
+        warmup_days=8,
+        daily_downloads=1500.0,
+        warmup_daily_downloads=1500.0,
+        n_users=700,
+        n_categories=12,
+        comment_probability=0.2,
+        spam_users=3,
+    )
+    return run_crawl_campaign(profile, seed=20130817, keep_download_log=True)
+
+
+@pytest.fixture(scope="session")
+def slideme_campaign() -> CrawlCampaign:
+    """A crawled SlideMe-like store (free and paid apps)."""
+    profile = demo_profile(
+        name="slideme-test",
+        initial_apps=500,
+        new_apps_per_day=2.0,
+        crawl_days=16,
+        warmup_days=10,
+        daily_downloads=1800.0,
+        warmup_daily_downloads=1800.0,
+        n_users=800,
+        n_categories=14,
+        paid_fraction=0.25,
+        comment_probability=0.12,
+        behavior=BehaviorParams(
+            cluster_probability=0.9,
+            global_exponent=1.1,
+            cluster_exponent=1.3,
+        ),
+    )
+    return run_crawl_campaign(profile, seed=424242)

@@ -1,0 +1,177 @@
+"""Tests for repro.core.affinity (Equations 1-4 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.core.affinity import (
+    affinity_by_group,
+    category_string,
+    collapse_repeats,
+    random_walk_affinity,
+    temporal_affinity,
+)
+
+
+class TestCollapseRepeats:
+    def test_paper_example(self):
+        # a1 a2 a3 a3 a1 a4 -> a1 a2 a3 a1 a4
+        assert collapse_repeats(["a1", "a2", "a3", "a3", "a1", "a4"]) == [
+            "a1",
+            "a2",
+            "a3",
+            "a1",
+            "a4",
+        ]
+
+    def test_empty(self):
+        assert collapse_repeats([]) == []
+
+    def test_all_same(self):
+        assert collapse_repeats([1, 1, 1]) == [1]
+
+    def test_no_adjacent_repeats_unchanged(self):
+        assert collapse_repeats([1, 2, 3]) == [1, 2, 3]
+
+    def test_non_adjacent_repeats_kept(self):
+        assert collapse_repeats([1, 2, 1]) == [1, 2, 1]
+
+
+class TestCategoryString:
+    def test_mapping(self):
+        mapping = {"a1": "games", "a2": "tools"}
+        assert category_string(["a1", "a2", "a1"], mapping) == [
+            "games",
+            "tools",
+            "games",
+        ]
+
+    def test_missing_app_raises(self):
+        with pytest.raises(KeyError):
+            category_string(["a1"], {})
+
+
+class TestTemporalAffinity:
+    def test_paper_example_all_same(self):
+        # c1 c1 c1 c1 -> 3/3
+        assert temporal_affinity(["c1"] * 4) == pytest.approx(1.0)
+
+    def test_paper_example_two_thirds(self):
+        # c1 c1 c1 c2 -> 2/3
+        assert temporal_affinity(["c1", "c1", "c1", "c2"]) == pytest.approx(2 / 3)
+
+    def test_paper_example_one_third(self):
+        # c1 c1 c2 c3 -> 1/3
+        assert temporal_affinity(["c1", "c1", "c2", "c3"]) == pytest.approx(1 / 3)
+
+    def test_oscillation_zero_at_depth_one(self):
+        # The paper's motivating case for depth: c1 c2 c1 c2.
+        assert temporal_affinity(["c1", "c2", "c1", "c2"]) == pytest.approx(0.0)
+
+    def test_oscillation_full_at_depth_two(self):
+        assert temporal_affinity(["c1", "c2", "c1", "c2"], depth=2) == pytest.approx(
+            1.0
+        )
+
+    def test_short_string_returns_none(self):
+        assert temporal_affinity(["c1"]) is None
+        assert temporal_affinity(["c1", "c2"], depth=2) is None
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            temporal_affinity(["a", "b"], depth=0)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            string = rng.integers(0, 5, size=rng.integers(2, 20)).tolist()
+            value = temporal_affinity(string)
+            assert 0.0 <= value <= 1.0
+
+    def test_affinity_nondecreasing_in_depth(self):
+        # Deeper windows can only match more (on the shared positions);
+        # verify the paper's "affinity increases with depth" on average.
+        rng = np.random.default_rng(1)
+        means = []
+        strings = [
+            rng.integers(0, 4, size=12).tolist() for _ in range(300)
+        ]
+        for depth in (1, 2, 3):
+            values = [temporal_affinity(s, depth=depth) for s in strings]
+            means.append(np.mean([v for v in values if v is not None]))
+        assert means[0] < means[1] < means[2]
+
+    def test_works_with_numpy_arrays(self):
+        assert temporal_affinity(np.array([1, 1, 2])) == pytest.approx(0.5)
+
+
+class TestRandomWalkAffinity:
+    def test_equal_categories_depth_one(self):
+        # C equal categories of size s: affinity ~ (s-1)/(Cs-1) ~ 1/C.
+        value = random_walk_affinity([100] * 10)
+        assert value == pytest.approx((100 - 1) / (1000 - 1))
+
+    def test_single_category_is_one(self):
+        assert random_walk_affinity([50]) == pytest.approx(1.0)
+
+    def test_depth_scaling_close_to_linear(self):
+        sizes = [30] * 20
+        depth1 = random_walk_affinity(sizes, depth=1)
+        depth2 = random_walk_affinity(sizes, depth=2)
+        depth3 = random_walk_affinity(sizes, depth=3)
+        # Equation 4 is d times the depth-1 value with a small correction.
+        assert depth2 == pytest.approx(2 * depth1, rel=0.01)
+        assert depth3 == pytest.approx(3 * depth1, rel=0.01)
+
+    def test_paper_magnitudes(self):
+        # The paper's Anzhi baseline: 0.14 / 0.28 / 0.42 for depths 1-3.
+        # A mildly skewed 34-category store reproduces that ballpark.
+        rng = np.random.default_rng(2)
+        sizes = (1800 * (np.arange(1, 35) ** -0.6)).astype(int) + 10
+        depth1 = random_walk_affinity(sizes, depth=1)
+        assert 0.03 < depth1 < 0.25
+        assert random_walk_affinity(sizes, depth=2) == pytest.approx(
+            2 * depth1, rel=0.02
+        )
+
+    def test_skew_increases_affinity(self):
+        uniform = random_walk_affinity([25, 25, 25, 25])
+        skewed = random_walk_affinity([85, 5, 5, 5])
+        assert skewed > uniform
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            random_walk_affinity([])
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValueError):
+            random_walk_affinity([5, -1])
+
+    def test_rejects_too_few_apps_for_depth(self):
+        with pytest.raises(ValueError):
+            random_walk_affinity([1, 1], depth=2)
+
+    def test_probability_bounds(self):
+        for depth in (1, 2, 3):
+            value = random_walk_affinity([40, 30, 20, 10], depth=depth)
+            assert 0.0 <= value <= 1.0
+
+
+class TestAffinityByGroup:
+    def test_groups_by_length(self):
+        strings = [["a", "a"]] * 12 + [["a", "b", "c"]] * 15
+        groups = affinity_by_group(strings, min_group_size=10)
+        assert set(groups) == {2, 3}
+        assert len(groups[2]) == 12
+
+    def test_small_groups_dropped(self):
+        strings = [["a", "a"]] * 12 + [["a", "b", "c"]] * 3
+        groups = affinity_by_group(strings, min_group_size=10)
+        assert set(groups) == {2}
+
+    def test_single_element_strings_skipped(self):
+        groups = affinity_by_group([["a"]] * 20, min_group_size=1)
+        assert groups == {}
+
+    def test_min_group_size_validated(self):
+        with pytest.raises(ValueError):
+            affinity_by_group([], min_group_size=0)

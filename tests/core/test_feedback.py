@@ -1,0 +1,125 @@
+"""Tests for repro.core.feedback (the recommender-feedback model)."""
+
+import numpy as np
+import pytest
+
+from repro.core.feedback import RecommenderFeedbackModel, RecommenderFeedbackParams
+
+
+def make_params(**overrides):
+    defaults = dict(
+        n_apps=400,
+        n_users=200,
+        total_downloads=4000,
+        zr=1.3,
+        q=0.9,
+        list_size=20,
+        refresh_every=200,
+    )
+    defaults.update(overrides)
+    return RecommenderFeedbackParams(**defaults)
+
+
+class TestParams:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_apps": 0},
+            {"n_users": 0},
+            {"total_downloads": -1},
+            {"zr": -0.1},
+            {"q": 1.5},
+            {"list_size": 0},
+            {"refresh_every": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            make_params(**kwargs)
+
+
+class TestRecommenderFeedbackModel:
+    def test_fetch_at_most_once(self):
+        model = RecommenderFeedbackModel(make_params())
+        per_user = {}
+        for event in model.iter_events(seed=0):
+            apps = per_user.setdefault(event.user_id, set())
+            assert event.app_index not in apps
+            apps.add(event.app_index)
+
+    def test_counts_capped_by_users(self):
+        params = make_params()
+        counts = RecommenderFeedbackModel(params).simulate(seed=1)
+        assert counts.max() <= params.n_users
+
+    def test_deterministic(self):
+        model = RecommenderFeedbackModel(make_params())
+        assert np.array_equal(model.simulate(seed=3), model.simulate(seed=3))
+
+    def test_downloads_mostly_delivered(self):
+        params = make_params()
+        counts = RecommenderFeedbackModel(params).simulate(seed=2)
+        assert counts.sum() > 0.9 * params.total_downloads
+
+    def test_feedback_concentrates_on_chart(self):
+        """High q concentrates demand inside the top-N list."""
+        params = make_params(q=0.95, list_size=20)
+        counts = RecommenderFeedbackModel(params).simulate(seed=4)
+        ranked = np.sort(counts)[::-1]
+        chart_share = ranked[:20].sum() / ranked.sum()
+        assert chart_share > 0.6
+
+    def test_q_zero_is_organic_zipf(self):
+        """With q=0 the model reduces to ZIPF-at-most-once statistically."""
+        from repro.core.models import ZipfAtMostOnceModel
+
+        params = make_params(q=0.0)
+        feedback = RecommenderFeedbackModel(params).simulate(seed=5)
+        organic = ZipfAtMostOnceModel(params.n_apps, params.zr).simulate(
+            params.n_users, params.total_downloads, seed=5
+        )
+        # Head magnitudes agree within sampling noise.
+        assert abs(int(feedback[:10].sum()) - int(organic[:10].sum())) < (
+            0.3 * int(organic[:10].sum()) + 50
+        )
+
+    def test_sharper_boundary_than_clustering(self):
+        """The feedback fingerprint: a sharp cliff at the list boundary.
+
+        Measured as the ratio of downloads just inside the top-N to just
+        outside it; feedback's cliff is much steeper than clustering's
+        smooth tail bend.
+        """
+        from repro.core.models import AppClusteringModel, AppClusteringParams
+
+        n_apps, n_users, downloads = 800, 800, 12_000
+        list_size = 40
+        feedback = RecommenderFeedbackModel(
+            RecommenderFeedbackParams(
+                n_apps=n_apps,
+                n_users=n_users,
+                total_downloads=downloads,
+                zr=1.5,
+                q=0.9,
+                list_size=list_size,
+            )
+        ).simulate(seed=6)
+        clustering = AppClusteringModel(
+            AppClusteringParams(
+                n_apps=n_apps,
+                n_users=n_users,
+                total_downloads=downloads,
+                zr=1.5,
+                zc=1.4,
+                p=0.9,
+                n_clusters=20,
+            )
+        ).simulate(seed=6)
+
+        def boundary_ratio(counts):
+            ranked = np.sort(counts)[::-1].astype(float)
+            inside = ranked[list_size - 10 : list_size].mean()
+            outside = max(ranked[list_size : list_size + 10].mean(), 0.5)
+            return inside / outside
+
+        assert boundary_ratio(feedback) > 2 * boundary_ratio(clustering)

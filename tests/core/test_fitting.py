@@ -1,0 +1,178 @@
+"""Tests for repro.core.fitting (Equation 6 and the grid search)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import (
+    FitResult,
+    fit_all_models,
+    fit_model,
+    mean_relative_error,
+    simulate_fitted,
+    user_count_sweep,
+)
+from repro.core.models import AppClusteringModel, AppClusteringParams, ModelKind
+
+
+class TestMeanRelativeError:
+    def test_identity_is_zero(self):
+        observed = np.array([10.0, 5.0, 1.0])
+        assert mean_relative_error(observed, observed) == 0.0
+
+    def test_known_value(self):
+        observed = np.array([10.0, 10.0])
+        simulated = np.array([5.0, 20.0])
+        # (0.5 + 1.0) / 2 = 0.75
+        assert mean_relative_error(observed, simulated) == pytest.approx(0.75)
+
+    def test_symmetric_in_absolute_error(self):
+        observed = np.array([4.0, 4.0])
+        over = mean_relative_error(observed, np.array([6.0, 6.0]))
+        under = mean_relative_error(observed, np.array([2.0, 2.0]))
+        assert over == pytest.approx(under)
+
+    def test_zero_observations_excluded(self):
+        observed = np.array([10.0, 0.0])
+        simulated = np.array([10.0, 99.0])
+        assert mean_relative_error(observed, simulated) == 0.0
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            mean_relative_error(np.zeros(3), np.ones(3))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_relative_error(np.ones(3), np.ones(4))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            mean_relative_error(np.array([1.0, -1.0]), np.ones(2))
+
+
+@pytest.fixture(scope="module")
+def planted_observation():
+    """Downloads simulated from known APP-CLUSTERING parameters."""
+    params = AppClusteringParams(
+        n_apps=1500,
+        n_users=1200,
+        total_downloads=25_000,
+        zr=1.5,
+        zc=1.4,
+        p=0.9,
+        n_clusters=30,
+    )
+    counts = AppClusteringModel(params).simulate(seed=99)
+    return params, np.sort(counts.astype(np.float64))[::-1]
+
+
+class TestFitModel:
+    def test_app_clustering_beats_baselines(self, planted_observation):
+        params, observed = planted_observation
+        fits = fit_all_models(observed, n_users=params.n_users, n_clusters=30)
+        best = min(fits.values(), key=lambda fit: fit.distance)
+        assert best.kind == ModelKind.APP_CLUSTERING
+
+    def test_fit_attaches_prediction(self, planted_observation):
+        params, observed = planted_observation
+        fit = fit_model(ModelKind.ZIPF, observed, n_users=params.n_users)
+        assert fit.predicted is not None
+        assert fit.predicted.shape[0] == observed.shape[0]
+
+    def test_zipf_fit_has_no_cluster_params(self, planted_observation):
+        params, observed = planted_observation
+        fit = fit_model(ModelKind.ZIPF, observed, n_users=params.n_users)
+        assert fit.p is None and fit.zc is None
+
+    def test_clustering_fit_recovers_high_p(self, planted_observation):
+        """The planted p=0.9 should be recovered as a high p."""
+        params, observed = planted_observation
+        fit = fit_model(
+            ModelKind.APP_CLUSTERING,
+            observed,
+            n_users=params.n_users,
+            n_clusters=30,
+        )
+        assert fit.p is not None and fit.p >= 0.7
+
+    def test_describe_mentions_parameters(self, planted_observation):
+        params, observed = planted_observation
+        fit = fit_model(
+            ModelKind.APP_CLUSTERING, observed, n_users=params.n_users
+        )
+        text = fit.describe()
+        assert "zr=" in text and "p=" in text and "zc=" in text
+
+    def test_invalid_users_rejected(self, planted_observation):
+        _, observed = planted_observation
+        with pytest.raises(ValueError):
+            fit_model(ModelKind.ZIPF, observed, n_users=0)
+
+    def test_unknown_kind_rejected(self, planted_observation):
+        _, observed = planted_observation
+        with pytest.raises(ValueError):
+            fit_model("bogus", observed, n_users=10)
+
+
+class TestSimulateFitted:
+    def test_returns_sorted_counts(self, planted_observation):
+        params, observed = planted_observation
+        fit = fit_model(ModelKind.ZIPF, observed, n_users=params.n_users)
+        simulated = simulate_fitted(
+            fit,
+            n_apps=observed.size,
+            n_users=params.n_users,
+            total_downloads=int(observed.sum()),
+            seed=1,
+        )
+        assert simulated.shape == observed.shape
+        assert np.all(np.diff(simulated) <= 0)
+
+    def test_all_kinds_simulate(self, planted_observation):
+        params, observed = planted_observation
+        for kind in ModelKind:
+            fit = fit_model(
+                kind,
+                observed,
+                n_users=params.n_users,
+                n_clusters=30,
+                zr_grid=(1.4, 1.5),
+                zc_grid=(1.4,),
+                p_grid=(0.9,),
+            )
+            simulated = simulate_fitted(
+                fit,
+                n_apps=observed.size,
+                n_users=params.n_users,
+                total_downloads=int(observed.sum()),
+                n_clusters=30,
+                seed=0,
+            )
+            assert simulated.sum() > 0
+
+
+class TestUserCountSweep:
+    def test_minimum_near_top_app_downloads(self, planted_observation):
+        """Figure 10: distance is minimized when U is near top-app downloads.
+
+        The planted population has U users and the top app is downloaded by
+        most of them, so the best fraction should be moderate (0.5-5), not
+        at the extremes of the sweep.
+        """
+        params, observed = planted_observation
+        sweep = user_count_sweep(
+            observed,
+            user_fractions=(0.1, 0.5, 1.0, 2.0, 20.0),
+            n_clusters=30,
+            zr_grid=(1.3, 1.5, 1.7),
+            zc_grid=(1.4,),
+            p_grid=(0.9,),
+        )
+        fractions = [fraction for fraction, _ in sweep]
+        distances = [distance for _, distance in sweep]
+        best_fraction = fractions[int(np.argmin(distances))]
+        assert 0.5 <= best_fraction <= 5.0
+
+    def test_rejects_nonpositive_fraction(self, planted_observation):
+        _, observed = planted_observation
+        with pytest.raises(ValueError):
+            user_count_sweep(observed, user_fractions=(0.0,))

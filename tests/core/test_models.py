@@ -1,0 +1,230 @@
+"""Tests for repro.core.models (the three workload simulators)."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import (
+    AppClusteringModel,
+    AppClusteringParams,
+    ModelKind,
+    ZipfAtMostOnceModel,
+    ZipfModel,
+    simulate_downloads,
+)
+
+
+class TestAppClusteringParams:
+    def test_downloads_per_user(self):
+        params = AppClusteringParams(
+            n_apps=100, n_users=10, total_downloads=55
+        )
+        assert params.downloads_per_user == pytest.approx(5.5)
+
+    def test_round_robin_cluster_assignment(self):
+        params = AppClusteringParams(
+            n_apps=10, n_users=1, total_downloads=0, n_clusters=3
+        )
+        clusters = params.cluster_assignment()
+        assert clusters.tolist() == [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+
+    def test_explicit_cluster_assignment(self):
+        params = AppClusteringParams(
+            n_apps=4,
+            n_users=1,
+            total_downloads=0,
+            cluster_of=(0, 0, 1, 1),
+        )
+        assert params.cluster_assignment().tolist() == [0, 0, 1, 1]
+
+    def test_cluster_of_length_validated(self):
+        with pytest.raises(ValueError):
+            AppClusteringParams(
+                n_apps=4, n_users=1, total_downloads=0, cluster_of=(0, 1)
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_apps": 0, "n_users": 1, "total_downloads": 0},
+            {"n_apps": 1, "n_users": 0, "total_downloads": 0},
+            {"n_apps": 1, "n_users": 1, "total_downloads": -1},
+            {"n_apps": 1, "n_users": 1, "total_downloads": 0, "p": 1.5},
+            {"n_apps": 1, "n_users": 1, "total_downloads": 0, "zr": -1},
+            {"n_apps": 1, "n_users": 1, "total_downloads": 0, "n_clusters": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AppClusteringParams(**kwargs)
+
+
+class TestZipfModel:
+    def test_total_downloads_conserved(self):
+        counts = ZipfModel(100, 1.2).simulate(50, 5000, seed=0)
+        assert counts.sum() == 5000
+
+    def test_rank_one_most_popular(self):
+        counts = ZipfModel(200, 1.5).simulate(50, 50_000, seed=1)
+        assert counts.argmax() == 0
+
+    def test_deterministic(self):
+        model = ZipfModel(50, 1.0)
+        a = model.simulate(10, 1000, seed=5)
+        b = model.simulate(10, 1000, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_events_interleave_users(self):
+        model = ZipfModel(50, 1.0)
+        events = list(model.iter_events(5, 100, seed=2))
+        users = [event.user_id for event in events]
+        assert len(events) == 100
+        # With a shuffled order, the first 20 events should not be one user.
+        assert len(set(users[:20])) > 1
+
+    def test_no_at_most_once_constraint(self):
+        # With 1 app every download hits it repeatedly.
+        counts = ZipfModel(1, 1.0).simulate(1, 100, seed=0)
+        assert counts[0] == 100
+
+
+class TestZipfAtMostOnceModel:
+    def test_fetch_at_most_once_invariant(self):
+        model = ZipfAtMostOnceModel(30, 1.0)
+        events = list(model.iter_events(4, 80, seed=0))
+        per_user = {}
+        for event in events:
+            per_user.setdefault(event.user_id, []).append(event.app_index)
+        for apps in per_user.values():
+            assert len(apps) == len(set(apps))
+
+    def test_counts_capped_by_users(self):
+        counts = ZipfAtMostOnceModel(20, 2.5).simulate(10, 150, seed=1)
+        assert counts.max() <= 10
+
+    def test_head_flattened_relative_to_zipf(self):
+        n_apps, n_users, downloads = 500, 50, 20_000
+        plain = ZipfModel(n_apps, 1.5).simulate(n_users, downloads, seed=3)
+        amo = ZipfAtMostOnceModel(n_apps, 1.5).simulate(n_users, downloads, seed=3)
+        assert amo[0] < plain[0]
+        assert amo[0] <= n_users
+
+    def test_saturated_users_stop(self):
+        # 3 apps, 2 users, budget 100: at most 6 downloads happen.
+        counts = ZipfAtMostOnceModel(3, 1.0).simulate(2, 100, seed=0)
+        assert counts.sum() <= 6
+
+
+class TestAppClusteringModel:
+    @pytest.fixture()
+    def params(self):
+        return AppClusteringParams(
+            n_apps=300,
+            n_users=100,
+            total_downloads=3000,
+            zr=1.4,
+            zc=1.3,
+            p=0.9,
+            n_clusters=10,
+        )
+
+    def test_fetch_at_most_once_invariant(self, params):
+        model = AppClusteringModel(params)
+        per_user = {}
+        for event in model.iter_events(seed=0):
+            per_user.setdefault(event.user_id, []).append(event.app_index)
+        for apps in per_user.values():
+            assert len(apps) == len(set(apps))
+
+    def test_counts_capped_by_users(self, params):
+        counts = AppClusteringModel(params).simulate(seed=1)
+        assert counts.max() <= params.n_users
+
+    def test_deterministic(self, params):
+        model = AppClusteringModel(params)
+        assert np.array_equal(model.simulate(seed=4), model.simulate(seed=4))
+
+    def test_downloads_close_to_requested(self, params):
+        counts = AppClusteringModel(params).simulate(seed=2)
+        # Rejection caps may drop a few downloads, but most must happen.
+        assert counts.sum() > 0.95 * params.total_downloads
+
+    def test_tail_starved_relative_to_amo(self):
+        """Clustering starves the rank tail relative to ZIPF-at-most-once.
+
+        This is the mechanism behind the paper's Figure 3 tail truncation:
+        clustered users concentrate on the heads of the few clusters they
+        visit, so apps with poor within-cluster rank are starved.  The
+        effect requires clusters to be large relative to per-user cluster
+        budgets (as in real stores: thousands of apps per category, a
+        handful of downloads per user).
+        """
+        from repro.core.powerlaw import analyze_rank_distribution
+
+        n_apps, n_users, downloads = 2000, 2000, 16_000
+        amo = ZipfAtMostOnceModel(n_apps, 1.6).simulate(
+            n_users, downloads, seed=5
+        ).astype(float)
+        clustered = AppClusteringModel(
+            AppClusteringParams(
+                n_apps=n_apps,
+                n_users=n_users,
+                total_downloads=downloads,
+                zr=1.6,
+                zc=1.4,
+                p=0.95,
+                n_clusters=10,
+            )
+        ).simulate(seed=5).astype(float)
+        amo_report = analyze_rank_distribution(amo[amo > 0])
+        clustered_report = analyze_rank_distribution(clustered[clustered > 0])
+        assert clustered_report.tail_droop < amo_report.tail_droop
+
+    def test_p_zero_behaves_like_amo(self):
+        """With p=0 the model reduces to ZIPF-at-most-once statistically."""
+        n_apps, n_users, downloads = 400, 100, 4000
+        clustered = AppClusteringModel(
+            AppClusteringParams(
+                n_apps=n_apps,
+                n_users=n_users,
+                total_downloads=downloads,
+                zr=1.3,
+                p=0.0,
+            )
+        ).simulate(seed=6)
+        amo = ZipfAtMostOnceModel(n_apps, 1.3).simulate(n_users, downloads, seed=6)
+        # Same head magnitude (within sampling noise).
+        assert abs(int(clustered[:10].sum()) - int(amo[:10].sum())) < 0.25 * int(
+            amo[:10].sum()
+        ) + 50
+
+    def test_cluster_of_respected(self):
+        params = AppClusteringParams(
+            n_apps=6,
+            n_users=2,
+            total_downloads=6,
+            cluster_of=(0, 0, 0, 1, 1, 1),
+        )
+        model = AppClusteringModel(params)
+        assert model.cluster_of(0) == 0
+        assert model.cluster_of(5) == 1
+
+
+class TestSimulateDownloadsDispatcher:
+    def test_all_kinds_run(self):
+        for kind in ModelKind:
+            counts = simulate_downloads(
+                kind,
+                n_apps=50,
+                n_users=20,
+                total_downloads=500,
+                zr=1.2,
+                seed=0,
+            )
+            assert counts.shape == (50,)
+            assert counts.sum() > 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_downloads(
+                "not-a-model", n_apps=10, n_users=5, total_downloads=10, zr=1.0
+            )

@@ -1,0 +1,83 @@
+"""Tests for repro.core.pareto."""
+
+import numpy as np
+import pytest
+
+from repro.core.pareto import (
+    ParetoSummary,
+    gini_coefficient,
+    pareto_curves,
+    pareto_summary,
+)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.ones(100)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_owner_close_to_one(self):
+        values = np.zeros(1000)
+        values[0] = 100.0
+        assert gini_coefficient(values) == pytest.approx(1.0, abs=0.01)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            values = rng.pareto(1.5, size=200) + 0.01
+            assert 0.0 <= gini_coefficient(values) <= 1.0
+
+    def test_scale_invariant(self):
+        values = np.array([1.0, 2.0, 5.0, 10.0])
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient(values * 1000)
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([-1.0, 2.0])
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([0.0, 0.0])
+
+
+class TestParetoSummary:
+    def test_shares_ordered(self):
+        rng = np.random.default_rng(1)
+        downloads = (rng.pareto(1.0, size=1000) + 1) * 10
+        summary = pareto_summary(downloads)
+        assert (
+            summary.share_top_1pct
+            <= summary.share_top_10pct
+            <= summary.share_top_20pct
+            <= 1.0
+        )
+
+    def test_zipf_data_shows_strong_pareto(self):
+        """Zipf-1.5 data reproduces the paper's 10% -> 70-90% headline."""
+        downloads = 1e6 / np.arange(1, 10_001) ** 1.5
+        summary = pareto_summary(downloads)
+        assert summary.share_top_10pct > 0.7
+
+    def test_describe_format(self):
+        summary = pareto_summary([100.0, 10.0, 1.0])
+        text = summary.describe()
+        assert "top 1%" in text and "Gini" in text
+
+    def test_counts_recorded(self):
+        summary = pareto_summary([5.0, 5.0])
+        assert summary.n_apps == 2
+        assert summary.total_downloads == 10
+
+
+class TestParetoCurves:
+    def test_per_store_curves(self):
+        data = {
+            "a": np.arange(1, 101, dtype=float),
+            "b": 1.0 / np.arange(1, 101),
+        }
+        curves = pareto_curves(data, points=50)
+        assert set(curves) == {"a", "b"}
+        for x, y in curves.values():
+            assert x.shape == y.shape == (50,)
+            assert y[-1] == pytest.approx(100.0)

@@ -1,0 +1,76 @@
+"""Tests for repro.core.powerlaw (truncation analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analytical import expected_zipf, expected_zipf_at_most_once
+from repro.core.models import AppClusteringModel, AppClusteringParams
+from repro.core.powerlaw import analyze_rank_distribution, rank_curve
+
+
+class TestAnalyzeRankDistribution:
+    def test_pure_zipf_no_truncation(self):
+        downloads = expected_zipf(2000, 10**7, 1.4)
+        report = analyze_rank_distribution(downloads)
+        assert report.trunk.slope == pytest.approx(1.4, abs=0.05)
+        assert not report.has_head_truncation
+        assert not report.has_tail_truncation
+
+    def test_amo_shows_head_truncation(self):
+        """Fetch-at-most-once flattens the head below the trunk line."""
+        downloads = expected_zipf_at_most_once(5000, 2000, 2_000_000, 1.8)
+        report = analyze_rank_distribution(downloads)
+        assert report.has_head_truncation
+
+    def test_clustering_shows_tail_truncation(self):
+        params = AppClusteringParams(
+            n_apps=2000,
+            n_users=2500,
+            total_downloads=50_000,
+            zr=1.6,
+            zc=1.4,
+            p=0.95,
+            n_clusters=30,
+        )
+        counts = AppClusteringModel(params).simulate(seed=0).astype(float)
+        report = analyze_rank_distribution(counts[counts > 0])
+        assert report.has_tail_truncation
+
+    def test_describe_names_the_mechanisms(self):
+        downloads = expected_zipf_at_most_once(5000, 2000, 2_000_000, 1.8)
+        text = analyze_rank_distribution(downloads).describe()
+        assert "fetch-at-most-once" in text
+
+    def test_rejects_tiny_inputs(self):
+        with pytest.raises(ValueError):
+            analyze_rank_distribution([1.0, 2.0, 3.0])
+
+    def test_order_invariant(self):
+        rng = np.random.default_rng(2)
+        downloads = expected_zipf(500, 10**6, 1.2)
+        shuffled = downloads.copy()
+        rng.shuffle(shuffled)
+        a = analyze_rank_distribution(downloads)
+        b = analyze_rank_distribution(shuffled)
+        assert a.trunk.slope == pytest.approx(b.trunk.slope)
+
+
+class TestRankCurve:
+    def test_full_curve(self):
+        ranks, values = rank_curve([5.0, 1.0, 3.0])
+        assert ranks.tolist() == [1.0, 2.0, 3.0]
+        assert values.tolist() == [5.0, 3.0, 1.0]
+
+    def test_zero_downloads_dropped(self):
+        ranks, values = rank_curve([5.0, 0.0, 3.0])
+        assert values.tolist() == [5.0, 3.0]
+
+    def test_thinning(self):
+        downloads = np.arange(1, 10_001, dtype=float)
+        ranks, values = rank_curve(downloads, max_points=30)
+        assert ranks.size <= 35  # log-spacing may add a few uniques
+        assert ranks[0] == 1.0
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            rank_curve([0.0, 0.0])

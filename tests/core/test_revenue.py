@@ -1,0 +1,182 @@
+"""Tests for repro.core.revenue (Equation 7 and developer income)."""
+
+import numpy as np
+import pytest
+
+from repro.core.revenue import (
+    FreeAppRecord,
+    PaidAppRecord,
+    break_even_ad_income,
+    break_even_by_category,
+    break_even_by_popularity_tier,
+    category_breakdown,
+    developer_incomes,
+    income_quantity_correlation,
+    revenue_by_category,
+)
+
+
+def paid(app_id, developer_id, category, price, downloads):
+    return PaidAppRecord(
+        app_id=app_id,
+        developer_id=developer_id,
+        category=category,
+        price=price,
+        downloads=downloads,
+    )
+
+
+def free(app_id, developer_id, category, downloads, has_ads=True):
+    return FreeAppRecord(
+        app_id=app_id,
+        developer_id=developer_id,
+        category=category,
+        downloads=downloads,
+        has_ads=has_ads,
+    )
+
+
+class TestRecords:
+    def test_paid_revenue(self):
+        assert paid(1, 1, "music", 2.0, 10).revenue == pytest.approx(20.0)
+
+    def test_paid_requires_positive_price(self):
+        with pytest.raises(ValueError):
+            paid(1, 1, "music", 0.0, 10)
+
+    def test_negative_downloads_rejected(self):
+        with pytest.raises(ValueError):
+            paid(1, 1, "music", 1.0, -1)
+        with pytest.raises(ValueError):
+            free(1, 1, "music", -1)
+
+
+class TestDeveloperIncomes:
+    def test_sums_per_developer(self):
+        apps = [
+            paid(1, 10, "music", 2.0, 5),
+            paid(2, 10, "games", 1.0, 10),
+            paid(3, 11, "music", 3.0, 1),
+        ]
+        incomes = developer_incomes(apps)
+        assert incomes[10] == pytest.approx(20.0)
+        assert incomes[11] == pytest.approx(3.0)
+
+    def test_commission_reduces_income(self):
+        apps = [paid(1, 10, "music", 10.0, 10)]
+        assert developer_incomes(apps, commission=0.05)[10] == pytest.approx(95.0)
+
+    def test_zero_purchases_appear(self):
+        incomes = developer_incomes([paid(1, 10, "music", 1.0, 0)])
+        assert incomes[10] == 0.0
+
+    def test_invalid_commission(self):
+        with pytest.raises(ValueError):
+            developer_incomes([], commission=1.0)
+
+
+class TestCategoryBreakdown:
+    def test_revenue_by_category(self):
+        apps = [
+            paid(1, 1, "music", 10.0, 100),
+            paid(2, 2, "games", 1.0, 50),
+        ]
+        revenue = revenue_by_category(apps)
+        assert revenue["music"] == pytest.approx(1000.0)
+        assert revenue["games"] == pytest.approx(50.0)
+
+    def test_breakdown_percentages(self):
+        apps = [
+            paid(1, 1, "music", 10.0, 99),
+            paid(2, 2, "games", 1.0, 10),
+        ]
+        rows = category_breakdown(apps)
+        assert rows[0][0] == "music"
+        revenue_total = sum(row[1] for row in rows)
+        apps_total = sum(row[2] for row in rows)
+        assert revenue_total == pytest.approx(100.0)
+        assert apps_total == pytest.approx(100.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            category_breakdown([])
+
+
+class TestBreakEven:
+    def test_equation_7_value(self):
+        # Average paid revenue = (2*10 + 4*5)/2 = 20; average free
+        # downloads = (100 + 300)/2 = 200 -> break-even = 0.1.
+        paid_apps = [paid(1, 1, "a", 2.0, 10), paid(2, 2, "a", 4.0, 5)]
+        free_apps = [free(3, 3, "a", 100), free(4, 4, "a", 300)]
+        assert break_even_ad_income(paid_apps, free_apps) == pytest.approx(0.1)
+
+    def test_ads_only_filter(self):
+        paid_apps = [paid(1, 1, "a", 2.0, 10)]
+        free_apps = [free(2, 2, "a", 100, has_ads=False), free(3, 3, "a", 10)]
+        value = break_even_ad_income(paid_apps, free_apps, ads_only=True)
+        assert value == pytest.approx(20.0 / 10.0)
+
+    def test_no_paid_rejected(self):
+        with pytest.raises(ValueError):
+            break_even_ad_income([], [free(1, 1, "a", 10)])
+
+    def test_no_free_with_ads_rejected(self):
+        with pytest.raises(ValueError):
+            break_even_ad_income(
+                [paid(1, 1, "a", 1.0, 1)], [free(2, 2, "a", 10, has_ads=False)]
+            )
+
+    def test_zero_free_downloads_gives_inf(self):
+        value = break_even_ad_income(
+            [paid(1, 1, "a", 1.0, 1)], [free(2, 2, "a", 0)]
+        )
+        assert value == float("inf")
+
+    def test_popular_tier_needs_less(self):
+        """Figure 17: popular free apps have a lower break-even income."""
+        paid_apps = [paid(1, 1, "a", 3.0, 100)]
+        free_apps = [free(i, i, "a", downloads) for i, downloads in
+                     enumerate([10_000, 5_000, 500, 400, 300, 200, 100, 50, 20, 10])]
+        tiers = break_even_by_popularity_tier(paid_apps, free_apps)
+        assert tiers["most popular"] < tiers["medium popularity"] < tiers["unpopular"]
+
+    def test_invalid_tier_bounds(self):
+        with pytest.raises(ValueError):
+            break_even_by_popularity_tier(
+                [paid(1, 1, "a", 1.0, 1)],
+                [free(2, 2, "a", 10)],
+                tiers=(("bad", 0.5, 0.4),),
+            )
+
+    def test_by_category_skips_one_sided(self):
+        paid_apps = [paid(1, 1, "music", 5.0, 10)]
+        free_apps = [free(2, 2, "games", 100)]
+        assert break_even_by_category(paid_apps, free_apps) == {}
+
+    def test_by_category_values(self):
+        paid_apps = [
+            paid(1, 1, "music", 10.0, 100),
+            paid(2, 2, "games", 1.0, 10),
+        ]
+        free_apps = [
+            free(3, 3, "music", 50),
+            free(4, 4, "games", 500),
+        ]
+        values = break_even_by_category(paid_apps, free_apps)
+        # Music: 1000 avg revenue / 50 avg downloads = 20.
+        assert values["music"] == pytest.approx(20.0)
+        # Games: 10 / 500 = 0.02 -- far more profitable for free apps.
+        assert values["games"] == pytest.approx(0.02)
+        assert values["music"] > values["games"]
+
+
+class TestIncomeQuantityCorrelation:
+    def test_arrays_aligned(self):
+        apps = [
+            paid(1, 1, "a", 1.0, 10),
+            paid(2, 1, "a", 1.0, 5),
+            paid(3, 2, "a", 2.0, 100),
+        ]
+        counts, totals = income_quantity_correlation(apps)
+        assert counts.tolist() == [2.0, 1.0]
+        assert totals.tolist() == [15.0, 200.0]

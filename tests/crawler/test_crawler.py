@@ -1,0 +1,120 @@
+"""Tests for repro.crawler.crawler (the crawl engine)."""
+
+import pytest
+
+from repro.crawler.crawler import CrawlError, StoreCrawler
+from repro.crawler.database import SnapshotDatabase
+from repro.crawler.proxies import Proxy, ProxyPool
+from repro.crawler.webapi import StoreWebApi
+from repro.marketplace import build_store
+from repro.marketplace.profiles import demo_profile
+
+
+@pytest.fixture()
+def store():
+    generated = build_store(
+        demo_profile(
+            initial_apps=60,
+            new_apps_per_day=0.0,
+            crawl_days=3,
+            warmup_days=0,
+            daily_downloads=200.0,
+            n_users=50,
+            n_categories=5,
+            comment_probability=0.3,
+        ),
+        seed=21,
+    )
+    generated.store.advance_days(3)
+    return generated.store
+
+
+def make_crawler(
+    store, proxy_pool=None, database=None, max_retries=5, **api_kwargs
+):
+    api = StoreWebApi(store, **api_kwargs)
+    database = database if database is not None else SnapshotDatabase()
+    proxy_pool = proxy_pool or ProxyPool.planetlab_like(n_proxies=20, seed=0)
+    return StoreCrawler(api, database, proxy_pool, max_retries=max_retries), database
+
+
+class TestCrawlDay:
+    def test_snapshots_every_listed_app(self, store):
+        crawler, database = make_crawler(store)
+        crawled = crawler.crawl_day(day=2)
+        assert crawled == len(store.listed_app_ids())
+        assert len(database.snapshots_on(store.name, 2)) == crawled
+
+    def test_snapshot_matches_store_statistics(self, store):
+        crawler, database = make_crawler(store)
+        crawler.crawl_day(day=2)
+        for app_id in store.listed_app_ids()[:20]:
+            stats = store.statistics(app_id)
+            observed = database.snapshot(store.name, 2, app_id)
+            assert observed.total_downloads == stats.total_downloads
+            assert observed.version_name == stats.version_name
+
+    def test_comments_collected(self, store):
+        crawler, database = make_crawler(store)
+        crawler.crawl_day(day=2)
+        assert len(database.comments(store.name)) == len(store.comments())
+
+    def test_comments_skippable(self, store):
+        crawler, database = make_crawler(store)
+        crawler.crawl_day(day=2, fetch_comments=False)
+        assert database.comments(store.name) == []
+
+    def test_apk_downloaded_once_per_version(self, store):
+        crawler, database = make_crawler(store)
+        crawler.crawl_day(day=2)
+        first_crawl_apks = crawler.stats.apks_fetched
+        crawler.crawl_day(day=2)
+        # Re-crawling the same day fetches no new APK versions.
+        assert crawler.stats.apks_fetched == first_crawl_apks
+
+
+class TestResilience:
+    def test_survives_flaky_proxies(self, store):
+        flaky = ProxyPool(
+            [Proxy(i, "us", failure_rate=0.3) for i in range(10)], seed=1
+        )
+        crawler, database = make_crawler(store, proxy_pool=flaky, max_retries=20)
+        crawled = crawler.crawl_day(day=2)
+        assert crawled == len(store.listed_app_ids())
+        assert crawler.stats.proxy_failures > 0
+
+    def test_dead_pool_raises(self, store):
+        dead = ProxyPool(
+            [Proxy(0, "us", failure_rate=1.0)], seed=2
+        )
+        crawler, _ = make_crawler(store, proxy_pool=dead)
+        with pytest.raises(CrawlError):
+            crawler.crawl_day(day=2)
+
+    def test_geo_fenced_store_uses_chinese_proxies(self, store):
+        pool = ProxyPool.planetlab_like(n_proxies=30, china_fraction=0.3, seed=3)
+        crawler, database = make_crawler(
+            store, proxy_pool=pool, allowed_countries=("cn",)
+        )
+        crawled = crawler.crawl_day(day=2)
+        assert crawled == len(store.listed_app_ids())
+        # Only Chinese proxies should have served requests.
+        for proxy in pool.proxies():
+            if proxy.country != "cn":
+                assert proxy.requests_served == 0
+
+    def test_self_pacing_advances_clock(self, store):
+        crawler, _ = make_crawler(store)
+        crawler.crawl_day(day=2)
+        # Hundreds of requests at 8 req/s must take simulated time.
+        assert crawler.clock > 1.0
+
+    def test_invalid_configuration(self, store):
+        api = StoreWebApi(store)
+        with pytest.raises(ValueError):
+            StoreCrawler(
+                api,
+                SnapshotDatabase(),
+                ProxyPool.planetlab_like(5, seed=0),
+                requests_per_second=0.0,
+            )

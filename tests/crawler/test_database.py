@@ -1,0 +1,147 @@
+"""Tests for repro.crawler.database."""
+
+import numpy as np
+import pytest
+
+from repro.crawler.database import ApkRecord, AppSnapshot, SnapshotDatabase
+from repro.marketplace.entities import Comment
+
+
+def snapshot(store="s", day=0, app_id=0, downloads=10, version="1.0", price=0.0):
+    return AppSnapshot(
+        store=store,
+        day=day,
+        app_id=app_id,
+        name=f"app-{app_id}",
+        category="games",
+        developer_id=1,
+        price=price,
+        declares_ads=False,
+        total_downloads=downloads,
+        rating_count=0,
+        average_rating=0.0,
+        comment_count=0,
+        version_name=version,
+    )
+
+
+def apk(store="s", app_id=0, version="1.0"):
+    return ApkRecord(
+        store=store,
+        app_id=app_id,
+        version_name=version,
+        package_name=f"com.s.app{app_id}",
+        size_mb=3.5,
+        embedded_libraries=("com.adrift.sdk",),
+    )
+
+
+class TestSnapshots:
+    def test_insert_and_query(self):
+        database = SnapshotDatabase()
+        database.add_snapshot(snapshot(day=1, app_id=5))
+        assert database.stores() == ["s"]
+        assert database.days("s") == [1]
+        assert database.snapshot("s", 1, 5).app_id == 5
+        assert database.snapshot("s", 1, 6) is None
+
+    def test_overwrite_same_key(self):
+        database = SnapshotDatabase()
+        database.add_snapshot(snapshot(day=1, app_id=5, downloads=10))
+        database.add_snapshot(snapshot(day=1, app_id=5, downloads=20))
+        assert database.snapshot("s", 1, 5).total_downloads == 20
+        assert len(database.snapshots_on("s", 1)) == 1
+
+    def test_download_vector_ordered_by_app_id(self):
+        database = SnapshotDatabase()
+        database.add_snapshot(snapshot(day=0, app_id=2, downloads=30))
+        database.add_snapshot(snapshot(day=0, app_id=0, downloads=10))
+        database.add_snapshot(snapshot(day=0, app_id=1, downloads=20))
+        assert database.download_vector("s", 0).tolist() == [10, 20, 30]
+
+    def test_download_vector_missing_day(self):
+        database = SnapshotDatabase()
+        with pytest.raises(KeyError):
+            database.download_vector("s", 0)
+
+    def test_download_deltas(self):
+        database = SnapshotDatabase()
+        database.add_snapshot(snapshot(day=0, app_id=1, downloads=10))
+        database.add_snapshot(snapshot(day=5, app_id=1, downloads=25))
+        database.add_snapshot(snapshot(day=5, app_id=2, downloads=7))
+        deltas = database.download_deltas("s", 0, 5)
+        assert deltas[1] == 15
+        assert deltas[2] == 7  # new app counted from zero
+
+    def test_update_counts(self):
+        database = SnapshotDatabase()
+        database.add_snapshot(snapshot(day=0, app_id=1, version="1.0"))
+        database.add_snapshot(snapshot(day=1, app_id=1, version="1.1"))
+        database.add_snapshot(snapshot(day=2, app_id=1, version="1.2"))
+        database.add_snapshot(snapshot(day=0, app_id=2, version="1.0"))
+        database.add_snapshot(snapshot(day=2, app_id=2, version="1.0"))
+        counts = database.update_counts("s", 0, 2)
+        assert counts[1] == 2
+        assert counts[2] == 0
+
+
+class TestComments:
+    def test_deduplication(self):
+        database = SnapshotDatabase()
+        comment = Comment(user_id=1, app_id=2, day=3, rating=4)
+        database.add_comments("s", [comment])
+        database.add_comments("s", [comment])  # daily re-crawl
+        assert len(database.comments("s")) == 1
+
+    def test_streams_chronological(self):
+        database = SnapshotDatabase()
+        database.add_comments(
+            "s",
+            [
+                Comment(user_id=1, app_id=5, day=9, rating=3),
+                Comment(user_id=1, app_id=4, day=2, rating=5),
+                Comment(user_id=2, app_id=4, day=5, rating=1),
+            ],
+        )
+        streams = database.comment_streams("s")
+        assert [c.day for c in streams[1]] == [2, 9]
+        assert len(streams[2]) == 1
+
+
+class TestApks:
+    def test_version_stored_once(self):
+        database = SnapshotDatabase()
+        assert database.add_apk(apk(version="1.0"))
+        assert not database.add_apk(apk(version="1.0"))
+        assert database.add_apk(apk(version="1.1"))
+        assert len(database.apks("s")) == 2
+
+    def test_latest_apk_per_app(self):
+        database = SnapshotDatabase()
+        database.add_apk(apk(app_id=1, version="1.0"))
+        database.add_apk(apk(app_id=1, version="1.1"))
+        latest = database.latest_apk_per_app("s")
+        assert latest[1].version_name == "1.1"
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        database = SnapshotDatabase()
+        database.add_snapshot(snapshot(day=0, app_id=1, downloads=10))
+        database.add_snapshot(snapshot(day=1, app_id=1, downloads=20))
+        database.add_comments("s", [Comment(user_id=1, app_id=1, day=0, rating=5)])
+        database.add_apk(apk())
+        path = tmp_path / "crawl.jsonl"
+        database.save(path)
+
+        loaded = SnapshotDatabase.load(path)
+        assert loaded.days("s") == [0, 1]
+        assert loaded.snapshot("s", 1, 1).total_downloads == 20
+        assert len(loaded.comments("s")) == 1
+        assert loaded.apks("s")[0].embedded_libraries == ("com.adrift.sdk",)
+
+    def test_load_rejects_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "mystery"}\n', encoding="utf-8")
+        with pytest.raises(ValueError):
+            SnapshotDatabase.load(path)

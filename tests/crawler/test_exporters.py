@@ -1,0 +1,71 @@
+"""Tests for repro.crawler.exporters (CSV export)."""
+
+import csv
+
+import pytest
+
+from repro.crawler.exporters import (
+    export_apks_csv,
+    export_comments_csv,
+    export_snapshots_csv,
+)
+
+
+class TestSnapshotExport:
+    def test_row_count_and_header(self, demo_campaign, tmp_path):
+        path = tmp_path / "snapshots.csv"
+        rows = export_snapshots_csv(demo_campaign.database, path)
+        with path.open() as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            data = list(reader)
+        assert "total_downloads" in header
+        assert len(data) == rows
+        assert rows > 0
+
+    def test_store_filter(self, demo_campaign, tmp_path):
+        path = tmp_path / "filtered.csv"
+        rows = export_snapshots_csv(demo_campaign.database, path, store="demo")
+        assert rows > 0
+        empty_path = tmp_path / "empty.csv"
+        assert export_snapshots_csv(
+            demo_campaign.database, empty_path, store="ghost"
+        ) == 0
+
+    def test_values_round_trip(self, demo_campaign, tmp_path):
+        path = tmp_path / "snapshots.csv"
+        export_snapshots_csv(demo_campaign.database, path)
+        with path.open() as handle:
+            reader = csv.DictReader(handle)
+            first = next(reader)
+        day = int(first["day"])
+        app_id = int(first["app_id"])
+        snapshot = demo_campaign.database.snapshot("demo", day, app_id)
+        assert snapshot is not None
+        assert int(first["total_downloads"]) == snapshot.total_downloads
+        assert first["category"] == snapshot.category
+
+
+class TestCommentExport:
+    def test_all_comments_exported(self, demo_campaign, tmp_path):
+        path = tmp_path / "comments.csv"
+        rows = export_comments_csv(demo_campaign.database, path)
+        assert rows == len(demo_campaign.database.comments("demo"))
+
+    def test_ratings_in_range(self, demo_campaign, tmp_path):
+        path = tmp_path / "comments.csv"
+        export_comments_csv(demo_campaign.database, path)
+        with path.open() as handle:
+            for record in csv.DictReader(handle):
+                assert 1 <= int(record["rating"]) <= 5
+
+
+class TestApkExport:
+    def test_libraries_joined(self, demo_campaign, tmp_path):
+        path = tmp_path / "apks.csv"
+        rows = export_apks_csv(demo_campaign.database, path)
+        assert rows == len(demo_campaign.database.apks("demo"))
+        with path.open() as handle:
+            record = next(csv.DictReader(handle))
+        libraries = record["embedded_libraries"].split(";")
+        assert all("." in library for library in libraries if library)

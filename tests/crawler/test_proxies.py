@@ -1,0 +1,87 @@
+"""Tests for repro.crawler.proxies."""
+
+import pytest
+
+from repro.crawler.proxies import (
+    NoProxyAvailable,
+    Proxy,
+    ProxyError,
+    ProxyPool,
+)
+
+
+class TestProxy:
+    def test_failure_rate_validated(self):
+        with pytest.raises(ValueError):
+            Proxy(proxy_id=0, country="us", failure_rate=2.0)
+
+    def test_blacklist_tracking(self):
+        proxy = Proxy(proxy_id=0, country="us")
+        assert not proxy.is_blacklisted("anzhi")
+        proxy.blacklisted_by.add("anzhi")
+        assert proxy.is_blacklisted("anzhi")
+        assert not proxy.is_blacklisted("slideme")
+
+
+class TestProxyPool:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ProxyPool([])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            ProxyPool([Proxy(0, "us"), Proxy(0, "cn")])
+
+    def test_planetlab_like_size_and_geography(self):
+        pool = ProxyPool.planetlab_like(n_proxies=100, china_fraction=0.2, seed=0)
+        assert pool.size == 100
+        chinese = [p for p in pool.proxies() if p.country == "cn"]
+        assert len(chinese) == 20
+
+    def test_pick_respects_country(self):
+        pool = ProxyPool.planetlab_like(n_proxies=50, china_fraction=0.3, seed=1)
+        for _ in range(20):
+            proxy = pool.pick("anzhi", country="cn")
+            assert proxy.country == "cn"
+
+    def test_pick_any_country(self):
+        pool = ProxyPool.planetlab_like(n_proxies=10, seed=2)
+        assert pool.pick("slideme") is not None
+
+    def test_blacklisted_proxies_excluded(self):
+        pool = ProxyPool([Proxy(0, "cn"), Proxy(1, "cn")], seed=3)
+        pool.blacklist(0, "anzhi")
+        for _ in range(10):
+            assert pool.pick("anzhi", country="cn").proxy_id == 1
+
+    def test_blacklist_is_per_store(self):
+        pool = ProxyPool([Proxy(0, "cn")], seed=4)
+        pool.blacklist(0, "anzhi")
+        # Still healthy for a different store.
+        assert pool.pick("appchina", country="cn").proxy_id == 0
+
+    def test_exhausted_pool_raises(self):
+        pool = ProxyPool([Proxy(0, "us")], seed=5)
+        with pytest.raises(NoProxyAvailable):
+            pool.pick("anzhi", country="cn")
+
+    def test_blacklist_unknown_id(self):
+        pool = ProxyPool([Proxy(0, "us")], seed=6)
+        with pytest.raises(KeyError):
+            pool.blacklist(99, "anzhi")
+
+    def test_failure_injection(self):
+        proxy = Proxy(0, "us", failure_rate=1.0)
+        pool = ProxyPool([proxy], seed=7)
+        with pytest.raises(ProxyError):
+            pool.request_through(proxy)
+        assert proxy.failures == 1
+        assert proxy.requests_served == 1
+
+    def test_no_failure_at_zero_rate(self):
+        proxy = Proxy(0, "us", failure_rate=0.0)
+        pool = ProxyPool([proxy], seed=8)
+        for _ in range(100):
+            pool.request_through(proxy)
+        assert proxy.failures == 0
+        assert proxy.requests_served == 100

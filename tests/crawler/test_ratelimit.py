@@ -1,0 +1,73 @@
+"""Tests for repro.crawler.ratelimit."""
+
+import pytest
+
+from repro.crawler.ratelimit import RateLimitExceeded, TokenBucket
+
+
+class TestTokenBucket:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, capacity=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, capacity=0.0)
+
+    def test_starts_full(self):
+        bucket = TokenBucket(rate=1.0, capacity=5.0)
+        for _ in range(5):
+            assert bucket.try_consume(now=0.0)
+        assert not bucket.try_consume(now=0.0)
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket(rate=2.0, capacity=2.0)
+        assert bucket.try_consume(now=0.0)
+        assert bucket.try_consume(now=0.0)
+        assert not bucket.try_consume(now=0.0)
+        # After half a second, one token (rate 2/s) has returned.
+        assert bucket.try_consume(now=0.5)
+
+    def test_capacity_caps_refill(self):
+        bucket = TokenBucket(rate=10.0, capacity=3.0)
+        bucket.try_consume(now=0.0)
+        # A long idle period cannot exceed capacity.
+        bucket._refill(now=100.0)
+        assert bucket.available_tokens == pytest.approx(3.0)
+
+    def test_consume_or_raise_gives_retry_hint(self):
+        bucket = TokenBucket(rate=1.0, capacity=1.0)
+        bucket.consume_or_raise(now=0.0)
+        with pytest.raises(RateLimitExceeded) as exc_info:
+            bucket.consume_or_raise(now=0.0)
+        assert exc_info.value.retry_after == pytest.approx(1.0)
+
+    def test_retry_hint_is_sufficient(self):
+        bucket = TokenBucket(rate=4.0, capacity=1.0)
+        bucket.consume_or_raise(now=0.0)
+        try:
+            bucket.consume_or_raise(now=0.1)
+            raise AssertionError("expected RateLimitExceeded")
+        except RateLimitExceeded as error:
+            assert bucket.try_consume(now=0.1 + error.retry_after + 1e-9)
+
+    def test_time_until_available(self):
+        bucket = TokenBucket(rate=2.0, capacity=1.0)
+        bucket.try_consume(now=0.0)
+        wait = bucket.time_until_available(now=0.0)
+        assert wait == pytest.approx(0.5)
+        assert bucket.time_until_available(now=wait) == pytest.approx(0.0)
+
+    def test_time_until_available_rejects_over_capacity(self):
+        bucket = TokenBucket(rate=1.0, capacity=1.0)
+        with pytest.raises(ValueError):
+            bucket.time_until_available(now=0.0, tokens=2.0)
+
+    def test_clock_cannot_go_backwards(self):
+        bucket = TokenBucket(rate=1.0, capacity=1.0)
+        bucket.try_consume(now=10.0)
+        with pytest.raises(ValueError):
+            bucket.try_consume(now=5.0)
+
+    def test_nonpositive_tokens_rejected(self):
+        bucket = TokenBucket(rate=1.0, capacity=1.0)
+        with pytest.raises(ValueError):
+            bucket.try_consume(now=0.0, tokens=0.0)

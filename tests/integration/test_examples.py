@@ -1,0 +1,48 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Examples are documentation that executes; these tests run the faster
+ones as subprocesses and assert their headline output appears, so API
+changes cannot silently break them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "Pareto effect" in output
+        assert "APP-CLUSTERING" in output
+        assert "<-- best" in output
+
+    def test_recommender_demo(self):
+        output = run_example("recommender_demo.py", "--users", "150")
+        assert "hit rate" in output
+        assert "clustering-aware" in output
+
+    def test_examples_exist_and_have_docstrings(self):
+        scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 5
+        for script in scripts:
+            source = script.read_text(encoding="utf-8")
+            assert source.lstrip().startswith(
+                ("#!/usr/bin/env python\n\"\"\"", '"""')
+            ), f"{script.name} lacks a module docstring"
+            assert "def main()" in source, f"{script.name} lacks main()"

@@ -1,0 +1,73 @@
+"""Integration: the paper's full fit-then-simulate validation loop.
+
+The paper validates its model by simulating at the fitted parameters and
+checking the simulated curve tracks the measured one.  Our fitting path
+uses the corrected analytical curve for speed; this test closes the loop
+by re-running the Monte Carlo simulator at the fitted parameters and
+verifying the result still lies close to the crawled data -- i.e. the
+analytic shortcut did not fit an artifact of the closed form.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.model_validation import fit_store_day, observed_rank_curve
+from repro.core.fitting import mean_relative_error, simulate_fitted
+from repro.core.models import ModelKind
+
+
+class TestFitSimulationLoop:
+    def test_simulated_fit_tracks_measured_curve(self, demo_campaign):
+        database = demo_campaign.database
+        fits = fit_store_day(
+            database,
+            "demo",
+            zr_grid=(0.9, 1.1, 1.3, 1.5, 1.7),
+            zc_grid=(1.0, 1.2, 1.4),
+            p_grid=(0.8, 0.9, 0.95),
+        )
+        best = fits.best
+        assert best.kind == ModelKind.APP_CLUSTERING
+
+        observed = observed_rank_curve(
+            database, "demo", demo_campaign.last_crawl_day
+        )
+        simulated = simulate_fitted(
+            best,
+            n_apps=observed.size,
+            n_users=fits.n_users_assumed,
+            total_downloads=int(observed.sum()),
+            n_clusters=12,
+            seed=5,
+        )
+        distance = mean_relative_error(observed, simulated)
+        # The Monte Carlo re-simulation at the analytically fitted
+        # parameters stays close to the measured curve -- within a small
+        # factor of the analytic fit quality itself (MC adds noise).
+        assert distance < max(4 * best.distance, 0.35)
+
+    def test_simulated_fit_beats_zipf_simulation(self, demo_campaign):
+        """Under simulation too, the clustering fit wins over ZIPF's."""
+        database = demo_campaign.database
+        fits = fit_store_day(
+            database,
+            "demo",
+            zr_grid=(0.9, 1.1, 1.3, 1.5),
+            zc_grid=(1.2, 1.4),
+            p_grid=(0.8, 0.9),
+        )
+        observed = observed_rank_curve(
+            database, "demo", demo_campaign.last_crawl_day
+        )
+        distances = {}
+        for kind in (ModelKind.ZIPF, ModelKind.APP_CLUSTERING):
+            simulated = simulate_fitted(
+                fits.fits[kind],
+                n_apps=observed.size,
+                n_users=fits.n_users_assumed,
+                total_downloads=int(observed.sum()),
+                n_clusters=12,
+                seed=6,
+            )
+            distances[kind] = mean_relative_error(observed, simulated)
+        assert distances[ModelKind.APP_CLUSTERING] < distances[ModelKind.ZIPF]

@@ -1,0 +1,71 @@
+"""Tests for repro.marketplace.ads."""
+
+import numpy as np
+import pytest
+
+from repro.marketplace.ads import (
+    TOP_AD_NETWORKS,
+    UTILITY_LIBRARIES,
+    AdEcosystem,
+    contains_ad_network,
+)
+
+
+class TestAdEcosystem:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdEcosystem(ad_inclusion_rate=1.5)
+        with pytest.raises(ValueError):
+            AdEcosystem(paid_ad_rate=-0.1)
+        with pytest.raises(ValueError):
+            AdEcosystem(network_skew=-1.0)
+        with pytest.raises(ValueError):
+            AdEcosystem(max_networks_per_app=0)
+
+    def test_free_app_inclusion_rate(self):
+        """The paper measures ~67% of free apps embedding top-20 networks."""
+        ecosystem = AdEcosystem(ad_inclusion_rate=0.67)
+        rng = np.random.default_rng(0)
+        with_ads = sum(
+            contains_ad_network(ecosystem.sample_libraries(True, seed=rng))
+            for _ in range(3000)
+        )
+        assert 0.62 < with_ads / 3000 < 0.72
+
+    def test_paid_apps_rarely_have_ads(self):
+        ecosystem = AdEcosystem(paid_ad_rate=0.03)
+        rng = np.random.default_rng(1)
+        with_ads = sum(
+            contains_ad_network(ecosystem.sample_libraries(False, seed=rng))
+            for _ in range(2000)
+        )
+        assert with_ads / 2000 < 0.08
+
+    def test_every_apk_has_some_library(self):
+        ecosystem = AdEcosystem()
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            libraries = ecosystem.sample_libraries(True, seed=rng)
+            assert len(libraries) >= 1
+
+    def test_network_weights_skewed(self):
+        weights = AdEcosystem(network_skew=1.0).network_weights()
+        assert weights[0] > weights[-1]
+        assert weights.size == len(TOP_AD_NETWORKS)
+
+
+class TestContainsAdNetwork:
+    def test_exact_match(self):
+        assert contains_ad_network([TOP_AD_NETWORKS[0]])
+
+    def test_subpackage_match(self):
+        assert contains_ad_network([TOP_AD_NETWORKS[0] + ".banner"])
+
+    def test_utility_only_is_clean(self):
+        assert not contains_ad_network(list(UTILITY_LIBRARIES))
+
+    def test_empty_is_clean(self):
+        assert not contains_ad_network([])
+
+    def test_similar_prefix_not_matched(self):
+        assert not contains_ad_network([TOP_AD_NETWORKS[0] + "x.thing"])

@@ -1,0 +1,84 @@
+"""Tests for repro.marketplace.catalog."""
+
+import numpy as np
+import pytest
+
+from repro.marketplace.catalog import (
+    CategoryTaxonomy,
+    default_taxonomy,
+    uniform_taxonomy,
+)
+
+
+class TestCategoryTaxonomy:
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            CategoryTaxonomy(names=("a", "b"), shares=(0.5, 0.4))
+
+    def test_names_unique(self):
+        with pytest.raises(ValueError):
+            CategoryTaxonomy(names=("a", "a"), shares=(0.5, 0.5))
+
+    def test_positive_shares(self):
+        with pytest.raises(ValueError):
+            CategoryTaxonomy(names=("a", "b"), shares=(1.0, 0.0))
+
+    def test_index_of(self):
+        taxonomy = CategoryTaxonomy(names=("a", "b"), shares=(0.5, 0.5))
+        assert taxonomy.index_of("b") == 1
+        with pytest.raises(KeyError):
+            taxonomy.index_of("zzz")
+
+    def test_app_counts_conserve_total(self):
+        taxonomy = default_taxonomy(10, seed=0)
+        counts = taxonomy.app_counts(1234)
+        assert counts.sum() == 1234
+        assert counts.min() >= 1
+
+    def test_app_counts_respect_shares(self):
+        taxonomy = CategoryTaxonomy(names=("big", "small"), shares=(0.9, 0.1))
+        counts = taxonomy.app_counts(1000)
+        assert counts[0] == 900
+        assert counts[1] == 100
+
+    def test_app_counts_too_few_apps(self):
+        taxonomy = default_taxonomy(10, seed=0)
+        with pytest.raises(ValueError):
+            taxonomy.app_counts(5)
+
+    def test_random_walk_affinity_delegates(self):
+        taxonomy = uniform_taxonomy(4)
+        value = taxonomy.random_walk_affinity(400)
+        assert value == pytest.approx(99 / 399, abs=1e-9)
+
+
+class TestDefaultTaxonomy:
+    def test_size(self):
+        assert default_taxonomy(34, seed=1).n_categories == 34
+
+    def test_no_dominant_category(self):
+        """Figure 5(d): the most popular category should stay modest."""
+        taxonomy = default_taxonomy(34, seed=2)
+        assert max(taxonomy.shares) < 0.20
+
+    def test_extends_names_beyond_base(self):
+        taxonomy = default_taxonomy(40, seed=0)
+        assert taxonomy.n_categories == 40
+        assert len(set(taxonomy.names)) == 40
+
+    def test_deterministic_with_seed(self):
+        a = default_taxonomy(12, seed=3)
+        b = default_taxonomy(12, seed=3)
+        assert a.shares == b.shares
+
+    def test_rejects_zero_categories(self):
+        with pytest.raises(ValueError):
+            default_taxonomy(0)
+
+
+class TestUniformTaxonomy:
+    def test_equal_shares(self):
+        taxonomy = uniform_taxonomy(8)
+        assert all(
+            share == pytest.approx(1.0 / 8) for share in taxonomy.shares
+        )

@@ -1,0 +1,69 @@
+"""Tests for repro.marketplace.pricing."""
+
+import numpy as np
+import pytest
+
+from repro.marketplace.pricing import PricingModel, price_points
+
+
+class TestPricingModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PricingModel(median_price=0.0)
+        with pytest.raises(ValueError):
+            PricingModel(dispersion=0.0)
+        with pytest.raises(ValueError):
+            PricingModel(elasticity=-0.1)
+
+    def test_prices_snap_to_points(self):
+        model = PricingModel()
+        prices = model.sample_prices(500, seed=0)
+        valid_points = set(price_points().tolist())
+        assert all(price in valid_points for price in prices)
+
+    def test_low_prices_more_common(self):
+        """Figure 12: more apps at lower prices."""
+        model = PricingModel()
+        prices = model.sample_prices(5000, seed=1)
+        cheap = np.sum(prices <= 4.99)
+        expensive = np.sum(prices >= 10.0)
+        assert cheap > 3 * expensive
+
+    def test_deterministic(self):
+        model = PricingModel()
+        assert np.array_equal(
+            model.sample_prices(50, seed=7), model.sample_prices(50, seed=7)
+        )
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            PricingModel().sample_prices(-1)
+
+    def test_zero_count(self):
+        assert PricingModel().sample_prices(0, seed=0).size == 0
+
+
+class TestDemandFactor:
+    def test_free_app_unaffected(self):
+        assert PricingModel().demand_factor(0.0) == pytest.approx(1.0)
+
+    def test_decreasing_in_price(self):
+        model = PricingModel()
+        factors = model.demand_factor(np.array([0.0, 0.99, 4.99, 49.99]))
+        assert np.all(np.diff(factors) < 0)
+
+    def test_zero_elasticity_flat(self):
+        model = PricingModel(elasticity=0.0)
+        factors = model.demand_factor(np.array([0.0, 10.0, 50.0]))
+        assert np.allclose(factors, 1.0)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            PricingModel().demand_factor(-1.0)
+
+
+class TestPricePoints:
+    def test_returns_copy(self):
+        points = price_points()
+        points[0] = -1
+        assert price_points()[0] > 0

@@ -1,0 +1,97 @@
+"""Tests for repro.marketplace.profiles."""
+
+import pytest
+
+from repro.marketplace.profiles import (
+    StoreProfile,
+    demo_profile,
+    paper_profile,
+    paper_profiles,
+    scaled_profile,
+)
+
+
+class TestStoreProfile:
+    def test_totals(self):
+        profile = demo_profile(warmup_days=5, crawl_days=10)
+        assert profile.total_days == 15
+
+    def test_expected_final_apps(self):
+        profile = demo_profile(
+            initial_apps=100, new_apps_per_day=2.0, crawl_days=10
+        )
+        assert profile.expected_final_apps == 120
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"initial_apps": 0},
+            {"crawl_days": 0},
+            {"warmup_days": -1},
+            {"new_apps_per_day": -1.0},
+            {"daily_downloads": -1.0},
+            {"n_users": 0},
+            {"paid_fraction": 1.5},
+            {"comment_probability": -0.1},
+            {"active_app_fraction": 2.0},
+        ],
+    )
+    def test_validation(self, overrides):
+        with pytest.raises(ValueError):
+            demo_profile(**overrides)
+
+
+class TestPaperProfiles:
+    def test_all_four_stores_present(self):
+        profiles = paper_profiles()
+        assert set(profiles) == {"anzhi", "appchina", "1mobile", "slideme"}
+
+    def test_table1_scale_facts(self):
+        """Spot-check Table 1 calibration."""
+        anzhi = paper_profile("anzhi")
+        assert anzhi.initial_apps == 58_423
+        assert anzhi.crawl_days == 60
+        assert anzhi.daily_downloads == pytest.approx(23_700_000)
+
+        appchina = paper_profile("appchina")
+        assert appchina.new_apps_per_day == pytest.approx(336.0)
+
+        slideme = paper_profile("slideme")
+        assert slideme.paid_fraction == pytest.approx(0.253)
+
+    def test_only_slideme_has_paid(self):
+        for name, profile in paper_profiles().items():
+            if name == "slideme":
+                assert profile.paid_fraction > 0
+            else:
+                assert profile.paid_fraction == 0
+
+    def test_unknown_store_rejected(self):
+        with pytest.raises(KeyError):
+            paper_profile("google-play")
+
+
+class TestScaledProfile:
+    def test_scaling_shrinks(self):
+        full = paper_profile("anzhi")
+        small = scaled_profile(full, app_scale=0.01, download_scale=1e-4)
+        assert small.initial_apps < full.initial_apps
+        assert small.daily_downloads < full.daily_downloads
+        assert small.name == full.name
+
+    def test_scaled_profile_remains_valid(self):
+        for profile in paper_profiles().values():
+            scaled = scaled_profile(
+                profile, app_scale=0.01, download_scale=1e-5, user_scale=1e-4
+            )
+            assert scaled.initial_apps >= scaled.n_categories
+            assert scaled.n_users >= 10
+
+    def test_behavior_preserved(self):
+        full = paper_profile("appchina")
+        small = scaled_profile(full)
+        assert small.behavior == full.behavior
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_profile(paper_profile("anzhi"), app_scale=0.0)

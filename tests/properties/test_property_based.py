@@ -1,0 +1,325 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the data structures and metrics whose correctness everything
+else rests on: the alias sampler, the Zipf law, the affinity metric, the
+distance metric, ECDFs, the Pareto transforms, cache policies, and the
+fetch-at-most-once invariant of the download models.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.policies import FifoCache, LfuCache, LruCache
+from repro.core.affinity import (
+    collapse_repeats,
+    random_walk_affinity,
+    temporal_affinity,
+)
+from repro.core.fitting import mean_relative_error
+from repro.core.models import AppClusteringModel, AppClusteringParams
+from repro.core.pareto import gini_coefficient
+from repro.stats.distributions import Ecdf, cumulative_share, rank_sizes
+from repro.stats.sampling import AliasSampler
+from repro.stats.zipf import ZipfDistribution
+
+# Shared strategies -----------------------------------------------------
+
+positive_weights = st.lists(
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=50,
+)
+
+category_strings = st.lists(
+    st.integers(min_value=0, max_value=6), min_size=2, max_size=40
+)
+
+sample_lists = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    min_size=1,
+    max_size=100,
+)
+
+
+class TestAliasSamplerProperties:
+    @given(weights=positive_weights, seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_samples_in_range(self, weights, seed):
+        sampler = AliasSampler(weights)
+        draws = sampler.sample(200, seed=seed)
+        assert draws.min() >= 0
+        assert draws.max() < len(weights)
+
+    @given(weights=positive_weights)
+    @settings(max_examples=40, deadline=None)
+    def test_probabilities_normalized(self, weights):
+        sampler = AliasSampler(weights)
+        assert sampler.probabilities.sum() == pytest.approx(1.0)
+        assert np.all(sampler.probabilities >= 0)
+
+
+class TestZipfProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        exponent=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pmf_is_distribution(self, n, exponent):
+        dist = ZipfDistribution(n=n, exponent=exponent)
+        pmf = dist.pmf(np.arange(1, n + 1))
+        assert pmf.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(pmf) <= 1e-15)  # non-increasing in rank
+
+
+class TestAffinityProperties:
+    @given(string=category_strings, depth=st.integers(1, 3))
+    @settings(max_examples=100, deadline=None)
+    def test_affinity_bounds(self, string, depth):
+        value = temporal_affinity(string, depth=depth)
+        if value is not None:
+            assert 0.0 <= value <= 1.0
+
+    @given(string=category_strings)
+    @settings(max_examples=100, deadline=None)
+    def test_constant_string_has_full_affinity(self, string):
+        constant = [string[0]] * len(string)
+        assert temporal_affinity(constant) == pytest.approx(1.0)
+
+    @given(string=category_strings)
+    @settings(max_examples=100, deadline=None)
+    def test_collapse_repeats_idempotent(self, string):
+        once = collapse_repeats(string)
+        twice = collapse_repeats(once)
+        assert once == twice
+        # No adjacent duplicates remain.
+        assert all(a != b for a, b in zip(once, once[1:]))
+
+    @given(
+        sizes=st.lists(st.integers(1, 500), min_size=1, max_size=30),
+        depth=st.integers(1, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_walk_affinity_is_probability(self, sizes, depth):
+        if sum(sizes) <= depth + 1:
+            return
+        value = random_walk_affinity(sizes, depth=depth)
+        assert 0.0 <= value <= 1.0
+
+
+class TestDistanceProperties:
+    @given(
+        observed=st.lists(
+            st.floats(min_value=0.1, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_identity_and_positivity(self, observed):
+        observed = np.asarray(observed)
+        assert mean_relative_error(observed, observed) == 0.0
+        perturbed = observed * 1.5
+        assert mean_relative_error(observed, perturbed) == pytest.approx(0.5)
+
+    @given(
+        observed=st.lists(
+            st.floats(min_value=0.1, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=60,
+        ),
+        scale=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scale_invariance(self, observed, scale):
+        """Relative error is invariant under joint rescaling."""
+        observed = np.asarray(observed)
+        simulated = observed[::-1].copy()
+        a = mean_relative_error(observed, simulated)
+        b = mean_relative_error(observed * scale, simulated * scale)
+        assert a == pytest.approx(b)
+
+
+class TestEcdfProperties:
+    @given(samples=sample_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_and_bounded(self, samples):
+        ecdf = Ecdf.from_samples(samples)
+        grid = np.linspace(min(samples) - 1, max(samples) + 1, 50)
+        values = ecdf(grid)
+        assert np.all(np.diff(values) >= 0)
+        assert values[0] >= 0.0 and values[-1] == pytest.approx(1.0)
+
+    @given(samples=sample_lists, q=st.floats(0.01, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_cdf_consistency(self, samples, q):
+        ecdf = Ecdf.from_samples(samples)
+        value = ecdf.quantile(q)
+        assert float(ecdf(value)) >= q - 1e-12
+
+
+class TestParetoProperties:
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cumulative_share_monotone(self, values):
+        fractions = np.array([0.1, 0.2, 0.5, 1.0])
+        shares = cumulative_share(values, fractions)
+        assert np.all(np.diff(shares) >= -1e-12)
+        assert shares[-1] == pytest.approx(1.0)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gini_bounds(self, values):
+        assert -1e-9 <= gini_coefficient(values) <= 1.0
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rank_sizes_is_sorted_permutation(self, values):
+        ranked = rank_sizes(values)
+        assert np.all(np.diff(ranked) <= 0)
+        assert sorted(ranked.tolist()) == sorted(values)
+
+
+class TestCachePolicyProperties:
+    @given(
+        capacity=st.integers(1, 20),
+        keys=st.lists(st.integers(0, 40), min_size=1, max_size=200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_across_policies(self, capacity, keys):
+        for factory in (LruCache, FifoCache, LfuCache):
+            cache = factory(capacity)
+            for key in keys:
+                hit = cache.access(key)
+                # A hit implies the key is (still) present.
+                if hit:
+                    assert key in cache
+                assert len(cache) <= capacity
+            assert cache.hits + cache.misses == len(keys)
+
+
+class TestTokenBucketProperties:
+    @given(
+        rate=st.floats(0.1, 100.0),
+        capacity=st.floats(0.5, 50.0),
+        deltas=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_never_over_serves(self, rate, capacity, deltas):
+        """Served requests never exceed capacity + rate * elapsed time."""
+        from repro.crawler.ratelimit import TokenBucket
+
+        bucket = TokenBucket(rate=rate, capacity=capacity)
+        now = 0.0
+        served = 0
+        for delta in deltas:
+            now += delta
+            while bucket.try_consume(now):
+                served += 1
+        allowed = capacity + rate * now
+        assert served <= allowed + 1e-6
+
+    @given(
+        rate=st.floats(0.1, 100.0),
+        capacity=st.floats(1.0, 50.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_retry_hint_is_sufficient(self, rate, capacity):
+        """Waiting the advertised time always makes a token available."""
+        from repro.crawler.ratelimit import TokenBucket
+
+        bucket = TokenBucket(rate=rate, capacity=capacity)
+        now = 0.0
+        while bucket.try_consume(now):
+            pass
+        wait = bucket.time_until_available(now)
+        assert bucket.try_consume(now + wait + 1e-9)
+
+
+class TestFeedbackModelProperties:
+    @given(
+        n_apps=st.integers(20, 80),
+        n_users=st.integers(2, 12),
+        d=st.integers(1, 6),
+        q=st.floats(0.0, 1.0),
+        list_size=st.integers(1, 30),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_feedback_fetch_at_most_once(
+        self, n_apps, n_users, d, q, list_size, seed
+    ):
+        from repro.core.feedback import (
+            RecommenderFeedbackModel,
+            RecommenderFeedbackParams,
+        )
+
+        params = RecommenderFeedbackParams(
+            n_apps=n_apps,
+            n_users=n_users,
+            total_downloads=n_users * d,
+            zr=1.2,
+            q=q,
+            list_size=list_size,
+        )
+        per_user = {}
+        for event in RecommenderFeedbackModel(params).iter_events(seed=seed):
+            apps = per_user.setdefault(event.user_id, set())
+            assert event.app_index not in apps
+            assert 0 <= event.app_index < n_apps
+            apps.add(event.app_index)
+
+
+class TestModelProperties:
+    @given(
+        n_apps=st.integers(10, 80),
+        n_users=st.integers(2, 15),
+        d=st.integers(1, 8),
+        p=st.floats(0.0, 1.0),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_fetch_at_most_once_always_holds(self, n_apps, n_users, d, p, seed):
+        params = AppClusteringParams(
+            n_apps=n_apps,
+            n_users=n_users,
+            total_downloads=n_users * d,
+            zr=1.3,
+            zc=1.3,
+            p=p,
+            n_clusters=min(5, n_apps),
+        )
+        per_user = {}
+        for event in AppClusteringModel(params).iter_events(seed=seed):
+            apps = per_user.setdefault(event.user_id, set())
+            assert event.app_index not in apps
+            apps.add(event.app_index)
+        counts = AppClusteringModel(params).simulate(seed=seed)
+        assert counts.max() <= n_users

@@ -1,0 +1,81 @@
+"""Tests for repro.recommend.clustering_aware."""
+
+import pytest
+
+from repro.recommend.clustering_aware import ClusteringAwareRecommender
+
+
+CATEGORIES = {
+    "g1": "games",
+    "g2": "games",
+    "g3": "games",
+    "t1": "tools",
+    "t2": "tools",
+    "m1": "music",
+}
+
+POPULARITY = {"g1": 100, "g2": 50, "g3": 10, "t1": 80, "t2": 20, "m1": 60}
+
+
+class TestClusteringAwareRecommender:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusteringAwareRecommender(recency_decay=0.0)
+        with pytest.raises(ValueError):
+            ClusteringAwareRecommender(exploration=1.0)
+
+    def test_recommends_from_user_category(self):
+        recommender = ClusteringAwareRecommender()
+        recommender.fit({"u": ["g1"]}, CATEGORIES, POPULARITY)
+        picks = recommender.recommend("u", k=2)
+        assert picks == ["g2", "g3"]
+
+    def test_owned_excluded(self):
+        recommender = ClusteringAwareRecommender()
+        recommender.fit({"u": ["g1", "g2", "g3"]}, CATEGORIES, POPULARITY)
+        picks = recommender.recommend("u", k=5)
+        assert not set(picks) & {"g1", "g2", "g3"}
+
+    def test_recency_weighting_prefers_latest_category(self):
+        """Temporal affinity: the most recent download dominates."""
+        recommender = ClusteringAwareRecommender(recency_decay=0.3)
+        recommender.fit(
+            {"u": ["g1", "t1"]},  # tools most recent
+            CATEGORIES,
+            POPULARITY,
+        )
+        picks = recommender.recommend("u", k=1)
+        assert picks == ["t2"]
+
+    def test_exploration_adds_unvisited_categories(self):
+        recommender = ClusteringAwareRecommender(exploration=0.5)
+        recommender.fit({"u": ["g1"]}, CATEGORIES, POPULARITY)
+        picks = recommender.recommend("u", k=4)
+        categories = {CATEGORIES[app] for app in picks}
+        assert len(categories) > 1
+
+    def test_popularity_defaults_to_ownership(self):
+        recommender = ClusteringAwareRecommender()
+        recommender.fit(
+            {
+                "u1": ["g1"],
+                "u2": ["g1", "g2"],
+                "u3": ["g2"],
+                "target": ["g3"],
+            },
+            CATEGORIES,
+        )
+        # g1 and g2 each owned twice; both must precede nothing else.
+        picks = recommender.recommend("target", k=2)
+        assert set(picks) == {"g1", "g2"}
+
+    def test_empty_history_gives_empty_core(self):
+        recommender = ClusteringAwareRecommender()
+        recommender.fit({"u": []}, CATEGORIES, POPULARITY)
+        assert recommender.recommend("u", k=3) == []
+
+    def test_k_validated(self):
+        recommender = ClusteringAwareRecommender()
+        recommender.fit({"u": ["g1"]}, CATEGORIES, POPULARITY)
+        with pytest.raises(ValueError):
+            recommender.recommend("u", k=0)

@@ -1,0 +1,65 @@
+"""Tests for repro.recommend.collaborative."""
+
+import pytest
+
+from repro.recommend.collaborative import CollaborativeFilteringRecommender
+
+
+class TestCollaborativeFiltering:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CollaborativeFilteringRecommender(n_neighbors=0)
+        with pytest.raises(ValueError):
+            CollaborativeFilteringRecommender(min_overlap=0)
+
+    def test_recommends_neighbor_apps(self):
+        recommender = CollaborativeFilteringRecommender()
+        recommender.fit(
+            {
+                "u1": ["a", "b", "c"],
+                "u2": ["a", "b", "d"],  # similar to u1, also owns d
+                "u3": ["x", "y"],  # unrelated
+            }
+        )
+        picks = recommender.recommend("u1", k=3)
+        assert "d" in picks
+        assert "x" not in picks
+
+    def test_owned_apps_never_recommended(self):
+        recommender = CollaborativeFilteringRecommender()
+        recommender.fit({"u1": ["a", "b"], "u2": ["a", "b", "c"]})
+        picks = recommender.recommend("u1", k=5)
+        assert "a" not in picks and "b" not in picks
+
+    def test_unknown_user_gets_empty(self):
+        recommender = CollaborativeFilteringRecommender()
+        recommender.fit({"u1": ["a"]})
+        assert recommender.recommend("ghost", k=5) == []
+
+    def test_k_validated(self):
+        recommender = CollaborativeFilteringRecommender()
+        recommender.fit({"u1": ["a"]})
+        with pytest.raises(ValueError):
+            recommender.recommend("u1", k=0)
+
+    def test_min_overlap_suppresses_weak_links(self):
+        recommender = CollaborativeFilteringRecommender(min_overlap=2)
+        recommender.fit(
+            {
+                "u1": ["a", "z1"],
+                "u2": ["a", "b"],  # only one shared app with u1
+            }
+        )
+        assert recommender.recommend("u1", k=5) == []
+
+    def test_stronger_neighbors_rank_higher(self):
+        recommender = CollaborativeFilteringRecommender()
+        recommender.fit(
+            {
+                "target": ["a", "b", "c"],
+                "close": ["a", "b", "c", "best"],
+                "far": ["a", "q1", "q2", "worse"],
+            }
+        )
+        picks = recommender.recommend("target", k=2)
+        assert picks[0] == "best"

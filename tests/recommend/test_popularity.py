@@ -1,0 +1,58 @@
+"""Tests for repro.recommend.popularity (the global-popularity baseline)."""
+
+import pytest
+
+from repro.recommend.popularity import PopularityRecommender
+
+
+class TestPopularityRecommender:
+    def test_recommends_most_owned_first(self):
+        recommender = PopularityRecommender()
+        recommender.fit(
+            {
+                "u1": ["hot", "warm"],
+                "u2": ["hot", "warm"],
+                "u3": ["hot"],
+                "target": ["cold"],
+            }
+        )
+        picks = recommender.recommend("target", k=2)
+        assert picks == ["hot", "warm"]
+
+    def test_owned_excluded(self):
+        recommender = PopularityRecommender()
+        recommender.fit({"u1": ["a", "b"], "u2": ["a"], "target": ["a"]})
+        picks = recommender.recommend("target", k=5)
+        assert "a" not in picks
+        assert "b" in picks
+
+    def test_explicit_popularity_overrides_ownership(self):
+        recommender = PopularityRecommender()
+        recommender.fit(
+            {"u1": ["x"], "target": []},
+            popularity={"x": 1.0, "y": 100.0},
+        )
+        assert recommender.recommend("target", k=1) == ["y"]
+
+    def test_unknown_user_gets_global_top(self):
+        recommender = PopularityRecommender()
+        recommender.fit({"u1": ["a", "b"], "u2": ["a"]})
+        assert recommender.recommend("ghost", k=1) == ["a"]
+
+    def test_k_validated(self):
+        recommender = PopularityRecommender()
+        recommender.fit({"u": ["a"]})
+        with pytest.raises(ValueError):
+            recommender.recommend("u", k=0)
+
+    def test_works_in_evaluation_harness(self):
+        from repro.recommend.evaluation import evaluate_recommenders
+
+        # Hidden items must appear in *other* users' training prefixes --
+        # a popularity model cannot recommend apps absent from training.
+        histories = {}
+        for i in range(3):
+            histories[f"x{i}"] = ["a", "b", "c"]  # hides "c"
+            histories[f"y{i}"] = ["c", "a", "b"]  # hides "b"
+        results = evaluate_recommenders([PopularityRecommender()], histories, k=3)
+        assert results[0].hit_rate == 1.0

@@ -1,0 +1,66 @@
+"""Tests for repro.reporting.figures."""
+
+import numpy as np
+import pytest
+
+from repro.reporting.figures import render_cdf, render_series, sparkline
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline(np.arange(100), width=40)) == 40
+
+    def test_short_series(self):
+        assert len(sparkline([1, 2, 3], width=40)) == 3
+
+    def test_monotone_gradient(self):
+        line = sparkline(np.arange(10), width=10)
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_constant_series(self):
+        line = sparkline([5, 5, 5], width=3)
+        assert line == "@@@"
+
+    def test_log_scale_handles_nonpositive(self):
+        line = sparkline([0, 1, 10, 100], width=4, log_scale=True)
+        assert line[0] == " "
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+        with pytest.raises(ValueError):
+            sparkline([1], width=0)
+
+
+class TestRenderSeries:
+    def test_rows_and_sparkline(self):
+        text = render_series([1, 2, 3], [10, 20, 30], "rank", "downloads")
+        assert "rank" in text and "downloads" in text
+        assert "shape: [" in text
+
+    def test_row_subsampling(self):
+        x = np.arange(1000)
+        text = render_series(x, x, max_rows=10)
+        # Header + up to 10 data rows + sparkline line.
+        assert len(text.splitlines()) <= 13
+
+    def test_title(self):
+        text = render_series([1], [1], title="Figure 3")
+        assert text.splitlines()[0] == "Figure 3"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_series([1, 2], [1])
+        with pytest.raises(ValueError):
+            render_series([], [])
+
+
+class TestRenderCdf:
+    def test_quantiles_printed(self):
+        text = render_cdf(np.arange(100), "downloads")
+        assert "P50" in text and "P99" in text
+        assert "mean=" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_cdf([], "empty")

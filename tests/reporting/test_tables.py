@@ -1,0 +1,50 @@
+"""Tests for repro.reporting.tables."""
+
+import pytest
+
+from repro.reporting.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_rendering(self):
+        text = render_table(
+            ["store", "apps"],
+            [["anzhi", 58423], ["slideme", 16578]],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("store")
+        assert "anzhi" in text and "58,423" in text
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_float_formatting(self):
+        text = render_table(["value"], [[0.12345]], float_format=".3f")
+        assert "0.123" in text
+
+    def test_numeric_right_alignment(self):
+        text = render_table(["n"], [[1], [1000]])
+        lines = text.splitlines()
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("1,000")
+
+    def test_none_rendered_as_dash(self):
+        text = render_table(["x"], [[None]])
+        assert "-" in text.splitlines()[2]
+
+    def test_bool_rendered_as_words(self):
+        text = render_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_row_length_validated(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text

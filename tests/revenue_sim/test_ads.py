@@ -1,0 +1,56 @@
+"""Tests for repro.revenue_sim.ads."""
+
+import numpy as np
+import pytest
+
+from repro.revenue_sim.ads import AdMonetization
+from repro.revenue_sim.usage import UsageModel
+
+
+class TestAdMonetization:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdMonetization(impressions_per_session=0)
+        with pytest.raises(ValueError):
+            AdMonetization(click_through_rate=1.5)
+        with pytest.raises(ValueError):
+            AdMonetization(revenue_per_click=-1)
+
+    def test_expected_income_positive(self):
+        income = AdMonetization().expected_income_per_download(
+            UsageModel(), "fun/games"
+        )
+        assert income > 0
+
+    def test_engaged_categories_earn_more(self):
+        monetization = AdMonetization()
+        usage = UsageModel()
+        assert monetization.expected_income_per_download(
+            usage, "fun/games"
+        ) > monetization.expected_income_per_download(usage, "wallpapers")
+
+    def test_simulated_mean_tracks_expectation(self):
+        monetization = AdMonetization()
+        usage = UsageModel()
+        incomes = monetization.simulate_income(usage, "music", 50_000, seed=2)
+        expected = monetization.expected_income_per_download(usage, "music")
+        assert float(incomes.mean()) == pytest.approx(expected, rel=0.15)
+
+    def test_zero_rates_zero_income(self):
+        monetization = AdMonetization(
+            click_through_rate=0.0, revenue_per_click=0.0, ecpm=0.0
+        )
+        incomes = monetization.simulate_income(UsageModel(), "music", 100, seed=0)
+        assert float(incomes.sum()) == 0.0
+
+    def test_empty_simulation(self):
+        incomes = AdMonetization().simulate_income(UsageModel(), "music", 0, seed=0)
+        assert incomes.size == 0
+
+    def test_income_per_download_magnitude_plausible(self):
+        """Default funnel lands in the cents-per-download regime the
+        paper's Equation-7 thresholds live in ($0.002 - $1.60)."""
+        income = AdMonetization().expected_income_per_download(
+            UsageModel(), "productivity"
+        )
+        assert 0.001 < income < 1.0

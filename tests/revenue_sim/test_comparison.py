@@ -1,0 +1,136 @@
+"""Tests for repro.revenue_sim.comparison."""
+
+import pytest
+
+from repro.core.revenue import FreeAppRecord, PaidAppRecord
+from repro.revenue_sim.ads import AdMonetization
+from repro.revenue_sim.comparison import compare_strategies
+from repro.revenue_sim.usage import UsageModel
+
+
+def paid(app_id, category, price, downloads):
+    return PaidAppRecord(
+        app_id=app_id,
+        developer_id=app_id,
+        category=category,
+        price=price,
+        downloads=downloads,
+    )
+
+
+def free(app_id, category, downloads):
+    return FreeAppRecord(
+        app_id=app_id,
+        developer_id=app_id,
+        category=category,
+        downloads=downloads,
+        has_ads=True,
+    )
+
+
+class TestCompareStrategies:
+    def test_per_category_outcomes(self):
+        paid_apps = [
+            paid(1, "fun/games", 1.0, 10),
+            paid(2, "music", 10.0, 100),
+        ]
+        free_apps = [
+            free(3, "fun/games", 1000),
+            free(4, "music", 100),
+        ]
+        comparison = compare_strategies(paid_apps, free_apps, seed=0)
+        categories = {o.category for o in comparison.outcomes}
+        assert categories == {"fun/games", "music"}
+
+    def test_cheap_threshold_category_wins(self):
+        """Games: threshold 10/1000 = $0.01, well below simulated income."""
+        paid_apps = [paid(1, "fun/games", 1.0, 10)]
+        free_apps = [free(2, "fun/games", 1000)]
+        comparison = compare_strategies(paid_apps, free_apps, seed=1)
+        outcome = comparison.outcomes[0]
+        assert outcome.break_even_income == pytest.approx(0.01)
+        assert outcome.free_strategy_wins
+        assert outcome.margin > 0
+
+    def test_blockbuster_category_loses(self):
+        """Music blockbuster: threshold 1000/10 = $100 -- unreachable."""
+        paid_apps = [paid(1, "music", 100.0, 10)]
+        free_apps = [free(2, "music", 10)]
+        comparison = compare_strategies(paid_apps, free_apps, seed=2)
+        outcome = comparison.outcomes[0]
+        assert not outcome.free_strategy_wins
+
+    def test_win_fraction_bounds(self):
+        paid_apps = [paid(1, "fun/games", 1.0, 10)]
+        free_apps = [free(2, "fun/games", 1000)]
+        comparison = compare_strategies(paid_apps, free_apps, seed=3)
+        assert 0.0 <= comparison.win_fraction <= 1.0
+
+    def test_custom_funnel_changes_outcome(self):
+        paid_apps = [paid(1, "fun/games", 2.0, 50)]
+        free_apps = [free(2, "fun/games", 200)]
+        generous = compare_strategies(
+            paid_apps,
+            free_apps,
+            monetization=AdMonetization(
+                click_through_rate=0.2, revenue_per_click=1.0
+            ),
+            seed=4,
+        )
+        stingy = compare_strategies(
+            paid_apps,
+            free_apps,
+            monetization=AdMonetization(
+                click_through_rate=0.0001, revenue_per_click=0.001, ecpm=0.0
+            ),
+            seed=4,
+        )
+        assert (
+            generous.outcomes[0].simulated_income
+            > stingy.outcomes[0].simulated_income
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_strategies([], [], installs_per_category=0)
+
+    def test_describe(self):
+        paid_apps = [paid(1, "fun/games", 1.0, 10)]
+        free_apps = [free(2, "fun/games", 1000)]
+        comparison = compare_strategies(paid_apps, free_apps, seed=5)
+        assert "categories" in comparison.describe()
+
+    def test_integration_with_crawl(self, slideme_campaign):
+        """End to end: thresholds from the crawl, income from the funnel."""
+        from repro.analysis.income import paid_app_records
+        from repro.analysis.strategies import free_app_records
+
+        paid_apps = paid_app_records(slideme_campaign.database, "slideme-test")
+        free_apps = free_app_records(slideme_campaign.database, "slideme-test")
+        # The scaled fixture inflates break-even thresholds (a blockbuster
+        # dominates a small paid population), so calibrate the funnel to
+        # the fixture's scale: a generous funnel should clear the cheap
+        # categories but not the blockbuster-led ones.
+        generous = AdMonetization(
+            impressions_per_session=5.0,
+            click_through_rate=0.05,
+            revenue_per_click=0.5,
+            ecpm=5.0,
+        )
+        comparison = compare_strategies(
+            paid_apps,
+            free_apps,
+            monetization=generous,
+            installs_per_category=500,
+            seed=6,
+        )
+        assert comparison.outcomes
+        # The free strategy wins somewhere but not everywhere, as the
+        # paper's Figure 18 spread implies.
+        assert 0.0 < comparison.win_fraction < 1.0
+        # Winners have systematically lower thresholds than losers.
+        winners = [o for o in comparison.outcomes if o.free_strategy_wins]
+        losers = [o for o in comparison.outcomes if not o.free_strategy_wins]
+        assert min(o.break_even_income for o in losers) > min(
+            o.break_even_income for o in winners
+        )

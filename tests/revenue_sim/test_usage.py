@@ -1,0 +1,63 @@
+"""Tests for repro.revenue_sim.usage."""
+
+import numpy as np
+import pytest
+
+from repro.revenue_sim.usage import UsageModel
+
+
+class TestUsageModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UsageModel(daily_retention=1.0)
+        with pytest.raises(ValueError):
+            UsageModel(sessions_per_active_day=0)
+        with pytest.raises(ValueError):
+            UsageModel(max_days=0)
+
+    def test_expected_active_days(self):
+        # Retention 0.5: 1 + 0.5 + 0.25 + ... -> 2 (truncated slightly below).
+        model = UsageModel(daily_retention=0.5, max_days=90)
+        assert model.expected_active_days() == pytest.approx(2.0, abs=1e-6)
+
+    def test_engagement_ordering(self):
+        model = UsageModel()
+        assert model.engagement_multiplier("fun/games") > model.engagement_multiplier(
+            "utilities"
+        )
+        assert model.engagement_multiplier("wallpapers") < 0.5
+
+    def test_unknown_category_gets_baseline(self):
+        assert UsageModel().engagement_multiplier("unheard-of") == 1.0
+
+    def test_expected_sessions_scale_with_engagement(self):
+        model = UsageModel()
+        assert model.expected_sessions("fun/games") > model.expected_sessions(
+            "wallpapers"
+        )
+
+    def test_sample_sessions_at_least_one(self):
+        model = UsageModel()
+        sessions = model.sample_sessions("wallpapers", 500, seed=0)
+        assert sessions.min() >= 1
+
+    def test_sample_mean_tracks_expectation(self):
+        model = UsageModel(daily_retention=0.6, sessions_per_active_day=2.0)
+        sessions = model.sample_sessions("productivity", 50_000, seed=1)
+        # The max(1) floor inflates low-engagement categories slightly.
+        assert float(sessions.mean()) == pytest.approx(
+            model.expected_sessions("productivity"), rel=0.15
+        )
+
+    def test_empty_sample(self):
+        assert UsageModel().sample_sessions("music", 0, seed=0).size == 0
+
+    def test_negative_installs_rejected(self):
+        with pytest.raises(ValueError):
+            UsageModel().sample_sessions("music", -1)
+
+    def test_deterministic(self):
+        model = UsageModel()
+        a = model.sample_sessions("music", 100, seed=5)
+        b = model.sample_sessions("music", 100, seed=5)
+        assert np.array_equal(a, b)

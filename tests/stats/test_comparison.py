@@ -1,0 +1,101 @@
+"""Tests for repro.stats.comparison."""
+
+import numpy as np
+import pytest
+
+from repro.stats.comparison import ks_statistic, log_binned_ratio, qq_points
+
+
+class TestKsStatistic:
+    def test_identical_samples_zero(self):
+        samples = np.arange(100, dtype=float)
+        assert ks_statistic(samples, samples) == 0.0
+
+    def test_disjoint_supports_one(self):
+        assert ks_statistic([1.0, 2.0], [10.0, 11.0]) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=500)
+        b = rng.normal(loc=0.5, size=500)
+        assert ks_statistic(a, b) == pytest.approx(ks_statistic(b, a))
+
+    def test_bounds(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a = rng.exponential(size=100)
+            b = rng.exponential(size=80)
+            value = ks_statistic(a, b)
+            assert 0.0 <= value <= 1.0
+
+    def test_shift_detected(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=5000)
+        shifted = a + 1.0
+        assert ks_statistic(a, shifted) > 0.3
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=300)
+        b = rng.normal(loc=0.3, size=400)
+        ours = ks_statistic(a, b)
+        theirs = float(scipy_stats.ks_2samp(a, b).statistic)
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ks_statistic([], [1.0])
+
+
+class TestQqPoints:
+    def test_identical_on_diagonal(self):
+        samples = np.arange(1000, dtype=float)
+        qa, qb = qq_points(samples, samples)
+        assert np.allclose(qa, qb)
+
+    def test_point_count(self):
+        qa, qb = qq_points([1, 2, 3], [4, 5, 6], n_points=10)
+        assert qa.shape == qb.shape == (10,)
+
+    def test_scale_shift_visible(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=2000)
+        qa, qb = qq_points(a, 2 * a + 1)
+        # QQ points of a linear transform lie on that line.
+        slope = np.polyfit(qa, qb, 1)[0]
+        assert slope == pytest.approx(2.0, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            qq_points([1.0], [2.0], n_points=1)
+        with pytest.raises(ValueError):
+            qq_points([], [1.0])
+
+
+class TestLogBinnedRatio:
+    def test_identical_ratios_one(self):
+        samples = np.logspace(0, 3, 200)
+        centers, ratios = log_binned_ratio(samples, samples)
+        finite = ratios[np.isfinite(ratios)]
+        assert np.allclose(finite[finite > 0], 1.0)
+
+    def test_tail_deficit_localized(self):
+        """A sample missing its tail shows ratios < 1 in the high bins."""
+        full = np.logspace(0, 3, 300)
+        truncated = full[full < 100]
+        centers, ratios = log_binned_ratio(truncated, full)
+        high_bins = centers > 100
+        finite = ratios[high_bins]
+        finite = finite[np.isfinite(finite)]
+        assert np.all(finite < 1.0) or finite.size == 0
+
+    def test_nonpositive_filtered(self):
+        centers, ratios = log_binned_ratio([0.0, 1.0, 10.0], [1.0, 10.0])
+        assert centers.size > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_binned_ratio([0.0], [1.0])
+        with pytest.raises(ValueError):
+            log_binned_ratio([1.0], [2.0], bins_per_decade=0)

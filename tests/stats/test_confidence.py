@@ -1,0 +1,90 @@
+"""Tests for repro.stats.confidence."""
+
+import numpy as np
+import pytest
+
+from repro.stats.confidence import (
+    bootstrap_mean_interval,
+    mean_confidence_interval,
+    z_critical,
+)
+
+
+class TestZCritical:
+    def test_common_level(self):
+        assert z_critical(0.95) == pytest.approx(1.959964, abs=1e-5)
+
+    def test_non_table_level(self):
+        # 0.85 two-sided -> z approx 1.4395.
+        assert z_critical(0.85) == pytest.approx(1.4395, abs=1e-3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            z_critical(0.0)
+        with pytest.raises(ValueError):
+            z_critical(1.0)
+
+    def test_monotone_in_level(self):
+        assert z_critical(0.99) > z_critical(0.95) > z_critical(0.90)
+
+
+class TestMeanConfidenceInterval:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_single_sample_degenerate(self):
+        interval = mean_confidence_interval([5.0])
+        assert interval.lower == interval.upper == interval.mean == 5.0
+
+    def test_symmetric_around_mean(self):
+        interval = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert interval.mean == pytest.approx(2.5)
+        assert interval.upper - interval.mean == pytest.approx(
+            interval.mean - interval.lower
+        )
+
+    def test_contains(self):
+        interval = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert interval.contains(interval.mean)
+        assert not interval.contains(interval.upper + 1.0)
+
+    def test_width_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(0)
+        small = mean_confidence_interval(rng.normal(size=20))
+        large = mean_confidence_interval(rng.normal(size=2000))
+        assert large.half_width < small.half_width
+
+    def test_coverage_is_approximately_nominal(self):
+        rng = np.random.default_rng(1)
+        covered = 0
+        trials = 400
+        for _ in range(trials):
+            samples = rng.normal(loc=3.0, size=40)
+            if mean_confidence_interval(samples, level=0.95).contains(3.0):
+                covered += 1
+        assert 0.90 <= covered / trials <= 0.99
+
+    def test_higher_level_wider(self):
+        samples = np.random.default_rng(2).normal(size=100)
+        assert (
+            mean_confidence_interval(samples, level=0.99).half_width
+            > mean_confidence_interval(samples, level=0.90).half_width
+        )
+
+
+class TestBootstrapMeanInterval:
+    def test_contains_sample_mean(self):
+        samples = np.random.default_rng(3).exponential(size=200)
+        interval = bootstrap_mean_interval(samples, seed=0)
+        assert interval.lower <= interval.mean <= interval.upper
+
+    def test_deterministic_with_seed(self):
+        samples = [1.0, 5.0, 2.0, 8.0, 3.0]
+        a = bootstrap_mean_interval(samples, seed=7)
+        b = bootstrap_mean_interval(samples, seed=7)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_rejects_too_few_resamples(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_interval([1.0, 2.0], n_resamples=1)

@@ -1,0 +1,67 @@
+"""Tests for repro.stats.correlation."""
+
+import numpy as np
+import pytest
+
+from repro.stats.correlation import pearson, spearman
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10, dtype=float)
+        assert pearson(x, 2 * x + 1).coefficient == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10, dtype=float)
+        assert pearson(x, -3 * x).coefficient == pytest.approx(-1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert pearson([1, 1, 1], [2, 3, 4]).coefficient == 0.0
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=20_000)
+        y = rng.normal(size=20_000)
+        assert abs(pearson(x, y).coefficient) < 0.03
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1], [2])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1.0, float("nan")], [1.0, 2.0])
+
+    def test_result_carries_sample_size(self):
+        result = pearson([1, 2, 3], [3, 1, 2])
+        assert result.n == 3
+
+    def test_float_conversion(self):
+        result = pearson([1, 2, 3], [1, 2, 3])
+        assert float(result) == pytest.approx(1.0)
+
+    def test_matches_numpy_corrcoef(self):
+        rng = np.random.default_rng(1)
+        x = rng.random(50)
+        y = 0.3 * x + rng.random(50)
+        ours = pearson(x, y).coefficient
+        numpy_value = float(np.corrcoef(x, y)[0, 1])
+        assert ours == pytest.approx(numpy_value, abs=1e-12)
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        x = np.arange(1, 20, dtype=float)
+        assert spearman(x, x**3).coefficient == pytest.approx(1.0)
+
+    def test_ties_handled(self):
+        result = spearman([1, 2, 2, 3], [1, 2, 2, 3])
+        assert result.coefficient == pytest.approx(1.0)
+
+    def test_inverse_monotone_is_minus_one(self):
+        x = np.arange(1, 10, dtype=float)
+        assert spearman(x, 1.0 / x).coefficient == pytest.approx(-1.0)

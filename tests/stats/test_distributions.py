@@ -1,0 +1,153 @@
+"""Tests for repro.stats.distributions."""
+
+import numpy as np
+import pytest
+
+from repro.stats.distributions import (
+    Ecdf,
+    cumulative_share,
+    histogram_shares,
+    log_spaced_ranks,
+    pareto_curve,
+    rank_sizes,
+)
+
+
+class TestEcdf:
+    def test_from_samples_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Ecdf.from_samples([])
+
+    def test_from_samples_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Ecdf.from_samples([1.0, float("nan")])
+
+    def test_basic_evaluation(self):
+        ecdf = Ecdf.from_samples([1, 2, 2, 4])
+        assert float(ecdf(0)) == 0.0
+        assert float(ecdf(1)) == 0.25
+        assert float(ecdf(2)) == 0.75
+        assert float(ecdf(4)) == 1.0
+        assert float(ecdf(100)) == 1.0
+
+    def test_vectorized_evaluation(self):
+        ecdf = Ecdf.from_samples([1, 2, 3])
+        values = ecdf(np.array([1, 2, 3]))
+        assert np.allclose(values, [1 / 3, 2 / 3, 1.0])
+
+    def test_quantile_inverts(self):
+        samples = np.arange(1, 101, dtype=float)
+        ecdf = Ecdf.from_samples(samples)
+        assert float(ecdf.quantile(0.5)) == 50.0
+        assert float(ecdf.quantile(1.0)) == 100.0
+        assert float(ecdf.quantile(0.0)) == 1.0
+
+    def test_quantile_rejects_out_of_range(self):
+        ecdf = Ecdf.from_samples([1, 2])
+        with pytest.raises(ValueError):
+            ecdf.quantile(1.5)
+
+    def test_support(self):
+        ecdf = Ecdf.from_samples([5, 1, 9])
+        assert ecdf.support() == (1.0, 9.0)
+
+    def test_evaluation_grid_monotone(self):
+        ecdf = Ecdf.from_samples([3, 1, 4, 1, 5, 9, 2, 6])
+        x, y = ecdf.evaluation_grid()
+        assert np.all(np.diff(x) > 0)
+        assert np.all(np.diff(y) >= 0)
+        assert y[-1] == pytest.approx(1.0)
+
+
+class TestRankSizes:
+    def test_descending(self):
+        ranked = rank_sizes([3, 9, 1])
+        assert np.array_equal(ranked, [9, 3, 1])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            rank_sizes([[1, 2]])
+
+
+class TestCumulativeShare:
+    def test_uniform_distribution(self):
+        # 10 equal items: the top 10% (1 item) holds 10% of the mass.
+        share = cumulative_share(np.ones(10), 0.1)
+        assert share == pytest.approx(0.1)
+
+    def test_concentrated_distribution(self):
+        values = np.array([100, 1, 1, 1, 1, 1, 1, 1, 1, 1], dtype=float)
+        share = cumulative_share(values, 0.1)
+        assert share == pytest.approx(100 / 109)
+
+    def test_full_fraction_is_one(self):
+        assert cumulative_share([5, 3, 2], 1.0) == pytest.approx(1.0)
+
+    def test_zero_fraction_is_zero(self):
+        assert cumulative_share([5, 3, 2], 0.0) == pytest.approx(0.0)
+
+    def test_array_of_fractions(self):
+        shares = cumulative_share([4, 3, 2, 1], np.array([0.25, 0.5, 1.0]))
+        assert np.allclose(shares, [0.4, 0.7, 1.0])
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            cumulative_share([0, 0], 0.5)
+
+    def test_rejects_fraction_above_one(self):
+        with pytest.raises(ValueError):
+            cumulative_share([1, 2], 1.5)
+
+
+class TestParetoCurve:
+    def test_endpoints(self):
+        x, y = pareto_curve([10, 5, 3, 2], points=4)
+        assert x[-1] == pytest.approx(100.0)
+        assert y[-1] == pytest.approx(100.0)
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        values = rng.pareto(1.5, size=500) + 1
+        x, y = pareto_curve(values)
+        assert np.all(np.diff(y) >= 0)
+
+    def test_concave_for_skewed_data(self):
+        # A skewed distribution's curve lies above the diagonal.
+        values = 1.0 / np.arange(1, 101) ** 1.5
+        x, y = pareto_curve(values)
+        assert np.all(y >= x - 1e-9)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            pareto_curve([1, 2], points=1)
+
+
+class TestLogSpacedRanks:
+    def test_bounds(self):
+        ranks = log_spaced_ranks(1000, 30)
+        assert ranks[0] == 1
+        assert ranks[-1] == 1000
+
+    def test_unique_and_sorted(self):
+        ranks = log_spaced_ranks(500, 50)
+        assert np.all(np.diff(ranks) > 0)
+
+    def test_small_n(self):
+        ranks = log_spaced_ranks(3, 10)
+        assert set(ranks.tolist()) <= {1, 2, 3}
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log_spaced_ranks(0)
+
+
+class TestHistogramShares:
+    def test_shares_sum_to_one_when_covering(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        shares = histogram_shares(values, [0, 2.5, 5])
+        assert shares.sum() == pytest.approx(1.0)
+        assert shares[0] == pytest.approx(3 / 10)
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            histogram_shares([0.0, 0.0], [0, 1])

@@ -1,0 +1,73 @@
+"""Tests for repro.stats.loglog."""
+
+import numpy as np
+import pytest
+
+from repro.stats.loglog import fit_loglog_slope, trunk_bounds
+
+
+class TestFitLogLogSlope:
+    def test_recovers_exact_power_law(self):
+        x = np.arange(1, 200, dtype=float)
+        y = 1e6 * x**-1.42
+        fit = fit_loglog_slope(x, y)
+        assert fit.slope == pytest.approx(1.42, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_positive_slope_convention(self):
+        x = np.arange(1, 50, dtype=float)
+        fit = fit_loglog_slope(x, 100.0 / x)
+        assert fit.slope > 0
+
+    def test_noisy_recovery(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(1, 1000, dtype=float)
+        y = 1e5 * x**-1.2 * np.exp(rng.normal(0, 0.1, x.size))
+        fit = fit_loglog_slope(x, y)
+        assert fit.slope == pytest.approx(1.2, abs=0.05)
+        assert fit.r_squared > 0.95
+
+    def test_x_range_restricts_fit(self):
+        x = np.arange(1, 101, dtype=float)
+        # Trunk slope 1 but a flattened head.
+        y = 1000.0 / x
+        y[:5] = y[5]
+        full = fit_loglog_slope(x, y)
+        trunk = fit_loglog_slope(x, y, x_range=(10, 100))
+        assert trunk.slope == pytest.approx(1.0, abs=1e-6)
+        assert full.slope < trunk.slope
+
+    def test_nonpositive_points_dropped(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        y = np.array([8.0, 0.0, 2.0, 1.0])
+        fit = fit_loglog_slope(x, y)
+        assert fit.n_points == 3
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope([1.0], [2.0])
+
+    def test_predict_inverts_fit(self):
+        x = np.arange(1, 20, dtype=float)
+        y = 500.0 * x**-0.9
+        fit = fit_loglog_slope(x, y)
+        assert np.allclose(fit.predict(x), y, rtol=1e-9)
+
+
+class TestTrunkBounds:
+    def test_default_bounds(self):
+        low, high = trunk_bounds(1000)
+        assert low == 10.0
+        assert high == 500.0
+
+    def test_small_n(self):
+        low, high = trunk_bounds(8)
+        assert 1 <= low < high <= 8
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            trunk_bounds(3)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            trunk_bounds(100, head_fraction=0.6, tail_fraction=0.5)

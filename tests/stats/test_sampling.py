@@ -1,0 +1,86 @@
+"""Tests for repro.stats.sampling (the alias sampler)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.sampling import AliasSampler
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AliasSampler([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AliasSampler([1.0, -0.5])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            AliasSampler([1.0, float("nan")])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            AliasSampler([0.0, 0.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            AliasSampler([[1.0], [2.0]])
+
+    def test_single_outcome(self):
+        sampler = AliasSampler([3.0])
+        assert np.all(sampler.sample(100, seed=1) == 0)
+
+    def test_probabilities_normalized(self):
+        sampler = AliasSampler([2.0, 2.0, 4.0])
+        assert np.allclose(sampler.probabilities, [0.25, 0.25, 0.5])
+
+    def test_zero_weight_outcome_never_sampled(self):
+        sampler = AliasSampler([1.0, 0.0, 1.0])
+        draws = sampler.sample(2000, seed=5)
+        assert not np.any(draws == 1)
+
+
+class TestSampling:
+    def test_size_respected(self):
+        sampler = AliasSampler([1, 2, 3])
+        assert sampler.sample(17, seed=0).shape == (17,)
+
+    def test_size_zero(self):
+        sampler = AliasSampler([1, 2, 3])
+        assert sampler.sample(0, seed=0).size == 0
+
+    def test_negative_size_rejected(self):
+        sampler = AliasSampler([1, 2])
+        with pytest.raises(ValueError):
+            sampler.sample(-1)
+
+    def test_indices_in_range(self):
+        sampler = AliasSampler(np.ones(10))
+        draws = sampler.sample(1000, seed=2)
+        assert draws.min() >= 0 and draws.max() < 10
+
+    def test_deterministic_with_seed(self):
+        sampler = AliasSampler([1, 2, 3, 4])
+        assert np.array_equal(sampler.sample(50, seed=9), sampler.sample(50, seed=9))
+
+    def test_empirical_frequencies_match(self):
+        weights = np.array([0.5, 0.3, 0.2])
+        sampler = AliasSampler(weights)
+        draws = sampler.sample(200_000, seed=11)
+        frequencies = np.bincount(draws, minlength=3) / draws.size
+        assert np.allclose(frequencies, weights, atol=0.01)
+
+    def test_sample_one_matches_distribution(self):
+        sampler = AliasSampler([0.9, 0.1])
+        rng = np.random.default_rng(4)
+        draws = [sampler.sample_one(rng) for _ in range(20_000)]
+        assert abs(np.mean(draws) - 0.1) < 0.01
+
+    def test_large_skewed_distribution(self):
+        weights = 1.0 / np.arange(1, 5001) ** 2
+        sampler = AliasSampler(weights)
+        draws = sampler.sample(50_000, seed=3)
+        # The top outcome carries ~61% of mass at exponent 2.
+        top_share = float(np.mean(draws == 0))
+        assert 0.55 < top_share < 0.67

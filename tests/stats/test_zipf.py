@@ -1,0 +1,118 @@
+"""Tests for repro.stats.zipf."""
+
+import numpy as np
+import pytest
+
+from repro.stats.zipf import (
+    ZipfDistribution,
+    fit_zipf_exponent_mle,
+    generalized_harmonic,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_weights(5, -0.1)
+
+    def test_uniform_at_zero_exponent(self):
+        assert np.allclose(zipf_weights(4, 0.0), np.ones(4))
+
+    def test_decreasing(self):
+        weights = zipf_weights(100, 1.5)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_known_values(self):
+        weights = zipf_weights(3, 1.0)
+        assert np.allclose(weights, [1.0, 0.5, 1.0 / 3.0])
+
+
+class TestGeneralizedHarmonic:
+    def test_harmonic_number(self):
+        assert generalized_harmonic(3, 1.0) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_exponent_zero_is_n(self):
+        assert generalized_harmonic(7, 0.0) == pytest.approx(7.0)
+
+
+class TestZipfDistribution:
+    def test_pmf_sums_to_one(self):
+        dist = ZipfDistribution(n=50, exponent=1.2)
+        ranks = np.arange(1, 51)
+        assert dist.pmf(ranks).sum() == pytest.approx(1.0)
+
+    def test_pmf_rejects_out_of_range(self):
+        dist = ZipfDistribution(n=10, exponent=1.0)
+        with pytest.raises(ValueError):
+            dist.pmf(0)
+        with pytest.raises(ValueError):
+            dist.pmf(11)
+
+    def test_cdf_monotone_and_bounded(self):
+        dist = ZipfDistribution(n=20, exponent=1.4)
+        cdf = dist.cdf(np.arange(1, 21))
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_sample_ranks_one_based(self):
+        dist = ZipfDistribution(n=30, exponent=1.0)
+        ranks = dist.sample_ranks(500, seed=1)
+        assert ranks.min() >= 1 and ranks.max() <= 30
+
+    def test_sample_indices_zero_based(self):
+        dist = ZipfDistribution(n=30, exponent=1.0)
+        indices = dist.sample_indices(500, seed=1)
+        assert indices.min() >= 0 and indices.max() <= 29
+
+    def test_rank_one_most_frequent(self):
+        dist = ZipfDistribution(n=100, exponent=1.5)
+        indices = dist.sample_indices(20_000, seed=2)
+        counts = np.bincount(indices, minlength=100)
+        assert counts.argmax() == 0
+
+    def test_expected_counts_scale(self):
+        dist = ZipfDistribution(n=10, exponent=1.0)
+        expected = dist.expected_counts(1000)
+        assert expected.sum() == pytest.approx(1000.0)
+
+    def test_expected_counts_negative_rejected(self):
+        dist = ZipfDistribution(n=10, exponent=1.0)
+        with pytest.raises(ValueError):
+            dist.expected_counts(-1)
+
+    def test_sample_one_index(self):
+        dist = ZipfDistribution(n=5, exponent=2.0)
+        rng = np.random.default_rng(0)
+        draws = [dist.sample_one_index(rng) for _ in range(1000)]
+        assert min(draws) >= 0 and max(draws) <= 4
+
+
+class TestZipfMle:
+    def test_recovers_planted_exponent(self):
+        true_exponent = 1.4
+        dist = ZipfDistribution(n=2000, exponent=true_exponent)
+        indices = dist.sample_indices(100_000, seed=7)
+        counts = np.bincount(indices, minlength=2000)
+        estimate = fit_zipf_exponent_mle(counts)
+        assert estimate == pytest.approx(true_exponent, abs=0.05)
+
+    def test_uniform_counts_give_near_zero(self):
+        counts = np.full(100, 50)
+        assert fit_zipf_exponent_mle(counts) == pytest.approx(0.0, abs=0.01)
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            fit_zipf_exponent_mle(np.zeros(10))
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            fit_zipf_exponent_mle([5])
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            fit_zipf_exponent_mle([5, -1, 2])

@@ -1,0 +1,192 @@
+"""Tests for repro.cli (the command-line interface)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def crawl_db_path(tmp_path_factory):
+    """A small crawled database produced through the CLI itself."""
+    path = tmp_path_factory.mktemp("cli") / "crawl.jsonl"
+    exit_code = main(
+        ["campaign", "--store", "demo", "--out", str(path), "--seed", "3"]
+    )
+    assert exit_code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_campaign_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+
+class TestCampaign(object):
+    def test_creates_database(self, crawl_db_path):
+        from repro.crawler.database import SnapshotDatabase
+
+        database = SnapshotDatabase.load(crawl_db_path)
+        assert database.stores() == ["demo"]
+        assert len(database.days("demo")) > 1
+
+
+class TestAnalyze:
+    def test_all_sections(self, crawl_db_path, capsys):
+        exit_code = main(
+            ["analyze", "--db", str(crawl_db_path), "--store", "demo"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Zipf trunk" in captured.out
+        assert "affinity" in captured.out
+
+    def test_spam_section(self, crawl_db_path, capsys):
+        exit_code = main(
+            [
+                "analyze",
+                "--db",
+                str(crawl_db_path),
+                "--store",
+                "demo",
+                "--section",
+                "spam",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "flagged" in captured.out
+
+    def test_growth_section(self, crawl_db_path, capsys):
+        exit_code = main(
+            [
+                "analyze",
+                "--db",
+                str(crawl_db_path),
+                "--store",
+                "demo",
+                "--section",
+                "growth",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "downloads/day" in captured.out
+        assert "growth split" in captured.out
+
+    def test_single_section(self, crawl_db_path, capsys):
+        exit_code = main(
+            [
+                "analyze",
+                "--db",
+                str(crawl_db_path),
+                "--store",
+                "demo",
+                "--section",
+                "popularity",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "top 1%" in captured.out
+
+    def test_unknown_store_fails(self, crawl_db_path, capsys):
+        exit_code = main(
+            ["analyze", "--db", str(crawl_db_path), "--store", "ghost"]
+        )
+        assert exit_code == 2
+
+    def test_pricing_on_free_store_fails(self, crawl_db_path):
+        exit_code = main(
+            [
+                "analyze",
+                "--db",
+                str(crawl_db_path),
+                "--store",
+                "demo",
+                "--section",
+                "pricing",
+            ]
+        )
+        assert exit_code == 2
+
+
+class TestFit:
+    def test_fit_prints_models(self, crawl_db_path, capsys):
+        exit_code = main(["fit", "--db", str(crawl_db_path), "--store", "demo"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "APP-CLUSTERING" in captured.out
+        assert "ZIPF" in captured.out
+
+
+class TestForecast:
+    def test_forecast_reports_distance(self, crawl_db_path, capsys):
+        exit_code = main(
+            ["forecast", "--db", str(crawl_db_path), "--store", "demo"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "forecast day" in captured.out
+        assert "distance" in captured.out
+
+
+class TestWorkload:
+    def test_writes_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        exit_code = main(
+            [
+                "workload",
+                "--kind",
+                "ZIPF",
+                "--apps",
+                "50",
+                "--users",
+                "20",
+                "--downloads",
+                "300",
+                "--out",
+                str(out),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "300" in captured.out
+
+        from repro.workload.trace import read_trace
+
+        spec, events = read_trace(out)
+        assert spec is not None and spec.n_apps == 50
+        assert sum(1 for _ in events) == 300
+
+
+class TestExport:
+    def test_writes_three_csvs(self, crawl_db_path, tmp_path, capsys):
+        prefix = str(tmp_path / "out")
+        exit_code = main(
+            ["export", "--db", str(crawl_db_path), "--prefix", prefix]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "snapshots.csv" in captured.out
+        for suffix in ("snapshots", "comments", "apks"):
+            assert (tmp_path / f"out_{suffix}.csv").exists()
+
+
+class TestCache:
+    def test_prints_hit_ratio_table(self, capsys):
+        exit_code = main(
+            ["cache", "--scale", "0.003", "--sizes", "0.05,0.20"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "LRU hit ratio" in captured.out
+        assert "APP-CLUSTERING" in captured.out

@@ -1,0 +1,37 @@
+"""Run the doctests embedded in public docstrings.
+
+Docstring examples rot silently unless executed; this collects the
+modules that carry runnable examples and verifies them as part of the
+suite.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.affinity
+import repro.stats.distributions
+import repro.stats.sampling
+
+MODULES_WITH_EXAMPLES = [
+    repro.core.affinity,
+    repro.stats.distributions,
+    repro.stats.sampling,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_EXAMPLES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its examples"
+    assert results.failed == 0
+
+
+def test_package_quickstart_doctest():
+    """The package-level quickstart example must keep working."""
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted > 0
+    assert results.failed == 0

@@ -1,0 +1,85 @@
+"""Tests for repro.workload.generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import ModelKind
+from repro.workload.generators import WorkloadSpec, figure19_spec, make_workload
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        kind=ModelKind.APP_CLUSTERING,
+        n_apps=100,
+        n_users=50,
+        total_downloads=800,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            small_spec(n_apps=0)
+        with pytest.raises(ValueError):
+            small_spec(total_downloads=-1)
+        with pytest.raises(ValueError):
+            small_spec(n_clusters=0)
+
+    def test_with_kind_preserves_everything_else(self):
+        spec = small_spec()
+        other = spec.with_kind(ModelKind.ZIPF)
+        assert other.kind == ModelKind.ZIPF
+        assert other.n_apps == spec.n_apps
+        assert other.seed == spec.seed
+
+    def test_events_deterministic(self):
+        spec = small_spec()
+        a = [(e.user_id, e.app_index) for e in spec.events()]
+        b = [(e.user_id, e.app_index) for e in spec.events()]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [(e.user_id, e.app_index) for e in small_spec(seed=1).events()]
+        b = [(e.user_id, e.app_index) for e in small_spec(seed=2).events()]
+        assert a != b
+
+    def test_download_counts_match_events(self):
+        spec = small_spec()
+        counts = spec.download_counts()
+        manual = np.zeros(spec.n_apps, dtype=int)
+        for event in spec.events():
+            manual[event.app_index] += 1
+        assert np.array_equal(counts, manual)
+
+    def test_cluster_assignment_round_robin(self):
+        spec = small_spec(n_clusters=7)
+        clusters = spec.cluster_assignment()
+        assert clusters.tolist() == [i % 7 for i in range(spec.n_apps)]
+
+    def test_all_kinds_generate(self):
+        for kind in ModelKind:
+            events = list(make_workload(small_spec(kind=kind)))
+            assert events
+            assert all(0 <= e.app_index < 100 for e in events)
+
+
+class TestFigure19Spec:
+    def test_full_scale_parameters(self):
+        spec = figure19_spec(scale=1.0)
+        assert spec.n_apps == 60_000
+        assert spec.n_users == 600_000
+        assert spec.total_downloads == 2_000_000
+        assert spec.zr == 1.7 and spec.zc == 1.4 and spec.p == 0.9
+        assert spec.n_clusters == 30
+
+    def test_scaling(self):
+        spec = figure19_spec(scale=0.01)
+        assert spec.n_apps == 600
+        assert spec.total_downloads == 20_000
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            figure19_spec(scale=0.0)

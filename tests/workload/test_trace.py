@@ -1,0 +1,72 @@
+"""Tests for repro.workload.trace."""
+
+import pytest
+
+from repro.core.models import DownloadEvent, ModelKind
+from repro.workload.generators import WorkloadSpec
+from repro.workload.trace import read_trace, write_trace
+
+
+def spec():
+    return WorkloadSpec(
+        kind=ModelKind.APP_CLUSTERING,
+        n_apps=50,
+        n_users=20,
+        total_downloads=200,
+        seed=9,
+    )
+
+
+class TestTraceRoundTrip:
+    def test_events_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        original = list(spec().events())
+        count = write_trace(path, iter(original), spec=spec())
+        assert count == len(original)
+
+        loaded_spec, events = read_trace(path)
+        replayed = list(events)
+        assert loaded_spec == spec()
+        assert replayed == original
+
+    def test_trace_without_header(self, tmp_path):
+        path = tmp_path / "bare.jsonl"
+        original = [DownloadEvent(1, 2), DownloadEvent(3, 4)]
+        write_trace(path, iter(original))
+        loaded_spec, events = read_trace(path)
+        assert loaded_spec is None
+        assert list(events) == original
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        write_trace(path, iter([]))
+        loaded_spec, events = read_trace(path)
+        assert loaded_spec is None
+        assert list(events) == []
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("1 2 3\n", encoding="utf-8")
+        _, events = read_trace(path)
+        with pytest.raises(ValueError):
+            list(events)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "badheader.jsonl"
+        path.write_text('{"something": 1}\n', encoding="utf-8")
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+    def test_replay_feeds_cache_simulation(self, tmp_path):
+        """A saved trace drives the cache simulator identically."""
+        from repro.cache.policies import LruCache
+        from repro.cache.simulator import simulate_cache
+
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, spec().events(), spec=spec())
+
+        live = simulate_cache(spec().events(), LruCache(10))
+        _, events = read_trace(path)
+        replayed = simulate_cache(events, LruCache(10))
+        assert replayed.hits == live.hits
+        assert replayed.misses == live.misses
