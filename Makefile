@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Quick perf regression check: small sizes, asserts the batched engine
+# beats the legacy per-event path for all three models.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_perf_models.py -q -m bench_smoke -s
+
+# Full reference benchmark (60k apps, 100k users, 1M downloads); appends
+# a record to BENCH_models.json.
+bench:
+	$(PYTHON) benchmarks/bench_perf_models.py

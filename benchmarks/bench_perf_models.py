@@ -1,0 +1,206 @@
+"""Throughput benchmark: batched engine vs legacy per-event models.
+
+Measures events/sec for all three workload models on both paths:
+
+- **legacy** -- the per-event reference implementations
+  (``iter_events_legacy``: one ``sample_one`` + set lookup per download);
+- **batched** -- the vectorized engine (``iter_batches`` consumed through
+  ``simulate``-equivalent count accumulation).
+
+Results are appended to ``BENCH_models.json`` at the repo root so future
+PRs have a performance trajectory to compare against.  The ISSUE-2
+acceptance target is >=5x on the reference APP-CLUSTERING workload
+(60k apps, 100k users, 1M downloads).
+
+Run modes
+---------
+- ``make bench-smoke`` / ``pytest benchmarks/bench_perf_models.py -m
+  bench_smoke`` -- small sizes, asserts the batched path wins, seconds.
+- ``PYTHONPATH=src python benchmarks/bench_perf_models.py`` -- the full
+  reference workload; writes ``BENCH_models.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+import pytest
+
+from repro.core.engine import counts_from_batches
+from repro.core.models import ModelKind
+from repro.workload.generators import WorkloadSpec, make_workload_batches
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_models.json"
+
+#: The ISSUE-2 reference workload: paper-scale store, 1M downloads.
+REFERENCE = dict(n_apps=60_000, n_users=100_000, total_downloads=1_000_000)
+SMOKE = dict(n_apps=2_000, n_users=4_000, total_downloads=40_000)
+
+
+@dataclass(frozen=True)
+class ModelTiming:
+    """One model's legacy-vs-batched timing."""
+
+    model: str
+    n_apps: int
+    n_users: int
+    total_downloads: int
+    legacy_events: int
+    legacy_seconds: float
+    batched_events: int
+    batched_seconds: float
+
+    @property
+    def legacy_events_per_sec(self) -> float:
+        return self.legacy_events / self.legacy_seconds if self.legacy_seconds else 0.0
+
+    @property
+    def batched_events_per_sec(self) -> float:
+        return (
+            self.batched_events / self.batched_seconds if self.batched_seconds else 0.0
+        )
+
+    @property
+    def speedup(self) -> float:
+        if self.legacy_events_per_sec == 0:
+            return float("inf")
+        return self.batched_events_per_sec / self.legacy_events_per_sec
+
+    def describe(self) -> str:
+        return (
+            f"{self.model}: legacy {self.legacy_events_per_sec:,.0f} ev/s, "
+            f"batched {self.batched_events_per_sec:,.0f} ev/s "
+            f"({self.speedup:.1f}x)"
+        )
+
+
+def _spec(kind: ModelKind, sizes: Dict[str, int], seed: int) -> WorkloadSpec:
+    return WorkloadSpec(
+        kind=kind,
+        n_apps=sizes["n_apps"],
+        n_users=sizes["n_users"],
+        total_downloads=sizes["total_downloads"],
+        zr=1.7,
+        zc=1.4,
+        p=0.9,
+        n_clusters=30,
+        seed=seed,
+    )
+
+
+def _legacy_events(spec: WorkloadSpec):
+    model = spec.build_model()
+    if spec.kind == ModelKind.APP_CLUSTERING:
+        return model.iter_events_legacy(seed=spec.seed)
+    return model.iter_events_legacy(spec.n_users, spec.total_downloads, seed=spec.seed)
+
+
+def time_model(kind: ModelKind, sizes: Dict[str, int], seed: int = 0) -> ModelTiming:
+    """Time legacy vs batched event generation for one model."""
+    spec = _spec(kind, sizes, seed)
+
+    start = time.perf_counter()
+    legacy_events = sum(1 for _ in _legacy_events(spec))
+    legacy_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    counts = counts_from_batches(make_workload_batches(spec), spec.n_apps)
+    batched_seconds = time.perf_counter() - start
+
+    return ModelTiming(
+        model=kind.value,
+        n_apps=sizes["n_apps"],
+        n_users=sizes["n_users"],
+        total_downloads=sizes["total_downloads"],
+        legacy_events=legacy_events,
+        legacy_seconds=legacy_seconds,
+        batched_events=int(counts.sum()),
+        batched_seconds=batched_seconds,
+    )
+
+
+def run_benchmark(
+    sizes: Dict[str, int], seed: int = 0, kinds: Optional[List[ModelKind]] = None
+) -> List[ModelTiming]:
+    """Benchmark every model at the given sizes."""
+    return [time_model(kind, sizes, seed=seed) for kind in kinds or list(ModelKind)]
+
+
+def write_results(
+    timings: List[ModelTiming], label: str, path: Path = DEFAULT_OUTPUT
+) -> dict:
+    """Append a benchmark record to the JSON trajectory file."""
+    record = {
+        "label": label,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "models": [
+            {
+                **asdict(timing),
+                "legacy_events_per_sec": round(timing.legacy_events_per_sec, 1),
+                "batched_events_per_sec": round(timing.batched_events_per_sec, 1),
+                "speedup": round(timing.speedup, 2),
+            }
+            for timing in timings
+        ],
+    }
+    history = []
+    if path.exists():
+        history = json.loads(path.read_text(encoding="utf-8"))
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    return record
+
+
+@pytest.mark.bench_smoke
+def test_bench_perf_models_smoke():
+    """Smoke mode: small sizes, catches gross perf regressions fast.
+
+    The batched path must beat the legacy path on every model even at
+    smoke sizes; the 5x acceptance bar applies to the full reference run
+    (see ``main``), where vectorization has room to amortize.
+    """
+    timings = run_benchmark(SMOKE, seed=0)
+    for timing in timings:
+        print(timing.describe())
+        assert timing.batched_events > 0
+        # Event budgets must agree between the two paths (same process,
+        # independent randomness): allow a small give-up margin.
+        assert (
+            abs(timing.batched_events - timing.legacy_events)
+            <= 0.05 * timing.legacy_events + 50
+        )
+        assert timing.speedup > 1.5, timing.describe()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="run the small smoke sizes instead"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUTPUT, help="JSON trajectory file"
+    )
+    args = parser.parse_args()
+
+    sizes = SMOKE if args.smoke else REFERENCE
+    label = "smoke" if args.smoke else "reference"
+    timings = run_benchmark(sizes, seed=args.seed)
+    for timing in timings:
+        print(timing.describe())
+    record = write_results(timings, label, path=args.out)
+    print(f"wrote {args.out} ({label}, {len(record['models'])} models)")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,7 +24,13 @@ from repro.cache.policies import (
     SegmentedLruCache,
 )
 from repro.cache.prefetch import CategoryPrefetcher
-from repro.cache.simulator import CacheSimulationResult, simulate_cache
+from repro.cache.simulator import (
+    CacheSimulationResult,
+    hit_ratio_curve,
+    hit_ratio_curve_batched,
+    simulate_cache,
+    simulate_cache_batches,
+)
 from repro.cache.tuning import (
     best_protected_fraction,
     clustering_tuned_cache,
@@ -41,6 +47,9 @@ __all__ = [
     "SegmentedLruCache",
     "best_protected_fraction",
     "clustering_tuned_cache",
+    "hit_ratio_curve",
+    "hit_ratio_curve_batched",
     "simulate_cache",
+    "simulate_cache_batches",
     "sweep_protected_fraction",
 ]

@@ -20,16 +20,31 @@ bench checks: feedback steepens the head and *sharpens* the boundary at
 rank ``N`` (apps inside the list absorb everything, apps outside starve
 uniformly), while clustering bends the tail smoothly and keeps
 within-category favorites alive at every global rank.
+
+The simulation batches on the chart-refresh boundary: between refreshes
+the recommendation list is frozen, so every download slot of a refresh
+window can be resolved in one vectorized pass through the shared
+rejection kernel of :mod:`repro.core.engine`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
-from repro.core.models import DownloadEvent, _per_user_budgets, _interleaved_user_order
+from repro.core.engine import (
+    DEFAULT_MEMORY_BUDGET,
+    DownloadEvent,
+    DownloadLedger,
+    EventBatch,
+    counts_from_batches,
+    events_from_batches,
+    interleaved_user_order,
+    per_user_budgets,
+    sample_new_apps,
+)
 from repro.stats.rng import SeedLike, make_rng
 from repro.stats.sampling import AliasSampler
 from repro.stats.zipf import zipf_weights
@@ -98,53 +113,70 @@ class RecommenderFeedbackModel:
 
     def simulate(self, seed: SeedLike = None) -> np.ndarray:
         """Per-app download counts after the full population runs."""
-        counts = np.zeros(self.n_apps, dtype=np.int64)
-        for event in self.iter_events(seed=seed):
-            counts[event.app_index] += 1
-        return counts
+        return counts_from_batches(self.iter_batches(seed=seed), self.n_apps)
 
-    def iter_events(self, seed: SeedLike = None) -> Iterator[DownloadEvent]:
-        """Yield download events under the feedback process."""
+    def iter_batches(
+        self,
+        seed: SeedLike = None,
+        memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
+        ledger_mode: Optional[str] = None,
+    ) -> Iterator[EventBatch]:
+        """The event stream as one vectorized batch per refresh window.
+
+        The chart is frozen between refreshes, which is exactly what makes
+        the window batchable: every slot sees the same recommendation
+        list, and fetch-at-most-once (including duplicates *within* the
+        window) is enforced by the engine's rejection kernel.
+        """
         params = self.params
         rng = make_rng(seed)
-        budgets = _per_user_budgets(params.total_downloads, params.n_users, rng)
-        order = _interleaved_user_order(budgets, rng)
-        downloaded: List[set] = [set() for _ in range(params.n_users)]
-        counts = np.zeros(self.n_apps, dtype=np.int64)
+        budgets = per_user_budgets(params.total_downloads, params.n_users, rng)
+        order = interleaved_user_order(budgets, rng)
+        ledger = DownloadLedger(
+            params.n_users,
+            params.n_apps,
+            memory_budget_bytes,
+            mode=ledger_mode,
+        )
+        counts = np.zeros(params.n_apps, dtype=np.int64)
 
         # The chart starts from the organic appeal ranking (ranks 1..N)
         # and refreshes from realized counts as downloads accumulate.
-        chart = np.arange(min(params.list_size, self.n_apps), dtype=np.int64)
-        since_refresh = 0
+        chart = np.arange(min(params.list_size, params.n_apps), dtype=np.int64)
 
-        for user_id in order:
-            user_downloads = downloaded[user_id]
-            if len(user_downloads) >= self.n_apps:
-                continue
-
-            if since_refresh >= params.refresh_every:
+        for start in range(0, order.size, params.refresh_every):
+            if start > 0:
                 top = np.argsort(counts)[::-1][: params.list_size]
                 chart = top.astype(np.int64)
-                since_refresh = 0
+            window = order[start : start + params.refresh_every]
+            apps = np.full(window.size, -1, dtype=np.int64)
 
-            candidate: Optional[int] = None
-            if rng.random() < params.q:
+            recommended = np.flatnonzero(rng.random(window.size) < params.q)
+            if recommended.size:
                 # Recommendation-driven: uniform pick from the chart (the
                 # user scrolls the "top apps" page).
-                for _ in range(self.max_rejections):
-                    pick = int(chart[int(rng.integers(0, chart.size))])
-                    if pick not in user_downloads:
-                        candidate = pick
-                        break
-            if candidate is None:
-                for _ in range(self.max_rejections):
-                    pick = self._organic.sample_one(rng)
-                    if pick not in user_downloads:
-                        candidate = pick
-                        break
-            if candidate is None:
+                apps[recommended] = sample_new_apps(
+                    lambda size: chart[rng.integers(0, chart.size, size=size)],
+                    window[recommended],
+                    ledger,
+                    rng,
+                    self.max_rejections,
+                )
+            organic = np.flatnonzero(apps < 0)
+            if organic.size:
+                apps[organic] = sample_new_apps(
+                    lambda size: self._organic.sample(size, seed=rng),
+                    window[organic],
+                    ledger,
+                    rng,
+                    self.max_rejections,
+                )
+            done = apps >= 0
+            if not np.any(done):
                 continue
-            user_downloads.add(candidate)
-            counts[candidate] += 1
-            since_refresh += 1
-            yield DownloadEvent(user_id=int(user_id), app_index=int(candidate))
+            counts += np.bincount(apps[done], minlength=params.n_apps)
+            yield EventBatch(window[done], apps[done])
+
+    def iter_events(self, seed: SeedLike = None) -> Iterator[DownloadEvent]:
+        """Yield download events under the feedback process."""
+        return events_from_batches(self.iter_batches(seed=seed))

@@ -14,22 +14,56 @@ The paper validates its clustering hypothesis with three simulators:
   ``Zc``), otherwise from ``ZG``; fetch-at-most-once always holds.
 
 All three expose the same interface: ``simulate`` returns per-app download
-counts indexed by global appeal rank (index 0 = rank 1), and
-``iter_events`` yields the individual (user, app) download events for
-consumers that need the event stream (the cache simulator of Figure 19).
+counts indexed by global appeal rank (index 0 = rank 1), ``iter_batches``
+yields the event stream as vectorized :class:`~repro.core.engine.EventBatch`
+chunks (the hot path, backed by :mod:`repro.core.engine`), and
+``iter_events`` yields individual (user, app) download events for
+consumers that need per-event objects (a thin adapter over the batches).
+``iter_events_legacy`` keeps the original per-event reference
+implementation around -- it is the baseline the statistical-equivalence
+tests and the throughput benchmark compare against.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.engine import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_MEMORY_BUDGET,
+    DownloadEvent,
+    EventBatch,
+    app_clustering_event_batches,
+    counts_from_batches,
+    events_from_batches,
+    interleaved_user_order,
+    per_user_budgets,
+    zipf_amo_event_batches,
+    zipf_event_batches,
+)
 from repro.stats.rng import SeedLike, make_rng
 from repro.stats.sampling import AliasSampler
 from repro.stats.zipf import zipf_weights
+
+__all__ = [
+    "AppClusteringModel",
+    "AppClusteringParams",
+    "DownloadEvent",
+    "EventBatch",
+    "ModelKind",
+    "ZipfAtMostOnceModel",
+    "ZipfModel",
+    "simulate_downloads",
+]
+
+# Backwards-compatible aliases: these helpers grew up here and moved to
+# the engine when the batched pipeline landed.
+_per_user_budgets = per_user_budgets
+_interleaved_user_order = interleaved_user_order
 
 
 class ModelKind(str, enum.Enum):
@@ -38,14 +72,6 @@ class ModelKind(str, enum.Enum):
     ZIPF = "ZIPF"
     ZIPF_AT_MOST_ONCE = "ZIPF-at-most-once"
     APP_CLUSTERING = "APP-CLUSTERING"
-
-
-@dataclass(frozen=True)
-class DownloadEvent:
-    """One simulated download: which user fetched which app."""
-
-    user_id: int
-    app_index: int
 
 
 @dataclass(frozen=True)
@@ -115,24 +141,6 @@ class AppClusteringParams:
         return np.arange(self.n_apps, dtype=np.int64) % self.n_clusters
 
 
-def _per_user_budgets(
-    total_downloads: int, n_users: int, rng: np.random.Generator
-) -> np.ndarray:
-    """Split ``total_downloads`` into per-user budgets, as even as possible.
-
-    Every user gets ``floor(D / U)`` downloads, and the remainder is
-    assigned to a random subset of users, matching the paper's "each user
-    downloads d apps" with integer budgets.
-    """
-    base = total_downloads // n_users
-    budgets = np.full(n_users, base, dtype=np.int64)
-    remainder = total_downloads - base * n_users
-    if remainder > 0:
-        lucky = rng.choice(n_users, size=remainder, replace=False)
-        budgets[lucky] += 1
-    return budgets
-
-
 class ZipfModel:
     """Pure ZIPF workload: every download is i.i.d. from ``ZG``."""
 
@@ -153,13 +161,34 @@ class ZipfModel:
         draws = self._sampler.sample(total_downloads, seed=rng)
         return np.bincount(draws, minlength=self.n_apps).astype(np.int64)
 
+    def iter_batches(
+        self,
+        n_users: int,
+        total_downloads: int,
+        seed: SeedLike = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> Iterator[EventBatch]:
+        """The event stream as vectorized chunks."""
+        rng = make_rng(seed)
+        return zipf_event_batches(
+            self._sampler, n_users, total_downloads, rng, batch_size
+        )
+
     def iter_events(
         self, n_users: int, total_downloads: int, seed: SeedLike = None
     ) -> Iterator[DownloadEvent]:
         """Yield the individual download events in simulation order."""
+        return events_from_batches(
+            self.iter_batches(n_users, total_downloads, seed=seed)
+        )
+
+    def iter_events_legacy(
+        self, n_users: int, total_downloads: int, seed: SeedLike = None
+    ) -> Iterator[DownloadEvent]:
+        """Reference per-event implementation (benchmark baseline)."""
         rng = make_rng(seed)
-        budgets = _per_user_budgets(total_downloads, n_users, rng)
-        order = _interleaved_user_order(budgets, rng)
+        budgets = per_user_budgets(total_downloads, n_users, rng)
+        order = interleaved_user_order(budgets, rng)
         draws = self._sampler.sample(total_downloads, seed=rng)
         for user_id, app_index in zip(order, draws):
             yield DownloadEvent(user_id=int(user_id), app_index=int(app_index))
@@ -180,6 +209,44 @@ class ZipfAtMostOnceModel:
         self.max_rejections = max_rejections
         self._sampler = AliasSampler(zipf_weights(n_apps, zr))
 
+    def simulate(
+        self, n_users: int, total_downloads: int, seed: SeedLike = None
+    ) -> np.ndarray:
+        """Per-app download counts honouring fetch-at-most-once."""
+        return counts_from_batches(
+            self.iter_batches(n_users, total_downloads, seed=seed), self.n_apps
+        )
+
+    def iter_batches(
+        self,
+        n_users: int,
+        total_downloads: int,
+        seed: SeedLike = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
+        ledger_mode: Optional[str] = None,
+    ) -> Iterator[EventBatch]:
+        """The event stream as vectorized chunks."""
+        rng = make_rng(seed)
+        return zipf_amo_event_batches(
+            self._sampler,
+            n_users,
+            total_downloads,
+            rng,
+            batch_size=batch_size,
+            max_rejections=self.max_rejections,
+            memory_budget_bytes=memory_budget_bytes,
+            ledger_mode=ledger_mode,
+        )
+
+    def iter_events(
+        self, n_users: int, total_downloads: int, seed: SeedLike = None
+    ) -> Iterator[DownloadEvent]:
+        """Yield download events; saturated users stop early."""
+        return events_from_batches(
+            self.iter_batches(n_users, total_downloads, seed=seed)
+        )
+
     def _draw_new(self, downloaded: set, rng: np.random.Generator) -> Optional[int]:
         for _ in range(self.max_rejections):
             candidate = self._sampler.sample_one(rng)
@@ -187,23 +254,14 @@ class ZipfAtMostOnceModel:
                 return candidate
         return None
 
-    def simulate(
-        self, n_users: int, total_downloads: int, seed: SeedLike = None
-    ) -> np.ndarray:
-        """Per-app download counts honouring fetch-at-most-once."""
-        counts = np.zeros(self.n_apps, dtype=np.int64)
-        for event in self.iter_events(n_users, total_downloads, seed=seed):
-            counts[event.app_index] += 1
-        return counts
-
-    def iter_events(
+    def iter_events_legacy(
         self, n_users: int, total_downloads: int, seed: SeedLike = None
     ) -> Iterator[DownloadEvent]:
-        """Yield download events; saturated users stop early."""
+        """Reference per-event implementation (benchmark baseline)."""
         rng = make_rng(seed)
-        budgets = _per_user_budgets(total_downloads, n_users, rng)
+        budgets = per_user_budgets(total_downloads, n_users, rng)
         downloaded: List[set] = [set() for _ in range(n_users)]
-        order = _interleaved_user_order(budgets, rng)
+        order = interleaved_user_order(budgets, rng)
         for user_id in order:
             user_downloads = downloaded[user_id]
             if len(user_downloads) >= self.n_apps:
@@ -227,16 +285,18 @@ class AppClusteringModel:
         self.max_rejections = max_rejections
         self._clusters = params.cluster_assignment()
         self._global_sampler = AliasSampler(zipf_weights(params.n_apps, params.zr))
-        self._members: List[np.ndarray] = []
-        self._cluster_samplers: List[AliasSampler] = []
-        for cluster_index in range(int(self._clusters.max()) + 1):
+        # Only clusters that actually contain apps get members/samplers;
+        # empty cluster ids (possible with an explicit ``cluster_of`` map)
+        # are skipped cleanly and can never be sampled, because a cluster
+        # only becomes "visited" through a download of one of its apps.
+        self._members: Dict[int, np.ndarray] = {}
+        self._cluster_samplers: Dict[int, AliasSampler] = {}
+        for cluster_index in np.unique(self._clusters):
             members = np.flatnonzero(self._clusters == cluster_index)
-            self._members.append(members)
-            if members.size > 0:
-                weights = zipf_weights(members.size, params.zc)
-                self._cluster_samplers.append(AliasSampler(weights))
-            else:
-                self._cluster_samplers.append(None)  # type: ignore[arg-type]
+            self._members[int(cluster_index)] = members
+            self._cluster_samplers[int(cluster_index)] = AliasSampler(
+                zipf_weights(members.size, params.zc)
+            )
 
     @property
     def n_apps(self) -> int:
@@ -246,6 +306,37 @@ class AppClusteringModel:
     def cluster_of(self, app_index: int) -> int:
         """Cluster index of an app."""
         return int(self._clusters[app_index])
+
+    def simulate(self, seed: SeedLike = None) -> np.ndarray:
+        """Per-app download counts for the configured population."""
+        return counts_from_batches(self.iter_batches(seed=seed), self.n_apps)
+
+    def iter_batches(
+        self,
+        seed: SeedLike = None,
+        memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
+        ledger_mode: Optional[str] = None,
+    ) -> Iterator[EventBatch]:
+        """The event stream as vectorized chunks (one batch per round)."""
+        params = self.params
+        rng = make_rng(seed)
+        return app_clustering_event_batches(
+            params.n_users,
+            params.total_downloads,
+            params.p,
+            self._global_sampler,
+            self._cluster_samplers,
+            self._members,
+            self._clusters,
+            rng,
+            max_rejections=self.max_rejections,
+            memory_budget_bytes=memory_budget_bytes,
+            ledger_mode=ledger_mode,
+        )
+
+    def iter_events(self, seed: SeedLike = None) -> Iterator[DownloadEvent]:
+        """Yield download events following the Section 5.1 user process."""
+        return events_from_batches(self.iter_batches(seed=seed))
 
     def _draw_global(
         self, downloaded: set, rng: np.random.Generator
@@ -263,7 +354,7 @@ class AppClusteringModel:
         rng: np.random.Generator,
     ) -> Optional[int]:
         cluster = visited_clusters[int(rng.integers(0, len(visited_clusters)))]
-        sampler = self._cluster_samplers[cluster]
+        sampler = self._cluster_samplers.get(cluster)
         if sampler is None:
             return None
         members = self._members[cluster]
@@ -273,21 +364,14 @@ class AppClusteringModel:
                 return candidate
         return None
 
-    def simulate(self, seed: SeedLike = None) -> np.ndarray:
-        """Per-app download counts for the configured population."""
-        counts = np.zeros(self.n_apps, dtype=np.int64)
-        for event in self.iter_events(seed=seed):
-            counts[event.app_index] += 1
-        return counts
-
-    def iter_events(self, seed: SeedLike = None) -> Iterator[DownloadEvent]:
-        """Yield download events following the Section 5.1 user process."""
+    def iter_events_legacy(self, seed: SeedLike = None) -> Iterator[DownloadEvent]:
+        """Reference per-event implementation (benchmark baseline)."""
         params = self.params
         rng = make_rng(seed)
-        budgets = _per_user_budgets(params.total_downloads, params.n_users, rng)
+        budgets = per_user_budgets(params.total_downloads, params.n_users, rng)
         downloaded: List[set] = [set() for _ in range(params.n_users)]
         visited: List[List[int]] = [[] for _ in range(params.n_users)]
-        order = _interleaved_user_order(budgets, rng)
+        order = interleaved_user_order(budgets, rng)
         for user_id in order:
             user_downloads = downloaded[user_id]
             if len(user_downloads) >= self.n_apps:
@@ -305,21 +389,6 @@ class AppClusteringModel:
             if cluster not in user_clusters:
                 user_clusters.append(cluster)
             yield DownloadEvent(user_id=int(user_id), app_index=int(candidate))
-
-
-def _interleaved_user_order(
-    budgets: np.ndarray, rng: np.random.Generator
-) -> np.ndarray:
-    """Shuffle user download slots so the event stream interleaves users.
-
-    Each user ``u`` appears ``budgets[u]`` times.  A global shuffle models
-    users downloading concurrently over the measurement period rather than
-    one user finishing before the next starts, which matters to consumers
-    of the *event order* (the LRU cache experiment).
-    """
-    order = np.repeat(np.arange(budgets.size, dtype=np.int64), budgets)
-    rng.shuffle(order)
-    return order
 
 
 def simulate_downloads(

@@ -16,6 +16,54 @@ import numpy as np
 from repro.stats.rng import SeedLike, make_rng
 
 
+def _build_alias_table(weights: np.ndarray, total: float):
+    """Vectorized Vose construction of the (prob, alias) tables.
+
+    The classic construction pops one underfull ("small") and one
+    overfull ("large") outcome per iteration of a Python loop.  This
+    build finalizes *every* current small per pass instead: cumulative
+    deficits of the smalls are matched against cumulative surpluses of
+    the larges with one ``searchsorted``, each small takes its alias from
+    the large its deficit lands on, and larges that drop below one
+    re-enter the next pass as smalls.  Every pass finalizes all its
+    smalls, so the number of passes is tiny in practice (Zipf-shaped
+    inputs take a handful), and each pass is pure NumPy.
+
+    The alias-method invariant is preserved exactly as in the scalar
+    algorithm: finalizing small ``s`` against large ``g`` moves
+    ``1 - p[s]`` of ``g``'s mass into column ``s``.  A boundary small
+    whose deficit straddles two larges over-draws its large by less than
+    one unit, which keeps that large's residual strictly positive --
+    the same numerical-leftover regime the scalar build has, drained the
+    same way (residuals converge to probability one).
+    """
+    n = weights.size
+    scaled = weights * (n / total)
+    alias = np.arange(n, dtype=np.int64)
+    prob = np.ones(n, dtype=np.float64)
+
+    small = np.flatnonzero(scaled < 1.0)
+    large = np.flatnonzero(scaled >= 1.0)
+    while small.size and large.size:
+        deficits = 1.0 - scaled[small]
+        surpluses = scaled[large] - 1.0
+        # Which large does each small's cumulative deficit land on?  The
+        # pool's total deficit equals its total surplus exactly, so only
+        # float roundoff in the cumsums can push a boundary small past
+        # the last large; clamping parks it there, over-drawing by at
+        # most that roundoff.
+        owner = np.searchsorted(np.cumsum(surpluses), np.cumsum(deficits))
+        np.minimum(owner, large.size - 1, out=owner)
+        prob[small] = scaled[small]
+        alias[small] = large[owner]
+        consumed = np.bincount(owner, weights=deficits, minlength=large.size)
+        scaled[large] -= consumed
+        still_large = scaled[large] >= 1.0
+        small = large[~still_large]
+        large = large[still_large]
+    return prob, alias
+
+
 class AliasSampler:
     """O(1) sampler over a fixed discrete distribution.
 
@@ -45,31 +93,7 @@ class AliasSampler:
         if total <= 0:
             raise ValueError("weights must have a positive sum")
 
-        n = weights.size
-        probabilities = weights * (n / total)
-        alias = np.zeros(n, dtype=np.int64)
-        prob = np.zeros(n, dtype=np.float64)
-
-        small = [i for i in range(n) if probabilities[i] < 1.0]
-        large = [i for i in range(n) if probabilities[i] >= 1.0]
-
-        while small and large:
-            s = small.pop()
-            g = large.pop()
-            prob[s] = probabilities[s]
-            alias[s] = g
-            probabilities[g] = (probabilities[g] + probabilities[s]) - 1.0
-            if probabilities[g] < 1.0:
-                small.append(g)
-            else:
-                large.append(g)
-        # Numerical leftovers: both queues drain to probability one.
-        for remaining in large + small:
-            prob[remaining] = 1.0
-            alias[remaining] = remaining
-
-        self._prob = prob
-        self._alias = alias
+        self._prob, self._alias = _build_alias_table(weights, total)
         self._weights = weights / total
 
     @property

@@ -11,12 +11,25 @@ generators with trace save/replay support.
   and replay it later.
 """
 
-from repro.workload.generators import WorkloadSpec, make_workload
+from repro.workload.generators import (
+    WorkloadSpec,
+    make_workload,
+    make_workload_batches,
+)
+from repro.workload.replication import (
+    ReplicationResult,
+    replicate_counts,
+    replicate_distances,
+)
 from repro.workload.trace import read_trace, write_trace
 
 __all__ = [
+    "ReplicationResult",
     "WorkloadSpec",
     "make_workload",
+    "make_workload_batches",
     "read_trace",
+    "replicate_counts",
+    "replicate_distances",
     "write_trace",
 ]

@@ -13,6 +13,7 @@ from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro.core.engine import EventBatch, counts_from_batches
 from repro.core.models import (
     AppClusteringModel,
     AppClusteringParams,
@@ -61,39 +62,54 @@ class WorkloadSpec:
             return np.asarray(self.cluster_of, dtype=np.int64)
         return np.arange(self.n_apps, dtype=np.int64) % self.n_clusters
 
+    def build_model(self):
+        """Instantiate the configured model object."""
+        if self.kind == ModelKind.ZIPF:
+            return ZipfModel(self.n_apps, self.zr)
+        if self.kind == ModelKind.ZIPF_AT_MOST_ONCE:
+            return ZipfAtMostOnceModel(self.n_apps, self.zr)
+        if self.kind == ModelKind.APP_CLUSTERING:
+            return AppClusteringModel(
+                AppClusteringParams(
+                    n_apps=self.n_apps,
+                    n_users=self.n_users,
+                    total_downloads=self.total_downloads,
+                    zr=self.zr,
+                    zc=self.zc,
+                    p=self.p,
+                    n_clusters=self.n_clusters,
+                    cluster_of=self.cluster_of,
+                )
+            )
+        raise ValueError(f"unknown model kind: {self.kind!r}")
+
     def events(self) -> Iterator[DownloadEvent]:
         """A fresh event stream for this spec (deterministic in the seed)."""
         return make_workload(self)
 
+    def event_batches(self) -> Iterator[EventBatch]:
+        """A fresh vectorized batch stream for this spec (the hot path)."""
+        return make_workload_batches(self)
+
     def download_counts(self) -> np.ndarray:
         """Materialize the per-app download counts of this workload."""
-        counts = np.zeros(self.n_apps, dtype=np.int64)
-        for event in self.events():
-            counts[event.app_index] += 1
-        return counts
+        return counts_from_batches(self.event_batches(), self.n_apps)
 
 
 def make_workload(spec: WorkloadSpec) -> Iterator[DownloadEvent]:
     """Instantiate the model of a spec and return its event stream."""
-    if spec.kind == ModelKind.ZIPF:
-        model = ZipfModel(spec.n_apps, spec.zr)
-        return model.iter_events(spec.n_users, spec.total_downloads, seed=spec.seed)
-    if spec.kind == ModelKind.ZIPF_AT_MOST_ONCE:
-        amo = ZipfAtMostOnceModel(spec.n_apps, spec.zr)
-        return amo.iter_events(spec.n_users, spec.total_downloads, seed=spec.seed)
+    model = spec.build_model()
     if spec.kind == ModelKind.APP_CLUSTERING:
-        params = AppClusteringParams(
-            n_apps=spec.n_apps,
-            n_users=spec.n_users,
-            total_downloads=spec.total_downloads,
-            zr=spec.zr,
-            zc=spec.zc,
-            p=spec.p,
-            n_clusters=spec.n_clusters,
-            cluster_of=spec.cluster_of,
-        )
-        return AppClusteringModel(params).iter_events(seed=spec.seed)
-    raise ValueError(f"unknown model kind: {spec.kind!r}")
+        return model.iter_events(seed=spec.seed)
+    return model.iter_events(spec.n_users, spec.total_downloads, seed=spec.seed)
+
+
+def make_workload_batches(spec: WorkloadSpec) -> Iterator[EventBatch]:
+    """Instantiate the model of a spec and return its batch stream."""
+    model = spec.build_model()
+    if spec.kind == ModelKind.APP_CLUSTERING:
+        return model.iter_batches(seed=spec.seed)
+    return model.iter_batches(spec.n_users, spec.total_downloads, seed=spec.seed)
 
 
 def figure19_spec(

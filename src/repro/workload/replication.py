@@ -1,0 +1,158 @@
+"""Multi-seed replication of workload simulations across processes.
+
+The paper's Figure 9/10 quantities (model distances, user-count sweeps)
+are Monte Carlo estimates, so honest error bars need several independent
+replications.  Replications are embarrassingly parallel -- each seed is a
+full, independent simulation -- which makes them the natural unit for
+``ProcessPoolExecutor`` fan-out: one process per seed, the batched engine
+vectorizing inside each.
+
+:class:`~repro.workload.generators.WorkloadSpec` is a frozen, picklable
+dataclass, so it travels to worker processes as-is.  Seeds are spawned
+deterministically from a base seed when not given explicitly.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fitting import mean_relative_error
+from repro.workload.generators import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """Per-seed simulated counts plus summary statistics."""
+
+    seeds: Tuple[int, ...]
+    counts: np.ndarray  # shape (n_seeds, n_apps)
+
+    @property
+    def n_replications(self) -> int:
+        """Number of independent replications."""
+        return len(self.seeds)
+
+    @property
+    def mean_counts(self) -> np.ndarray:
+        """Per-app mean download counts across replications."""
+        return self.counts.mean(axis=0)
+
+    @property
+    def std_counts(self) -> np.ndarray:
+        """Per-app standard deviation across replications."""
+        return self.counts.std(axis=0)
+
+    def rank_curves(self) -> np.ndarray:
+        """Each replication's counts sorted into a rank curve."""
+        return np.sort(self.counts, axis=1)[:, ::-1]
+
+
+def _simulate_one(spec: WorkloadSpec, seed: int) -> np.ndarray:
+    """Worker: one full simulation of a spec under one seed."""
+    from repro.core.models import ModelKind
+
+    model = spec.build_model()
+    if spec.kind == ModelKind.APP_CLUSTERING:
+        return model.simulate(seed=seed)
+    return model.simulate(spec.n_users, spec.total_downloads, seed=seed)
+
+
+def resolve_seeds(
+    seeds: Optional[Sequence[int]], n_replications: int, base_seed: int
+) -> Tuple[int, ...]:
+    """Explicit seeds, or a deterministic spawn from ``base_seed``."""
+    if seeds is not None:
+        return tuple(int(seed) for seed in seeds)
+    if n_replications < 1:
+        raise ValueError("n_replications must be >= 1")
+    sequence = np.random.SeedSequence(base_seed)
+    return tuple(
+        int(child.generate_state(1, dtype=np.uint64)[0] % (2**31))
+        for child in sequence.spawn(n_replications)
+    )
+
+
+def replicate_counts(
+    spec: WorkloadSpec,
+    seeds: Optional[Sequence[int]] = None,
+    n_replications: int = 8,
+    base_seed: int = 0,
+    max_workers: Optional[int] = None,
+    parallel: bool = True,
+) -> ReplicationResult:
+    """Simulate a spec under many seeds, one process per seed.
+
+    ``parallel=False`` runs the replications serially in-process (useful
+    for debugging and for tiny workloads where process startup dominates).
+    Results are identical either way: each replication depends only on
+    its seed.
+    """
+    chosen = resolve_seeds(seeds, n_replications, base_seed)
+    if parallel and len(chosen) > 1:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            rows: List[np.ndarray] = list(
+                pool.map(_simulate_one, [spec] * len(chosen), chosen)
+            )
+    else:
+        rows = [_simulate_one(spec, seed) for seed in chosen]
+    return ReplicationResult(seeds=chosen, counts=np.stack(rows))
+
+
+@dataclass(frozen=True)
+class DistanceEstimate:
+    """A replicated Equation-6 distance with spread."""
+
+    mean: float
+    std: float
+    per_seed: Tuple[float, ...]
+
+    def describe(self) -> str:
+        """One line: mean +/- std over n replications."""
+        return (
+            f"distance {self.mean:.4f} +/- {self.std:.4f} "
+            f"({len(self.per_seed)} replications)"
+        )
+
+
+def replicate_distances(
+    spec: WorkloadSpec,
+    observed: np.ndarray,
+    seeds: Optional[Sequence[int]] = None,
+    n_replications: int = 8,
+    base_seed: int = 0,
+    max_workers: Optional[int] = None,
+    parallel: bool = True,
+) -> DistanceEstimate:
+    """Replicated model distance from an observed rank curve.
+
+    ``observed`` is the measured per-app download curve; both it and each
+    simulated curve are rank-sorted (descending) before the Equation-6
+    mean relative error, matching the fitting pipeline.
+    """
+    observed = np.sort(np.asarray(observed, dtype=np.float64))[::-1]
+    result = replicate_counts(
+        spec,
+        seeds=seeds,
+        n_replications=n_replications,
+        base_seed=base_seed,
+        max_workers=max_workers,
+        parallel=parallel,
+    )
+    if observed.shape[0] != result.counts.shape[1]:
+        raise ValueError(
+            f"observed has {observed.shape[0]} apps but the spec simulates "
+            f"{result.counts.shape[1]}"
+        )
+    distances = tuple(
+        float(mean_relative_error(observed, curve))
+        for curve in result.rank_curves()
+    )
+    return DistanceEstimate(
+        mean=float(np.mean(distances)),
+        std=float(np.std(distances)),
+        per_seed=distances,
+    )

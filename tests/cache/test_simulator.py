@@ -7,8 +7,13 @@ from repro.cache.policies import LruCache
 from repro.cache.simulator import (
     AVERAGE_APP_SIZE_MB,
     hit_ratio_curve,
+    hit_ratio_curve_batched,
+    materialize_trace,
+    replay_trace,
     simulate_cache,
+    simulate_cache_batches,
 )
+from repro.core.engine import EventBatch
 from repro.core.models import DownloadEvent, ModelKind
 from repro.workload.generators import WorkloadSpec
 
@@ -49,6 +54,51 @@ class TestSimulateCache:
     def test_describe(self):
         result = simulate_cache(iter([DownloadEvent(0, 0)]), LruCache(10))
         assert "hit ratio" in result.describe()
+
+
+class TestBatchedReplay:
+    def test_batches_match_event_replay(self):
+        """Batch and per-event replay see the identical access sequence."""
+        batches = [
+            EventBatch([0, 1, 0], [3, 3, 4]),
+            EventBatch([2], [3]),
+        ]
+        events = [event for batch in batches for event in batch.iter_events()]
+        from_batches = simulate_cache_batches(iter(batches), LruCache(2))
+        from_events = simulate_cache(iter(events), LruCache(2))
+        assert from_batches == from_events
+
+    def test_trace_roundtrip(self):
+        events = [DownloadEvent(0, i % 3) for i in range(30)]
+        trace = materialize_trace(iter(events))
+        assert trace.tolist() == [i % 3 for i in range(30)]
+        direct = simulate_cache(iter(events), LruCache(2))
+        replayed = replay_trace(trace, LruCache(2))
+        assert replayed == direct
+
+
+class TestHitRatioCurveSimulatesOnce:
+    def test_event_factory_called_exactly_once(self):
+        """The curve must materialize one trace, not one per cache size."""
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return iter([DownloadEvent(0, i % 7) for i in range(50)])
+
+        results = hit_ratio_curve(factory, cache_sizes=[2, 4, 8])
+        assert len(calls) == 1
+        assert len(results) == 3
+
+    def test_batched_curve_matches_event_curve(self):
+        spec = small_spec(ModelKind.ZIPF_AT_MOST_ONCE)
+        sizes = [6, 30]
+        # Same seed, so both paths replay the identical workload.
+        from_events = hit_ratio_curve(lambda: spec.events(), cache_sizes=sizes)
+        from_batches = hit_ratio_curve_batched(
+            spec.event_batches(), cache_sizes=sizes
+        )
+        assert from_events == from_batches
 
 
 class TestFigure19Ordering:

@@ -41,6 +41,51 @@ class TestConstruction:
         assert not np.any(draws == 1)
 
 
+class TestAliasTableExactness:
+    """The vectorized table build must place probability mass exactly.
+
+    The (prob, alias) tables imply a distribution: column ``c`` is picked
+    with probability ``1/n`` and resolves to ``c`` with probability
+    ``prob[c]``, else to ``alias[c]``.  Reconstructing that distribution
+    and comparing against the normalized weights catches any mass the
+    batched construction misplaces (e.g. cumulative-sum roundoff at pool
+    boundaries).
+    """
+
+    @staticmethod
+    def _reconstruction_error(weights) -> float:
+        weights = np.asarray(weights, dtype=np.float64)
+        sampler = AliasSampler(weights)
+        n = sampler.n_outcomes
+        implied = np.bincount(
+            sampler._alias, weights=(1.0 - sampler._prob) / n, minlength=n
+        )
+        implied += sampler._prob / n
+        return float(np.abs(implied - weights / weights.sum()).max())
+
+    def test_zipf_paper_scale(self):
+        # The reference store size; exponent 1.7 is the paper's fit.
+        ranks = np.arange(1, 60_001, dtype=np.float64)
+        assert self._reconstruction_error(ranks**-1.7) < 1e-9
+
+    def test_uniform(self):
+        assert self._reconstruction_error(np.ones(1000)) < 1e-12
+
+    def test_single_outcome(self):
+        assert self._reconstruction_error([2.5]) < 1e-12
+
+    def test_extreme_spike(self):
+        weights = np.full(5000, 1e-9)
+        weights[0] = 1.0
+        assert self._reconstruction_error(weights) < 1e-9
+
+    def test_random_weights_with_zeros(self):
+        rng = np.random.default_rng(17)
+        weights = rng.random(2048)
+        weights[rng.random(2048) < 0.3] = 0.0
+        assert self._reconstruction_error(weights) < 1e-9
+
+
 class TestSampling:
     def test_size_respected(self):
         sampler = AliasSampler([1, 2, 3])

@@ -1,0 +1,92 @@
+"""Tests for repro.workload.replication (multi-seed process fan-out)."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import ModelKind
+from repro.workload.generators import WorkloadSpec
+from repro.workload.replication import (
+    DistanceEstimate,
+    replicate_counts,
+    replicate_distances,
+    resolve_seeds,
+)
+
+
+def tiny_spec(kind: ModelKind = ModelKind.APP_CLUSTERING) -> WorkloadSpec:
+    return WorkloadSpec(
+        kind=kind,
+        n_apps=120,
+        n_users=60,
+        total_downloads=1200,
+        zr=1.7,
+        zc=1.4,
+        p=0.9,
+        n_clusters=12,
+        seed=0,
+    )
+
+
+class TestResolveSeeds:
+    def test_explicit_seeds_pass_through(self):
+        assert resolve_seeds([3, 1, 4], 99, 0) == (3, 1, 4)
+
+    def test_spawned_seeds_deterministic_and_distinct(self):
+        first = resolve_seeds(None, 6, base_seed=42)
+        second = resolve_seeds(None, 6, base_seed=42)
+        assert first == second
+        assert len(set(first)) == 6
+        assert resolve_seeds(None, 6, base_seed=43) != first
+
+    def test_rejects_zero_replications(self):
+        with pytest.raises(ValueError):
+            resolve_seeds(None, 0, base_seed=0)
+
+
+class TestReplicateCounts:
+    def test_shapes_and_totals(self):
+        spec = tiny_spec()
+        result = replicate_counts(spec, n_replications=3, parallel=False)
+        assert result.counts.shape == (3, spec.n_apps)
+        assert result.n_replications == 3
+        # Every replication spends (close to) the full download budget.
+        assert (result.counts.sum(axis=1) <= spec.total_downloads).all()
+        assert (result.counts.sum(axis=1) > 0.9 * spec.total_downloads).all()
+        assert result.mean_counts.shape == (spec.n_apps,)
+        assert result.std_counts.shape == (spec.n_apps,)
+
+    def test_process_pool_matches_serial(self):
+        """Replications depend only on their seed, not on the executor."""
+        spec = tiny_spec(ModelKind.ZIPF_AT_MOST_ONCE)
+        seeds = [5, 6, 7]
+        serial = replicate_counts(spec, seeds=seeds, parallel=False)
+        pooled = replicate_counts(spec, seeds=seeds, parallel=True, max_workers=2)
+        assert serial.seeds == pooled.seeds
+        assert np.array_equal(serial.counts, pooled.counts)
+
+    def test_rank_curves_sorted_descending(self):
+        result = replicate_counts(tiny_spec(), n_replications=2, parallel=False)
+        curves = result.rank_curves()
+        assert (np.diff(curves, axis=1) <= 0).all()
+
+
+class TestReplicateDistances:
+    def test_distance_to_own_mean_is_small(self):
+        spec = tiny_spec()
+        observed = replicate_counts(spec, n_replications=3, parallel=False)
+        estimate = replicate_distances(
+            spec,
+            observed.mean_counts,
+            n_replications=3,
+            parallel=False,
+        )
+        assert isinstance(estimate, DistanceEstimate)
+        assert len(estimate.per_seed) == 3
+        assert 0.0 <= estimate.mean < 1.0
+        assert "distance" in estimate.describe()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            replicate_distances(
+                tiny_spec(), np.ones(7), n_replications=1, parallel=False
+            )
