@@ -1,10 +1,35 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench
+.PHONY: test lint lint-repro lint-ruff lint-mypy bench-smoke bench
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Static analysis gate.  `lint-repro` (the in-tree RPL determinism &
+# vectorization linter) always runs; ruff and mypy run when installed
+# (`pip install -e .[lint]`) and are skipped with a notice otherwise, so
+# the gate works in minimal environments without masking real failures.
+lint: lint-repro lint-ruff lint-mypy
+
+lint-repro:
+	$(PYTHON) -m repro.devtools.lint src benchmarks examples
+	$(PYTHON) -m repro.devtools.lint tests --ignore RPL031
+	@echo "repro lint: clean"
+
+lint-ruff:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src; \
+	else \
+		echo "ruff not installed; skipping (pip install -e .[lint])"; \
+	fi
+
+lint-mypy:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy src/repro/stats src/repro/core; \
+	else \
+		echo "mypy not installed; skipping (pip install -e .[lint])"; \
+	fi
 
 # Quick perf regression check: small sizes, asserts the batched engine
 # beats the legacy per-event path for all three models.

@@ -93,7 +93,7 @@ def scan_store_for_ads(
         free_ids = {
             snapshot.app_id
             for snapshot in database.snapshots_on(store, day)
-            if snapshot.price == 0
+            if snapshot.is_free
         }
         apks = [apk for apk in apks if apk.app_id in free_ids]
     return scan_apks(store, apks)

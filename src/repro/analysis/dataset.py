@@ -47,9 +47,9 @@ def _summarize(
     def select(day: int):
         snapshots = database.snapshots_on(store, day)
         if price_filter == "free":
-            snapshots = [s for s in snapshots if s.price == 0.0]
+            snapshots = [s for s in snapshots if s.is_free]
         elif price_filter == "paid":
-            snapshots = [s for s in snapshots if s.price > 0.0]
+            snapshots = [s for s in snapshots if s.is_paid]
         return snapshots
 
     first = select(first_day)

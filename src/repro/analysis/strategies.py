@@ -89,7 +89,7 @@ def free_app_records(
         ad_flags = scan_store_for_ads(database, store).per_app
     records: List[FreeAppRecord] = []
     for snapshot in database.snapshots_on(store, day):
-        if snapshot.price == 0:
+        if snapshot.is_free:
             records.append(
                 FreeAppRecord(
                     app_id=snapshot.app_id,

@@ -8,6 +8,7 @@ Usage (also via ``python -m repro``):
     repro forecast --db crawl.jsonl --store slideme     # future downloads
     repro workload --kind APP-CLUSTERING --out trace.jsonl
     repro cache    --scale 0.02                          # Figure 19
+    repro lint     src/                                  # RPL static analysis
 
 Every command prints the same textual tables the benchmarks produce, so
 the pipeline can be driven without writing Python.
@@ -153,7 +154,7 @@ def _run_analyze(args) -> int:
         )
     if section in ("pricing", "income", "strategies", "all"):
         has_paid = any(
-            snapshot.price > 0
+            snapshot.is_paid
             for snapshot in database.snapshots_on(store, database.days(store)[-1])
         )
         if not has_paid:
@@ -216,8 +217,6 @@ def _add_forecast_parser(subparsers) -> None:
 
 
 def _run_forecast(args) -> int:
-    import numpy as np
-
     from repro.core.prediction import find_problematic_apps, forecast_downloads
 
     database = SnapshotDatabase.load(args.db)
@@ -361,6 +360,12 @@ def _run_report(args) -> int:
     return 0
 
 
+def _add_lint_parser(subparsers) -> None:
+    from repro.devtools.lint import add_lint_parser
+
+    add_lint_parser(subparsers)
+
+
 def _add_export_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "export", help="export a crawled database to CSV files"
@@ -411,6 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_parser(subparsers)
     _add_export_parser(subparsers)
     _add_report_parser(subparsers)
+    _add_lint_parser(subparsers)
     return parser
 
 

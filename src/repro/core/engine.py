@@ -29,7 +29,7 @@ asserts this); only the interleaving of *independent* users differs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Set
+from typing import Callable, Iterator, List, Mapping, Optional, Set
 
 import numpy as np
 
@@ -299,7 +299,9 @@ def sample_clustered_new_apps(
     ``out`` and the caller decides the fallback (the models fall back to
     the global law, per Section 5.1).
     """
-    for cluster in np.unique(chosen_clusters):
+    # One iteration per *cluster*, not per event: the distinct-cluster
+    # count is tiny next to the batch the kernel vectorizes over.
+    for cluster in np.unique(chosen_clusters):  # repro: noqa=RPL020 -- grouped dispatch, O(n_clusters) not O(n_events)
         sampler = cluster_samplers.get(int(cluster))
         if sampler is None:  # empty cluster: nothing to draw
             continue

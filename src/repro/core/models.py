@@ -291,7 +291,7 @@ class AppClusteringModel:
         # only becomes "visited" through a download of one of its apps.
         self._members: Dict[int, np.ndarray] = {}
         self._cluster_samplers: Dict[int, AliasSampler] = {}
-        for cluster_index in np.unique(self._clusters):
+        for cluster_index in np.unique(self._clusters):  # repro: noqa=RPL020 -- construction-time, once per cluster
             members = np.flatnonzero(self._clusters == cluster_index)
             self._members[int(cluster_index)] = members
             self._cluster_samplers[int(cluster_index)] = AliasSampler(

@@ -15,7 +15,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.marketplace.entities import Comment
+from repro.marketplace.entities import Comment, is_free_price
 
 
 @dataclass(frozen=True)
@@ -35,6 +35,16 @@ class AppSnapshot:
     average_rating: float
     comment_count: int
     version_name: str
+
+    @property
+    def is_free(self) -> bool:
+        """Whether the app was listed as free on this crawl day."""
+        return is_free_price(self.price)
+
+    @property
+    def is_paid(self) -> bool:
+        """Whether the app was listed with a price on this crawl day."""
+        return not is_free_price(self.price)
 
 
 @dataclass(frozen=True)

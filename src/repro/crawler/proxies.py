@@ -16,8 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
-import numpy as np
-
 from repro.stats.rng import SeedLike, make_rng
 
 

@@ -1,0 +1,8 @@
+"""Developer tooling for the reproduction: static analysis and CI gates.
+
+Nothing in this package is imported by the simulation or analysis code;
+it exists to keep *them* honest.  See :mod:`repro.devtools.lint` for the
+determinism & vectorization linter (``repro lint`` / ``make lint``).
+"""
+
+from __future__ import annotations

@@ -1,0 +1,10 @@
+"""Allow ``python -m repro.devtools.lint <paths>``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.devtools.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

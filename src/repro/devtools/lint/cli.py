@@ -1,0 +1,145 @@
+"""``repro lint`` runner: discovery, filtering, and reporting.
+
+Exit codes: 0 clean, 1 findings, 2 usage errors (unknown path or rule
+code).  ``--format json`` emits a machine-readable object so CI and
+editors can consume findings without scraping text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.devtools.lint.engine import iter_python_files, lint_source
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.rules import RULES
+
+
+def known_codes() -> List[str]:
+    """Rule codes shipped in the pack (plus the engine's parse error)."""
+    return ["RPL000"] + [rule.code for rule in RULES]
+
+
+def _parse_code_list(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    codes = [part.strip() for part in raw.split(",") if part.strip()]
+    unknown = sorted(set(codes) - set(known_codes()))
+    if unknown:
+        raise ValueError(f"unknown rule codes: {', '.join(unknown)}")
+    return codes
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Add the lint arguments to a parser (shared by both entry points)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=["text", "json"],
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None, help="comma-separated codes to enable"
+    )
+    parser.add_argument(
+        "--ignore", default=None, help="comma-separated codes to disable"
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule code with its summary and exit",
+    )
+    parser.set_defaults(handler=run_lint)
+
+
+def add_lint_parser(subparsers) -> None:
+    """Register the ``lint`` subcommand on the top-level ``repro`` CLI."""
+    parser = subparsers.add_parser(
+        "lint",
+        help="run the determinism & vectorization linter (RPL rules)",
+        description=(
+            "AST-based static analysis enforcing the repository's "
+            "seed-threading, determinism, and vectorization conventions. "
+            "Suppress one line with `# repro: noqa=RPL0xx -- reason`."
+        ),
+    )
+    configure_parser(parser)
+
+
+def _list_rules(output_format: str) -> int:
+    if output_format == "json":
+        payload = [
+            {"code": rule.code, "name": rule.name, "summary": rule.summary}
+            for rule in RULES
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        for rule in RULES:
+            print(f"{rule.code} [{rule.name}] {rule.summary}")
+    return 0
+
+
+def run_lint(args) -> int:
+    """Handler behind ``repro lint``."""
+    if args.list_rules:
+        return _list_rules(args.output_format)
+    try:
+        selected = _parse_code_list(args.select)
+        ignored = _parse_code_list(args.ignore)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    missing = [raw for raw in args.paths if not Path(raw).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    findings: List[Finding] = []
+    files_checked = 0
+    for file_path in iter_python_files(args.paths):
+        files_checked += 1
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, path=str(file_path)))
+    if selected is not None:
+        findings = [f for f in findings if f.code in selected]
+    if ignored is not None:
+        findings = [f for f in findings if f.code not in ignored]
+    findings.sort(key=Finding.sort_key)
+
+    if args.output_format == "json":
+        print(
+            json.dumps(
+                {
+                    "files_checked": files_checked,
+                    "findings": [finding.to_dict() for finding in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"repro lint: {len(findings)} {noun} in {files_checked} files")
+    return 1 if findings else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.devtools.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="determinism & vectorization linter (RPL rules)",
+    )
+    configure_parser(parser)
+    args = parser.parse_args(argv)
+    return args.handler(args)

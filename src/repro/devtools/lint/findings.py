@@ -1,0 +1,40 @@
+"""Finding model shared by the lint engine, rules, and reporters.
+
+A finding is one rule violation at one source location.  Findings are
+plain frozen dataclasses so reporters can sort, group, and serialize
+them without knowing anything about the rules that produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str  # rule code, e.g. "RPL003"
+    message: str  # human-readable description of the violation
+    path: str  # file the finding is in (as given to the engine)
+    line: int  # 1-based source line
+    col: int  # 0-based column, matching ``ast`` node offsets
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable ordering: by file, then position, then code."""
+        return (self.path, self.line, self.col, self.code)
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-ready representation."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+    def render(self) -> str:
+        """The one-line human format: ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

@@ -138,7 +138,7 @@ def contains_ad_network(libraries: Sequence[str]) -> bool:
         if library in networks:
             return True
         # Sub-packages of an ad SDK (e.g. "com.adrift.sdk.banner") count.
-        for network in networks:
+        for network in TOP_AD_NETWORKS:
             if library.startswith(network + "."):
                 return True
     return False

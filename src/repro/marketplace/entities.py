@@ -13,6 +13,18 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 
+def is_free_price(price: float) -> bool:
+    """Whether a listed price means "free".
+
+    This is the one place the codebase compares a price against zero:
+    store pages list free apps as exactly ``0.0``, and prices are entered
+    and serialized as exact decimal-dollar values, never computed, so the
+    exact comparison is the semantics (allowlisted for lint rule RPL031).
+    Everything else goes through ``is_free`` / ``is_paid`` predicates.
+    """
+    return price == 0.0
+
+
 @dataclass(frozen=True)
 class ApkPackage:
     """Metadata of an app binary, as a reverse-engineering tool would see it.
@@ -104,12 +116,12 @@ class App:
     @property
     def is_free(self) -> bool:
         """Whether the app costs nothing to download."""
-        return self.price == 0.0
+        return is_free_price(self.price)
 
     @property
     def is_paid(self) -> bool:
         """Whether the app requires a purchase."""
-        return self.price > 0.0
+        return not is_free_price(self.price)
 
     @property
     def current_version(self) -> Optional[AppVersion]:

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Sequence
 
-import numpy as np
-
 
 class ClusteringAwareRecommender:
     """Recommend popular apps from a user's recent categories.

@@ -62,9 +62,11 @@ class CollaborativeFilteringRecommender:
         for app in history:
             candidates |= self._owners.get(app, set())
         candidates.discard(user)
+        # Sorted so equal-similarity neighbours always truncate the same
+        # way at n_neighbors, whatever the set's iteration order was.
         scored = [
             (other, self._similarity(history, self._histories[other]))
-            for other in candidates
+            for other in sorted(candidates, key=repr)
         ]
         scored = [(other, score) for other, score in scored if score > 0]
         scored.sort(key=lambda pair: pair[1], reverse=True)

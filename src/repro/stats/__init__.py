@@ -27,7 +27,7 @@ from repro.stats.distributions import (
     rank_sizes,
 )
 from repro.stats.loglog import fit_loglog_slope
-from repro.stats.rng import make_rng, spawn_rngs
+from repro.stats.rng import make_rng, make_seed_sequence, spawn_rngs
 from repro.stats.sampling import AliasSampler
 from repro.stats.zipf import ZipfDistribution
 
@@ -39,6 +39,7 @@ __all__ = [
     "fit_loglog_slope",
     "log_spaced_ranks",
     "make_rng",
+    "make_seed_sequence",
     "mean_confidence_interval",
     "pearson",
     "rank_sizes",

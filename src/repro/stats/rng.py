@@ -28,6 +28,22 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def make_seed_sequence(seed: SeedLike = None) -> np.random.SeedSequence:
+    """Return a :class:`numpy.random.SeedSequence` from any seed-like value.
+
+    This is the spawning-side counterpart of :func:`make_rng`: anything that
+    needs independent child streams (multi-process replication, per-worker
+    generators) coerces here instead of re-implementing ``SeedLike``
+    dispatch.  Passing a sequence returns it unchanged; passing a generator
+    derives a child sequence from one draw of its stream.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(0, 2**63)))
+    return np.random.SeedSequence(seed)
+
+
 def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
     """Create ``count`` statistically independent generators.
 
@@ -37,12 +53,7 @@ def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    if isinstance(seed, np.random.SeedSequence):
-        sequence = seed
-    elif isinstance(seed, np.random.Generator):
-        sequence = np.random.SeedSequence(int(seed.integers(0, 2**63)))
-    else:
-        sequence = np.random.SeedSequence(seed)
+    sequence = make_seed_sequence(seed)
     return [np.random.default_rng(child) for child in sequence.spawn(count)]
 
 

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.fitting import mean_relative_error
+from repro.stats.rng import make_seed_sequence
 from repro.workload.generators import WorkloadSpec
 
 
@@ -69,7 +70,7 @@ def resolve_seeds(
         return tuple(int(seed) for seed in seeds)
     if n_replications < 1:
         raise ValueError("n_replications must be >= 1")
-    sequence = np.random.SeedSequence(base_seed)
+    sequence = make_seed_sequence(base_seed)
     return tuple(
         int(child.generate_state(1, dtype=np.uint64)[0] % (2**31))
         for child in sequence.spawn(n_replications)

@@ -143,7 +143,7 @@ class TestDistinctDrawHitProbabilities:
             drawn = set()
             while len(drawn) < budget:
                 drawn.add(sampler.sample_one(rng))
-            for item in drawn:
+            for item in sorted(drawn):
                 counts[item] += 1
         empirical = counts / trials
         predicted = distinct_draw_hit_probabilities(pmf, float(budget))

@@ -1,0 +1,83 @@
+"""CLI-level tests for ``repro lint`` and the shipped-tree zero-findings gate."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_DIR = REPO_ROOT / "src"
+
+
+def test_shipped_tree_has_zero_findings(capsys: pytest.CaptureFixture) -> None:
+    """The gate the ISSUE asks for: `repro lint src/` must be clean."""
+    exit_code = lint_main([str(SRC_DIR)])
+    captured = capsys.readouterr()
+    assert exit_code == 0, captured.out
+    assert "0 findings" in captured.out
+
+
+def test_repro_cli_exposes_lint_subcommand(capsys: pytest.CaptureFixture) -> None:
+    from repro.cli import main as repro_main
+
+    exit_code = repro_main(["lint", str(SRC_DIR)])
+    captured = capsys.readouterr()
+    assert exit_code == 0, captured.out
+
+
+def test_json_output_on_dirty_file(
+    tmp_path: Path, capsys: pytest.CaptureFixture
+) -> None:
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\n")
+    exit_code = lint_main(["--format", "json", str(dirty)])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    payload = json.loads(captured.out)
+    assert payload["files_checked"] == 1
+    assert [finding["code"] for finding in payload["findings"]] == ["RPL002"]
+    assert payload["findings"][0]["line"] == 1
+
+
+def test_select_and_ignore_filters(
+    tmp_path: Path, capsys: pytest.CaptureFixture
+) -> None:
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(
+        "import random\n"
+        "def collect(bucket=[]):\n"
+        "    return bucket\n"
+    )
+    selected = json.loads(
+        _json_run(["--format", "json", "--select", "RPL030", str(dirty)], capsys)
+    )
+    assert [f["code"] for f in selected["findings"]] == ["RPL030"]
+
+    ignored = json.loads(
+        _json_run(["--format", "json", "--ignore", "RPL030", str(dirty)], capsys)
+    )
+    assert [f["code"] for f in ignored["findings"]] == ["RPL002"]
+
+
+def _json_run(argv: list, capsys: pytest.CaptureFixture) -> str:
+    lint_main(argv)
+    return capsys.readouterr().out
+
+
+def test_unknown_code_is_usage_error(capsys: pytest.CaptureFixture) -> None:
+    assert lint_main(["--select", "RPL999", "."]) == 2
+    captured = capsys.readouterr()
+    assert "RPL999" in captured.err
+
+
+def test_list_rules_mentions_every_code(capsys: pytest.CaptureFixture) -> None:
+    from repro.devtools.lint import RULES
+
+    assert lint_main(["--list-rules"]) == 0
+    captured = capsys.readouterr()
+    for rule in RULES:
+        assert rule.code in captured.out

@@ -1,0 +1,396 @@
+"""Fixture-driven tests of the RPL rule pack.
+
+Every rule code ships with at least one snippet it must flag and one it
+must stay quiet on, run through the real engine (`lint_source`), so the
+pack's behaviour is pinned down independent of the repository's state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import pytest
+
+from repro.devtools.lint import RULES, lint_source
+
+#: A path inside the declared-batched set, for the RPL02x fixtures.
+BATCHED_PATH = "src/repro/core/engine.py"
+#: A path outside every structural allowlist.
+PLAIN_PATH = "src/repro/analysis/example.py"
+
+
+@dataclass(frozen=True)
+class RuleFixture:
+    """One rule's flagging and passing snippets."""
+
+    code: str
+    flagged: str
+    quiet: str
+    path: str = PLAIN_PATH
+    quiet_path: str = ""
+
+    def quiet_target(self) -> str:
+        return self.quiet_path or self.path
+
+
+FIXTURES: Tuple[RuleFixture, ...] = (
+    RuleFixture(
+        code="RPL001",
+        flagged=(
+            "import numpy as np\n"
+            "def draw(n):\n"
+            "    return np.random.choice(10, size=n)\n"
+        ),
+        quiet=(
+            "from repro.stats.rng import make_rng\n"
+            "def draw(n, seed=None):\n"
+            "    return make_rng(seed).integers(0, 10, size=n)\n"
+        ),
+    ),
+    RuleFixture(
+        code="RPL001",
+        flagged=(
+            "import numpy as np\n"
+            "np.random.seed(1234)\n"
+        ),
+        quiet=(
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1234)\n"
+        ),
+    ),
+    RuleFixture(
+        code="RPL002",
+        flagged=(
+            "import random\n"
+            "def pick(items):\n"
+            "    return random.choice(items)\n"
+        ),
+        quiet=(
+            "from repro.stats.rng import make_rng\n"
+            "def pick(items, seed=None):\n"
+            "    rng = make_rng(seed)\n"
+            "    return items[rng.integers(0, len(items))]\n"
+        ),
+    ),
+    RuleFixture(
+        code="RPL002",
+        flagged="from random import shuffle\n",
+        quiet="from repro.stats.rng import spawn_rngs\n",
+    ),
+    RuleFixture(
+        code="RPL003",
+        flagged=(
+            "import numpy as np\n"
+            "def simulate(seed=None):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return rng.random()\n"
+        ),
+        quiet=(
+            "from repro.stats.rng import make_rng\n"
+            "def simulate(seed=None):\n"
+            "    rng = make_rng(seed)\n"
+            "    return rng.random()\n"
+        ),
+    ),
+    RuleFixture(
+        code="RPL003",
+        flagged=(
+            "import numpy as np\n"
+            "def replicate(base_seed):\n"
+            "    return np.random.SeedSequence(base_seed).spawn(4)\n"
+        ),
+        # The coercion helpers themselves are exempt: they are the one
+        # module allowed to touch numpy's seeding primitives.
+        quiet=(
+            "import numpy as np\n"
+            "def make_rng(seed=None):\n"
+            "    return np.random.default_rng(seed)\n"
+        ),
+        quiet_path="src/repro/stats/rng.py",
+    ),
+    RuleFixture(
+        code="RPL004",
+        flagged=(
+            "from repro.stats.rng import make_rng\n"
+            "def replicate(seeds):\n"
+            "    out = []\n"
+            "    for seed in seeds:\n"
+            "        out.append(make_rng(seed).random())\n"
+            "    return out\n"
+        ),
+        quiet=(
+            "from repro.stats.rng import spawn_rngs\n"
+            "def replicate(seed, count):\n"
+            "    return [rng.random() for rng in spawn_rngs(seed, count)]\n"
+        ),
+    ),
+    RuleFixture(
+        code="RPL010",
+        flagged=(
+            "import time\n"
+            "from repro.stats.rng import make_rng\n"
+            "def simulate():\n"
+            "    rng = make_rng(int(time.time()))\n"
+            "    return rng.random()\n"
+        ),
+        quiet=(
+            "import time\n"
+            "def benchmark(fn):\n"
+            "    start = time.time()\n"
+            "    fn()\n"
+            "    return time.time() - start\n"
+        ),
+    ),
+    RuleFixture(
+        code="RPL010",
+        flagged=(
+            "def derive(name):\n"
+            "    seed = hash(name) % 1000\n"
+            "    return seed\n"
+        ),
+        quiet=(
+            "from repro.stats.rng import stable_hash\n"
+            "def derive(name):\n"
+            "    seed = stable_hash(name) % 1000\n"
+            "    return seed\n"
+        ),
+    ),
+    RuleFixture(
+        code="RPL011",
+        flagged=(
+            "def order(items):\n"
+            "    seen = set(items)\n"
+            "    out = []\n"
+            "    for item in seen:\n"
+            "        out.append(item)\n"
+            "    return out\n"
+        ),
+        quiet=(
+            "def order(items):\n"
+            "    seen = set(items)\n"
+            "    out = []\n"
+            "    for item in sorted(seen):\n"
+            "        out.append(item)\n"
+            "    return out\n"
+        ),
+    ),
+    RuleFixture(
+        code="RPL011",
+        flagged="doubled = [item * 2 for item in {1, 2, 3}]\n",
+        quiet="doubled = [item * 2 for item in sorted({1, 2, 3})]\n",
+    ),
+    RuleFixture(
+        code="RPL020",
+        flagged=(
+            "import numpy as np\n"
+            "def total(values):\n"
+            "    arr = np.asarray(values)\n"
+            "    acc = 0.0\n"
+            "    for value in arr:\n"
+            "        acc += value\n"
+            "    return acc\n"
+        ),
+        quiet=(
+            "import numpy as np\n"
+            "def total(values):\n"
+            "    arr = np.asarray(values)\n"
+            "    return float(arr.sum())\n"
+        ),
+        path=BATCHED_PATH,
+    ),
+    RuleFixture(
+        code="RPL020",
+        # Annotated ndarray parameters are tracked too; .tolist() is the
+        # sanctioned way to cross into per-element land.
+        flagged=(
+            "import numpy as np\n"
+            "def pairs(users: np.ndarray, apps: np.ndarray):\n"
+            "    return [(u, a) for u, a in zip(users, apps)]\n"
+        ),
+        quiet=(
+            "import numpy as np\n"
+            "def pairs(users: np.ndarray, apps: np.ndarray):\n"
+            "    return list(zip(users.tolist(), apps.tolist()))\n"
+        ),
+        path=BATCHED_PATH,
+    ),
+    RuleFixture(
+        code="RPL020",
+        # The same per-element loop outside a declared-batched module is
+        # not the vectorization rule's business.
+        flagged=(
+            "import numpy as np\n"
+            "def total(values):\n"
+            "    arr = np.asarray(values)\n"
+            "    acc = 0.0\n"
+            "    for value in arr:\n"
+            "        acc += value\n"
+            "    return acc\n"
+        ),
+        quiet=(
+            "import numpy as np\n"
+            "def total(values):\n"
+            "    arr = np.asarray(values)\n"
+            "    acc = 0.0\n"
+            "    for value in arr:\n"
+            "        acc += value\n"
+            "    return acc\n"
+        ),
+        path=BATCHED_PATH,
+        quiet_path=PLAIN_PATH,
+    ),
+    RuleFixture(
+        code="RPL021",
+        flagged=(
+            "import numpy as np\n"
+            "def gather(chunks):\n"
+            "    out = np.empty(0)\n"
+            "    for chunk in chunks:\n"
+            "        out = np.concatenate([out, chunk])\n"
+            "    return out\n"
+        ),
+        quiet=(
+            "import numpy as np\n"
+            "def gather(chunks):\n"
+            "    return np.concatenate([chunk for chunk in chunks])\n"
+        ),
+        path=BATCHED_PATH,
+    ),
+    RuleFixture(
+        code="RPL030",
+        flagged=(
+            "def collect(item, bucket=[]):\n"
+            "    bucket.append(item)\n"
+            "    return bucket\n"
+        ),
+        quiet=(
+            "def collect(item, bucket=None):\n"
+            "    bucket = [] if bucket is None else bucket\n"
+            "    bucket.append(item)\n"
+            "    return bucket\n"
+        ),
+    ),
+    RuleFixture(
+        code="RPL031",
+        flagged=(
+            "def is_free(price):\n"
+            "    return price == 0.0\n"
+        ),
+        # The allowlisted predicate in entities.py is the one sanctioned
+        # home for this comparison.
+        quiet=(
+            "def is_free_price(price):\n"
+            "    return price == 0.0\n"
+        ),
+        quiet_path="src/repro/marketplace/entities.py",
+    ),
+    RuleFixture(
+        code="RPL031",
+        flagged="matched = 1.5 != compute()\n",
+        quiet="matched = 2 == compute()\n",
+    ),
+    RuleFixture(
+        code="RPL032",
+        flagged=(
+            "__all__ = ['missing_name']\n"
+            "def present():\n"
+            "    return 1\n"
+        ),
+        quiet=(
+            "__all__ = ['present']\n"
+            "def present():\n"
+            "    return 1\n"
+        ),
+    ),
+    RuleFixture(
+        code="RPL032",
+        flagged=(
+            "__all__ = ['first']\n"
+            "def first():\n"
+            "    return 1\n"
+            "def second():\n"
+            "    return 2\n"
+        ),
+        quiet=(
+            "def first():\n"
+            "    return 1\n"
+            "def second():\n"
+            "    return 2\n"
+        ),
+    ),
+)
+
+
+def _codes(source: str, path: str) -> list:
+    return [finding.code for finding in lint_source(source, path=path)]
+
+
+@pytest.mark.parametrize(
+    "fixture",
+    FIXTURES,
+    ids=[f"{fixture.code}-{index}" for index, fixture in enumerate(FIXTURES)],
+)
+def test_rule_fires_on_flagged_snippet(fixture: RuleFixture) -> None:
+    assert fixture.code in _codes(fixture.flagged, fixture.path)
+
+
+@pytest.mark.parametrize(
+    "fixture",
+    FIXTURES,
+    ids=[f"{fixture.code}-{index}" for index, fixture in enumerate(FIXTURES)],
+)
+def test_rule_quiet_on_passing_snippet(fixture: RuleFixture) -> None:
+    assert fixture.code not in _codes(fixture.quiet, fixture.quiet_target())
+
+
+def test_every_shipped_rule_has_fixtures() -> None:
+    """The pack cannot grow a rule without pinning its behaviour here."""
+    covered = {fixture.code for fixture in FIXTURES}
+    shipped = {rule.code for rule in RULES}
+    assert shipped == covered
+
+
+def test_syntax_error_reported_as_rpl000() -> None:
+    findings = lint_source("def broken(:\n", path="bad.py")
+    assert [finding.code for finding in findings] == ["RPL000"]
+
+
+class TestNoqaSuppression:
+    def test_bare_noqa_suppresses_everything_on_the_line(self) -> None:
+        source = "import random  # repro: noqa -- fixture exercising bare form\n"
+        assert lint_source(source, path=PLAIN_PATH) == []
+
+    def test_coded_noqa_suppresses_only_that_code(self) -> None:
+        source = (
+            "import random  # repro: noqa=RPL002 -- fixture justification\n"
+        )
+        assert lint_source(source, path=PLAIN_PATH) == []
+
+    def test_wrong_code_does_not_suppress(self) -> None:
+        source = "import random  # repro: noqa=RPL001\n"
+        codes = [f.code for f in lint_source(source, path=PLAIN_PATH)]
+        assert codes == ["RPL002"]
+
+    def test_noqa_on_other_line_does_not_suppress(self) -> None:
+        source = (
+            "x = 1  # repro: noqa\n"
+            "import random\n"
+        )
+        codes = [f.code for f in lint_source(source, path=PLAIN_PATH)]
+        assert codes == ["RPL002"]
+
+
+def test_findings_are_sorted_and_positioned() -> None:
+    source = (
+        "import random\n"
+        "import numpy as np\n"
+        "def f():\n"
+        "    return np.random.rand()\n"
+    )
+    findings = lint_source(source, path=PLAIN_PATH)
+    assert [f.code for f in findings] == ["RPL002", "RPL001"]
+    assert findings[0].line == 1
+    assert findings[1].line == 4
+    rendered = findings[0].render()
+    assert rendered.startswith(f"{PLAIN_PATH}:1:0: RPL002")

@@ -1,0 +1,56 @@
+"""Tests for the satellite API changes: seed-sequence coercion and free-price predicates."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crawler.database import AppSnapshot
+from repro.marketplace.entities import is_free_price
+from repro.stats.rng import make_rng, make_seed_sequence
+
+
+class TestMakeSeedSequence:
+    def test_none_gives_entropy_backed_sequence(self) -> None:
+        sequence = make_seed_sequence(None)
+        assert isinstance(sequence, np.random.SeedSequence)
+
+    def test_int_seed_is_deterministic(self) -> None:
+        first = make_seed_sequence(1234).generate_state(4)
+        second = make_seed_sequence(1234).generate_state(4)
+        np.testing.assert_array_equal(first, second)
+
+    def test_seed_sequence_passes_through(self) -> None:
+        sequence = np.random.SeedSequence(7)
+        assert make_seed_sequence(sequence) is sequence
+
+    def test_generator_is_coerced_deterministically(self) -> None:
+        first = make_seed_sequence(make_rng(99)).generate_state(4)
+        second = make_seed_sequence(make_rng(99)).generate_state(4)
+        np.testing.assert_array_equal(first, second)
+
+    def test_spawned_children_differ(self) -> None:
+        children = make_seed_sequence(5).spawn(2)
+        states = [child.generate_state(4).tolist() for child in children]
+        assert states[0] != states[1]
+
+
+class TestFreePricePredicate:
+    def test_zero_price_is_free(self) -> None:
+        assert is_free_price(0.0)
+        assert is_free_price(0)
+
+    def test_positive_price_is_not_free(self) -> None:
+        assert not is_free_price(0.99)
+
+    def test_snapshot_predicates(self) -> None:
+        def snapshot(price: float) -> AppSnapshot:
+            return AppSnapshot(
+                store="google_play", day=0, app_id=1, name="app",
+                category="Games", developer_id=1, price=price,
+                declares_ads=False, total_downloads=100, rating_count=10,
+                average_rating=4.0, comment_count=3, version_name="1.0",
+            )
+
+        free, paid = snapshot(0.0), snapshot(1.99)
+        assert free.is_free and not free.is_paid
+        assert paid.is_paid and not paid.is_free
