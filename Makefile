@@ -1,10 +1,27 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-repro lint-ruff lint-mypy bench-smoke bench
+.PHONY: test test-slow coverage lint lint-repro lint-ruff lint-mypy bench-smoke bench
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The heavy chaos sweeps (@pytest.mark.slow) excluded from tier-1.
+test-slow:
+	$(PYTHON) -m pytest -x -q -m slow
+
+# Coverage floor on the resilience layer and the crawler it protects.
+# Gated on pytest-cov being installed (`pip install -e .[test]`) so the
+# target degrades gracefully in minimal environments.
+COV_FAIL_UNDER ?= 85
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTHON) -m pytest -q \
+			--cov=repro.resilience --cov=repro.crawler \
+			--cov-report=term-missing --cov-fail-under=$(COV_FAIL_UNDER); \
+	else \
+		echo "pytest-cov not installed; skipping (pip install -e .[test])"; \
+	fi
 
 # Static analysis gate.  `lint-repro` (the in-tree RPL determinism &
 # vectorization linter) always runs; ruff and mypy run when installed

@@ -8,6 +8,7 @@ Usage (also via ``python -m repro``):
     repro forecast --db crawl.jsonl --store slideme     # future downloads
     repro workload --kind APP-CLUSTERING --out trace.jsonl
     repro cache    --scale 0.02                          # Figure 19
+    repro chaos    --plan aggressive --seed 7            # fault injection
     repro lint     src/                                  # RPL static analysis
 
 Every command prints the same textual tables the benchmarks produce, so
@@ -333,6 +334,73 @@ def _run_cache(args) -> int:
     return 0
 
 
+def _add_chaos_parser(subparsers) -> None:
+    from repro.resilience.faults import PLAN_DENSITIES
+
+    parser = subparsers.add_parser(
+        "chaos",
+        help="run a crawl or replication under a deterministic fault plan",
+    )
+    parser.add_argument(
+        "--plan",
+        default="aggressive",
+        choices=sorted(PLAN_DENSITIES),
+        help="named fault schedule (seeded, exactly replayable)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--mode",
+        default="crawl",
+        choices=["crawl", "replication"],
+        help="what to run under faults: a store crawl or a multi-seed "
+        "replication sweep",
+    )
+    parser.add_argument(
+        "--store",
+        default="demo",
+        choices=["demo", "anzhi", "appchina", "1mobile", "slideme"],
+        help="store profile for crawl mode",
+    )
+    parser.add_argument(
+        "--no-comments",
+        action="store_true",
+        help="skip comment collection in crawl mode",
+    )
+    parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="omit the per-fault failure trace from the report",
+    )
+    parser.add_argument("--out", default=None, help="also write the report to a file")
+    parser.set_defaults(handler=_run_chaos)
+
+
+def _run_chaos(args) -> int:
+    from repro.marketplace.profiles import demo_profile, paper_profile, scaled_profile
+    from repro.resilience.chaos import run_chaos_crawl, run_chaos_replication
+
+    if args.mode == "replication":
+        text = run_chaos_replication(plan_name=args.plan, seed=args.seed).render()
+    else:
+        if args.store == "demo":
+            profile = demo_profile()
+        else:
+            profile = scaled_profile(paper_profile(args.store), **_DEFAULT_SCALES)
+        report = run_chaos_crawl(
+            profile,
+            plan_name=args.plan,
+            seed=args.seed,
+            fetch_comments=not args.no_comments,
+        )
+        text = report.render(include_trace=not args.no_trace)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"(written to {args.out})", file=sys.stderr)
+    return 0
+
+
 def _add_report_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "report", help="render the full study for one store as a document"
@@ -414,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_forecast_parser(subparsers)
     _add_workload_parser(subparsers)
     _add_cache_parser(subparsers)
+    _add_chaos_parser(subparsers)
     _add_export_parser(subparsers)
     _add_report_parser(subparsers)
     _add_lint_parser(subparsers)

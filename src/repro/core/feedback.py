@@ -30,7 +30,7 @@ rejection kernel of :mod:`repro.core.engine`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional, Set
 
 import numpy as np
 
@@ -180,3 +180,52 @@ class RecommenderFeedbackModel:
     def iter_events(self, seed: SeedLike = None) -> Iterator[DownloadEvent]:
         """Yield download events under the feedback process."""
         return events_from_batches(self.iter_batches(seed=seed))
+
+    def _draw_recommended(
+        self, downloaded: Set[int], chart: np.ndarray, rng
+    ) -> Optional[int]:
+        for _ in range(self.max_rejections):
+            candidate = int(chart[int(rng.integers(0, chart.size))])
+            if candidate not in downloaded:
+                return candidate
+        return None
+
+    def _draw_organic(self, downloaded: Set[int], rng) -> Optional[int]:
+        for _ in range(self.max_rejections):
+            candidate = int(self._organic.sample(1, seed=rng)[0])
+            if candidate not in downloaded:
+                return candidate
+        return None
+
+    def iter_events_legacy(self, seed: SeedLike = None) -> Iterator[DownloadEvent]:
+        """Reference per-event implementation (benchmark baseline).
+
+        Same process as :meth:`iter_batches` -- the chart freezes for
+        ``refresh_every`` download slots and a failed recommendation
+        falls through to the organic law -- resolved one event at a
+        time.
+        """
+        params = self.params
+        rng = make_rng(seed)
+        budgets = per_user_budgets(params.total_downloads, params.n_users, rng)
+        order = interleaved_user_order(budgets, rng)
+        downloaded: List[Set[int]] = [set() for _ in range(params.n_users)]
+        counts = np.zeros(params.n_apps, dtype=np.int64)
+        chart = np.arange(min(params.list_size, params.n_apps), dtype=np.int64)
+        for slot, user_id in enumerate(order):
+            if slot > 0 and slot % params.refresh_every == 0:
+                top = np.argsort(counts)[::-1][: params.list_size]
+                chart = top.astype(np.int64)
+            user_downloads = downloaded[user_id]
+            if len(user_downloads) >= params.n_apps:
+                continue
+            candidate: Optional[int] = None
+            if rng.random() < params.q:
+                candidate = self._draw_recommended(user_downloads, chart, rng)
+            if candidate is None:
+                candidate = self._draw_organic(user_downloads, rng)
+            if candidate is None:
+                continue
+            user_downloads.add(candidate)
+            counts[candidate] += 1
+            yield DownloadEvent(user_id=int(user_id), app_index=int(candidate))

@@ -157,9 +157,9 @@ class ZipfModel:
         self, n_users: int, total_downloads: int, seed: SeedLike = None
     ) -> np.ndarray:
         """Per-app download counts after ``total_downloads`` draws."""
-        rng = make_rng(seed)
-        draws = self._sampler.sample(total_downloads, seed=rng)
-        return np.bincount(draws, minlength=self.n_apps).astype(np.int64)
+        return counts_from_batches(
+            self.iter_batches(n_users, total_downloads, seed=seed), self.n_apps
+        )
 
     def iter_batches(
         self,

@@ -24,7 +24,12 @@ We rebuild that pipeline against the simulated stores:
   multi-day campaign, producing the dataset the analysis layer consumes.
 """
 
-from repro.crawler.crawler import CrawlStats, StoreCrawler
+from repro.crawler.crawler import (
+    CrawlError,
+    CrawlStats,
+    ProxiesExhausted,
+    StoreCrawler,
+)
 from repro.crawler.database import AppSnapshot, SnapshotDatabase
 from repro.crawler.proxies import Proxy, ProxyError, ProxyPool
 from repro.crawler.ratelimit import RateLimitExceeded, TokenBucket
@@ -34,8 +39,10 @@ from repro.crawler.webapi import GeoBlockedError, StoreWebApi
 __all__ = [
     "AppSnapshot",
     "CrawlCampaign",
+    "CrawlError",
     "CrawlStats",
     "GeoBlockedError",
+    "ProxiesExhausted",
     "Proxy",
     "ProxyError",
     "ProxyPool",

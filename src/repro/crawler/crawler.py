@@ -5,19 +5,33 @@ that indexes every listed app, followed by daily re-visits that refresh
 each known app's statistics, pick up newly listed apps, re-fetch comment
 pages, and archive any APK version not yet downloaded.  Requests go
 through a randomly chosen proxy (Chinese proxies only, for geo-fenced
-stores), retrying on transient proxy failures, and the crawler paces
-itself with a token bucket to respect the store's request threshold.
+stores), and the crawler paces itself with a token bucket to respect the
+store's request threshold.
+
+Failure handling is delegated to :mod:`repro.resilience`: every request
+runs under a :class:`~repro.resilience.retry.RetryPolicy` (exponential
+backoff with seeded jitter, advancing the simulated clock), each proxy
+sits behind a :class:`~repro.resilience.breaker.CircuitBreaker` so a
+repeatedly failing node is skipped until its reset timeout, fetched app
+pages are validated and re-fetched when a store serves garbage, and a
+:class:`~repro.resilience.faults.FaultInjector` can schedule proxy
+deaths, clock skew, and worker crashes for chaos runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.crawler.database import ApkRecord, AppSnapshot, SnapshotDatabase
 from repro.crawler.proxies import NoProxyAvailable, ProxyError, ProxyPool
 from repro.crawler.ratelimit import RateLimitExceeded, TokenBucket
-from repro.crawler.webapi import GeoBlockedError, StoreWebApi
+from repro.crawler.webapi import GeoBlockedError, StoreWebApi, page_is_corrupt
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.errors import SnapshotCorrupted, TransientFault, WorkerCrashed
+from repro.resilience.faults import FaultInjector, FaultKind
+from repro.resilience.retry import RetryPolicy
+from repro.stats.rng import SeedLike, make_rng
 
 
 @dataclass
@@ -28,6 +42,10 @@ class CrawlStats:
     retries: int = 0
     rate_limit_hits: int = 0
     proxy_failures: int = 0
+    transient_faults: int = 0
+    corrupt_pages: int = 0
+    breaker_skips: int = 0
+    backoff_seconds: float = 0.0
     apps_crawled: int = 0
     apks_fetched: int = 0
     comments_fetched: int = 0
@@ -35,6 +53,27 @@ class CrawlStats:
 
 class CrawlError(Exception):
     """Raised when a request cannot be completed after all retries."""
+
+
+class ProxiesExhausted(CrawlError):
+    """Raised when no live, non-blacklisted proxy can serve a store.
+
+    Attributes
+    ----------
+    store_name:
+        The store whose request could not be routed.
+    country:
+        The geo constraint in force, if any.
+    """
+
+    def __init__(self, store_name: str, country: Optional[str] = None) -> None:
+        constraint = f" in country {country!r}" if country else ""
+        super().__init__(
+            f"proxy pool exhausted for store {store_name!r}{constraint}: "
+            "every proxy is dead, blacklisted, or geo-mismatched"
+        )
+        self.store_name = store_name
+        self.country = country
 
 
 class StoreCrawler:
@@ -53,7 +92,21 @@ class StoreCrawler:
         the paper's crawlers were designed to comply with each store's
         limits).
     max_retries:
-        Attempts per request before giving up.
+        Attempts per request before giving up; ignored when a full
+        ``retry_policy`` is given.
+    retry_policy:
+        Backoff schedule between attempts.  The default backs off
+        exponentially from 0.25s to 30s of simulated time with 10%
+        seeded jitter.
+    breaker_factory:
+        Builds the per-proxy circuit breaker; ``None`` uses defaults
+        (3 consecutive failures trip it, 60 simulated seconds to reset).
+    fault_injector:
+        Optional chaos hook polled once per attempt for proxy deaths,
+        clock skew, and worker crashes.
+    seed:
+        Randomness for backoff jitter only -- the crawled data never
+        depends on it.
     """
 
     def __init__(
@@ -63,6 +116,10 @@ class StoreCrawler:
         proxy_pool: ProxyPool,
         requests_per_second: float = 8.0,
         max_retries: int = 5,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_factory=None,
+        fault_injector: Optional[FaultInjector] = None,
+        seed: SeedLike = None,
     ) -> None:
         if requests_per_second <= 0:
             raise ValueError("requests_per_second must be positive")
@@ -74,7 +131,18 @@ class StoreCrawler:
         self._pacer = TokenBucket(
             rate=requests_per_second, capacity=max(1.0, requests_per_second)
         )
-        self.max_retries = max_retries
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(max_attempts=max_retries)
+        )
+        self.max_retries = self.retry_policy.max_attempts
+        self._breaker_factory = (
+            breaker_factory if breaker_factory is not None else CircuitBreaker
+        )
+        self._breakers: Dict[int, CircuitBreaker] = {}
+        self._faults = fault_injector
+        self._retry_rng = make_rng(seed)
         self.stats = CrawlStats()
         self._clock = 0.0
 
@@ -83,26 +151,106 @@ class StoreCrawler:
         """The crawler's simulated wall clock, in seconds."""
         return self._clock
 
+    @property
+    def proxy_pool(self) -> ProxyPool:
+        """The pool this crawler routes requests through."""
+        return self._proxies
+
+    def _breaker(self, proxy_id: int) -> CircuitBreaker:
+        breaker = self._breakers.get(proxy_id)
+        if breaker is None:
+            breaker = self._breaker_factory()
+            self._breakers[proxy_id] = breaker
+        return breaker
+
+    def _apply_scheduled_faults(self) -> None:
+        """Consume crawler-side faults that have come due on the clock."""
+        injector = self._faults
+        if injector is None:
+            return
+        for event in injector.take_all(self._clock, FaultKind.CLOCK_SKEW):
+            self._clock += event.magnitude
+            injector.record(
+                event, self._clock, f"clock skewed forward {event.magnitude:.3f}s"
+            )
+        for event in injector.take_all(self._clock, FaultKind.PROXY_DEATH):
+            victims = self._proxies.alive_proxies()
+            if not victims:
+                injector.record(event, self._clock, "no proxy left to kill")
+                continue
+            victim = victims[int(injector.rng.integers(0, len(victims)))]
+            self._proxies.kill(victim.proxy_id)
+            injector.record(event, self._clock, f"killed proxy {victim.proxy_id}")
+        crash = injector.take_all(self._clock, FaultKind.WORKER_CRASH)
+        if crash:
+            injector.record(crash[0], self._clock, "crawl worker crashed")
+            # Any sibling crash events due at the same instant are folded
+            # into one crash; the supervisor restarts the whole day anyway.
+            for extra in crash[1:]:
+                injector.record(extra, self._clock, "folded into same crash")
+            raise WorkerCrashed(
+                f"crawl worker crashed at t={self._clock:.3f}s (scheduled fault)"
+            )
+
+    def _pick_proxy(self, country: Optional[str]):
+        """Pick a proxy whose circuit breaker admits a call right now.
+
+        Falls back to ignoring the breakers when every healthy proxy is
+        open (better a doomed attempt than a stalled crawl), and raises
+        :class:`ProxiesExhausted` when no healthy proxy exists at all.
+        """
+        store = self._api.store_name
+        open_ids: Set[int] = {
+            proxy_id
+            for proxy_id, breaker in self._breakers.items()
+            if not breaker.allow(self._clock)
+        }
+        try:
+            return self._proxies.pick(store, country, exclude=open_ids)
+        except NoProxyAvailable:
+            pass
+        if open_ids:
+            # Every admissible proxy is breaker-open; degrade by probing
+            # one of them rather than deadlocking the crawl.
+            self.stats.breaker_skips += 1
+            try:
+                return self._proxies.pick(store, country)
+            except NoProxyAvailable as error:
+                raise ProxiesExhausted(store, country) from error
+        raise ProxiesExhausted(store, country)
+
     def _request(self, endpoint, *args):
-        """Issue one request through a random proxy with retries."""
+        """Issue one request through a proxy, retrying under the policy.
+
+        Transient proxy errors, rate-limit hits, geo-blocks, injected
+        store errors, and corrupt pages all count against the policy's
+        attempt budget; between attempts the simulated clock advances by
+        the policy's jittered backoff.
+        """
         country = self._api.requires_country
+        policy = self.retry_policy
         last_error: Optional[Exception] = None
-        for _ in range(self.max_retries):
+        for attempt in range(policy.max_attempts):
+            if attempt > 0:
+                delay = policy.delay(attempt - 1, self._retry_rng)
+                self._clock += delay
+                self.stats.backoff_seconds += delay
+                self.stats.retries += 1
+            self._apply_scheduled_faults()
+
             # Self-pacing: wait (by advancing the simulated clock) until
             # the crawler's own budget allows another request.
             wait = self._pacer.time_until_available(self._clock)
             self._clock += wait
             self._pacer.try_consume(self._clock)
 
-            try:
-                proxy = self._proxies.pick(self._api.store_name, country)
-            except NoProxyAvailable as error:
-                raise CrawlError(str(error)) from error
+            proxy = self._pick_proxy(country)
+            breaker = self._breaker(proxy.proxy_id)
             try:
                 self._proxies.request_through(proxy)
             except ProxyError as error:
                 self.stats.proxy_failures += 1
-                self.stats.retries += 1
+                breaker.record_failure(self._clock)
                 last_error = error
                 continue
             client = f"proxy-{proxy.proxy_id}"
@@ -110,20 +258,34 @@ class StoreCrawler:
                 result = endpoint(*args, client, proxy.country, self._clock)
             except RateLimitExceeded as error:
                 self.stats.rate_limit_hits += 1
-                self.stats.retries += 1
                 self._clock += error.retry_after
+                # A throttle is the store talking, not the proxy failing;
+                # the breaker does not count it.
                 last_error = error
                 continue
             except GeoBlockedError as error:
                 # The store blocked this proxy; drop it and retry elsewhere.
                 self._proxies.blacklist(proxy.proxy_id, self._api.store_name)
-                self.stats.retries += 1
+                breaker.record_failure(self._clock)
                 last_error = error
                 continue
+            except TransientFault as error:
+                self.stats.transient_faults += 1
+                breaker.record_failure(self._clock)
+                last_error = error
+                continue
+            if endpoint == self._api.app_page and page_is_corrupt(result):
+                self.stats.corrupt_pages += 1
+                breaker.record_success(self._clock)
+                last_error = SnapshotCorrupted(
+                    f"corrupt page for app {args[0]} via {client}"
+                )
+                continue
             self.stats.requests += 1
+            breaker.record_success(self._clock)
             return result
         raise CrawlError(
-            f"request failed after {self.max_retries} attempts: {last_error}"
+            f"request failed after {policy.max_attempts} attempts: {last_error}"
         )
 
     def _discover_app_ids(self) -> List[int]:
@@ -139,6 +301,8 @@ class StoreCrawler:
 
         ``day`` is the store's simulation day being observed; the paper's
         crawler tags each observation with its crawl date the same way.
+        Writes are idempotent, so a supervisor may safely re-run a day
+        whose worker crashed partway through.
         """
         app_ids = self._discover_app_ids()
         known_apks = self._database.latest_apk_per_app(self._api.store_name)

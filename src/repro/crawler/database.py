@@ -8,6 +8,7 @@ multi-day crawl can be saved and reloaded without re-simulating.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -203,6 +204,32 @@ class SnapshotDatabase:
         for record in self.apks(store):
             latest[record.app_id] = record
         return latest
+
+    def fingerprint(self) -> str:
+        """Order-independent SHA-256 over the full database contents.
+
+        Two databases holding the same observations hash identically no
+        matter what order the crawler recorded them in -- which is what
+        lets chaos tests assert that a crawl under an aggressive fault
+        plan recovered the *exact* dataset of the fault-free run.
+        """
+        digest = hashlib.sha256()
+        for key in sorted(self._snapshots):
+            record = {"kind": "snapshot", **asdict(self._snapshots[key])}
+            digest.update(json.dumps(record, sort_keys=True).encode("utf-8"))
+        for store in sorted(self._comments):
+            ordered = sorted(
+                self._comments[store],
+                key=lambda c: (c.user_id, c.app_id, c.day, c.rating),
+            )
+            for comment in ordered:
+                record = {"kind": "comment", "store": store, **asdict(comment)}
+                digest.update(json.dumps(record, sort_keys=True).encode("utf-8"))
+        for key in sorted(self._apks):
+            record = {"kind": "apk", **asdict(self._apks[key])}
+            record["embedded_libraries"] = list(self._apks[key].embedded_libraries)
+            digest.update(json.dumps(record, sort_keys=True).encode("utf-8"))
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Persistence

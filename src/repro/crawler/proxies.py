@@ -37,6 +37,7 @@ class Proxy:
     blacklisted_by: Set[str] = field(default_factory=set)
     requests_served: int = 0
     failures: int = 0
+    alive: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.failure_rate <= 1.0:
@@ -103,30 +104,52 @@ class ProxyPool:
         """All proxies (live objects, not copies)."""
         return list(self._proxies.values())
 
+    def alive_proxies(self) -> List[Proxy]:
+        """Proxies that have not been killed, regardless of blacklists."""
+        return [proxy for proxy in self._proxies.values() if proxy.alive]
+
     def healthy_proxies(
         self, store_name: str, country: Optional[str] = None
     ) -> List[Proxy]:
-        """Proxies usable for a store: not blacklisted, matching country."""
+        """Proxies usable for a store: alive, not blacklisted, matching
+        country."""
         return [
             proxy
             for proxy in self._proxies.values()
-            if not proxy.is_blacklisted(store_name)
+            if proxy.alive
+            and not proxy.is_blacklisted(store_name)
             and (country is None or proxy.country == country)
         ]
 
-    def pick(self, store_name: str, country: Optional[str] = None) -> Proxy:
+    def pick(
+        self,
+        store_name: str,
+        country: Optional[str] = None,
+        exclude: Optional[Set[int]] = None,
+    ) -> Proxy:
         """Pick a random healthy proxy for a store.
 
-        Raises :class:`NoProxyAvailable` when the constraints cannot be
-        met -- e.g. every Chinese node has been blacklisted.
+        ``exclude`` removes specific proxy ids from consideration (the
+        crawler passes the ids whose circuit breakers are open).  Raises
+        :class:`NoProxyAvailable` when the constraints cannot be met --
+        e.g. every Chinese node has been blacklisted or killed.
         """
         candidates = self.healthy_proxies(store_name, country)
+        if exclude:
+            candidates = [p for p in candidates if p.proxy_id not in exclude]
         if not candidates:
             raise NoProxyAvailable(
                 f"no healthy proxy for store {store_name!r}"
                 + (f" in country {country!r}" if country else "")
             )
         return candidates[int(self._rng.integers(0, len(candidates)))]
+
+    def kill(self, proxy_id: int) -> None:
+        """Take a proxy permanently offline (a node dying mid-crawl)."""
+        try:
+            self._proxies[proxy_id].alive = False
+        except KeyError:
+            raise KeyError(f"unknown proxy id {proxy_id}") from None
 
     def request_through(self, proxy: Proxy) -> None:
         """Account for one request through ``proxy``; may inject a failure.

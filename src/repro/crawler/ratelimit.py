@@ -13,6 +13,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: Absolute slack (in tokens) absorbing float rounding in the refill
+#: arithmetic, so the ``retry_after`` hint of :class:`RateLimitExceeded`
+#: is always sufficient: ``deficit / rate * rate`` can round one ULP
+#: below ``deficit``, and the caller's ``now + retry_after`` loses
+#: precision at large clock values.  A millionth of a request is far
+#: below anything the simulation can observe.
+TOKEN_EPSILON = 1e-6
+
 
 class RateLimitExceeded(Exception):
     """Raised by the web API when a client exceeds its request budget."""
@@ -59,8 +67,8 @@ class TokenBucket:
         if tokens <= 0:
             raise ValueError("tokens must be positive")
         self._refill(now)
-        if self._tokens >= tokens:
-            self._tokens -= tokens
+        if self._tokens + TOKEN_EPSILON >= tokens:
+            self._tokens = max(0.0, self._tokens - tokens)
             return True
         return False
 
@@ -77,7 +85,7 @@ class TokenBucket:
         if tokens > self.capacity:
             raise ValueError("requested tokens exceed bucket capacity")
         self._refill(now)
-        if self._tokens >= tokens:
+        if self._tokens + TOKEN_EPSILON >= tokens:
             return 0.0
         return (tokens - self._tokens) / self.rate
 

@@ -10,7 +10,7 @@ analysis layer consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.crawler.crawler import StoreCrawler
@@ -19,6 +19,8 @@ from repro.crawler.proxies import ProxyPool
 from repro.crawler.webapi import StoreWebApi
 from repro.marketplace.generator import GeneratedStore, build_store
 from repro.marketplace.profiles import StoreProfile
+from repro.resilience.errors import ResilienceError, WorkerCrashed
+from repro.resilience.faults import FaultInjector, FaultPlan
 from repro.stats.rng import SeedLike, derive_seed, make_rng
 
 # Chinese stores geo-fence their web APIs; the crawler must route their
@@ -35,6 +37,8 @@ class CrawlCampaign:
     crawler: StoreCrawler
     first_crawl_day: int
     last_crawl_day: int
+    fault_injector: Optional[FaultInjector] = None
+    worker_restarts: int = field(default=0)
 
     @property
     def store_name(self) -> str:
@@ -55,6 +59,8 @@ def run_crawl_campaign(
     fetch_comments: bool = True,
     crawl_every: int = 1,
     keep_download_log: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    max_worker_restarts: int = 5,
 ) -> CrawlCampaign:
     """Generate a store, warm it up, and crawl it daily.
 
@@ -77,9 +83,17 @@ def run_crawl_campaign(
     keep_download_log:
         Whether the store keeps its raw event log (needed only by tests
         and the cache experiments).
+    fault_plan:
+        Optional chaos schedule; its faults are injected into the web
+        API and the crawler, and the campaign supervises worker crashes
+        by re-running the crashed day (database writes are idempotent).
+    max_worker_restarts:
+        Worker crashes tolerated across the campaign before giving up.
     """
     if crawl_every < 1:
         raise ValueError("crawl_every must be >= 1")
+    if max_worker_restarts < 0:
+        raise ValueError("max_worker_restarts must be non-negative")
     base_seed = int(make_rng(seed).integers(0, 2**62))
     generated = build_store(
         profile,
@@ -93,22 +107,44 @@ def run_crawl_campaign(
             n_proxies=100, seed=derive_seed(base_seed, "proxies")
         )
 
+    injector = FaultInjector(fault_plan) if fault_plan is not None else None
     allowed = ("cn",) if profile.name in _GEO_FENCED_STORES else None
-    api = StoreWebApi(store, allowed_countries=allowed)
-    crawler = StoreCrawler(api, database, proxy_pool)
+    api = StoreWebApi(store, allowed_countries=allowed, fault_injector=injector)
+    crawler = StoreCrawler(
+        api,
+        database,
+        proxy_pool,
+        fault_injector=injector,
+        seed=derive_seed(base_seed, "crawler-retry"),
+    )
 
     # Warmup: the store lives unobserved, accumulating download history.
     store.advance_days(profile.warmup_days)
 
     # Crawl phase: each simulated day ends with a crawler visit that
-    # observes the day's closing statistics.
+    # observes the day's closing statistics.  A crashed crawl worker is
+    # restarted on the same day: the store does not advance during a
+    # crawl and the database is idempotent, so the re-run observes and
+    # records exactly the same data.
     first_crawl_day = store.day
     last_crawl_day = first_crawl_day
+    worker_restarts = 0
     for offset in range(profile.crawl_days):
         store.advance_day()
         observed_day = store.day - 1
         if offset % crawl_every == 0 or offset == profile.crawl_days - 1:
-            crawler.crawl_day(observed_day, fetch_comments=fetch_comments)
+            while True:
+                try:
+                    crawler.crawl_day(observed_day, fetch_comments=fetch_comments)
+                    break
+                except WorkerCrashed as crash:
+                    worker_restarts += 1
+                    if worker_restarts > max_worker_restarts:
+                        raise ResilienceError(
+                            f"crawl worker crashed {worker_restarts} times "
+                            f"(limit {max_worker_restarts}); giving up on "
+                            f"day {observed_day}"
+                        ) from crash
             last_crawl_day = observed_day
     return CrawlCampaign(
         generated=generated,
@@ -116,6 +152,8 @@ def run_crawl_campaign(
         crawler=crawler,
         first_crawl_day=first_crawl_day,
         last_crawl_day=last_crawl_day,
+        fault_injector=injector,
+        worker_restarts=worker_restarts,
     )
 
 

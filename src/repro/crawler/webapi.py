@@ -10,16 +10,24 @@ engineer around:
   and, if persistent, blacklisted);
 - geo-blocking: Chinese stores serve only clients whose address is in
   China (which is why the paper proxied through Chinese PlanetLab nodes).
+
+For chaos runs the API additionally accepts a
+:class:`repro.resilience.faults.FaultInjector`: scheduled transient
+errors surface as store-side failures, and scheduled corruptions turn an
+app's statistics page into garbage the crawler must detect and re-fetch
+(stores really do intermittently serve broken pages; the paper's
+crawlers validated and re-visited).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.crawler.ratelimit import RateLimitExceeded, TokenBucket
 from repro.marketplace.entities import AppStatistics, Comment
 from repro.marketplace.store import AppStore
+from repro.resilience.faults import FaultInjector, FaultKind
 
 
 class GeoBlockedError(Exception):
@@ -38,6 +46,36 @@ class AppPage:
     declares_ads: bool
     statistics: AppStatistics
     version_names: Tuple[str, ...]
+
+
+def corrupted_page(page: AppPage) -> AppPage:
+    """A garbage rendering of an app page (what a broken store serves).
+
+    The corruption is detectable by :func:`page_is_corrupt`, which is how
+    the crawler knows to throw the page away and re-fetch.
+    """
+    broken = AppStatistics(
+        app_id=page.app_id,
+        total_downloads=-1,
+        rating_sum=0,
+        rating_count=-1,
+        comment_count=-1,
+        version_name="",
+        price=page.price,
+    )
+    return replace(page, name="", statistics=broken, version_names=())
+
+
+def page_is_corrupt(page: AppPage) -> bool:
+    """Whether an app page fails basic integrity validation."""
+    stats = page.statistics
+    return (
+        not page.name
+        or not stats.version_name
+        or stats.total_downloads < 0
+        or stats.rating_count < 0
+        or stats.comment_count < 0
+    )
 
 
 @dataclass(frozen=True)
@@ -68,6 +106,10 @@ class StoreWebApi:
     blacklist_threshold:
         Number of rate-limit violations after which a client address is
         blocked outright.
+    fault_injector:
+        Optional chaos hook; scheduled ``TRANSIENT_ERROR`` faults fire
+        as store-side failures and ``CORRUPT_SNAPSHOT`` faults garble
+        app pages.
     """
 
     def __init__(
@@ -77,6 +119,7 @@ class StoreWebApi:
         requests_per_second: float = 10.0,
         allowed_countries: Optional[Sequence[str]] = None,
         blacklist_threshold: int = 50,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if page_size < 1:
             raise ValueError("page_size must be positive")
@@ -91,6 +134,7 @@ class StoreWebApi:
             tuple(allowed_countries) if allowed_countries is not None else None
         )
         self.blacklist_threshold = blacklist_threshold
+        self._faults = fault_injector
         self._buckets: Dict[str, TokenBucket] = {}
         self._violations: Dict[str, int] = {}
         self._blacklisted: set = set()
@@ -114,6 +158,8 @@ class StoreWebApi:
 
     def _admit(self, client: str, country: str, now: float) -> None:
         """Gatekeeping common to all endpoints."""
+        if self._faults is not None:
+            self._faults.maybe_raise_transient(now, where=self.store_name)
         if client in self._blacklisted:
             raise GeoBlockedError(f"client {client} is blacklisted")
         if (
@@ -168,7 +214,7 @@ class StoreWebApi:
         app = self._store.app(app_id)
         if app.listing_day > self._store.day:
             raise KeyError(f"app {app_id} is not listed yet")
-        return AppPage(
+        page = AppPage(
             app_id=app.app_id,
             name=app.name,
             category=app.category,
@@ -178,6 +224,11 @@ class StoreWebApi:
             statistics=self._store.statistics(app_id),
             version_names=tuple(v.version_name for v in app.versions),
         )
+        if self._faults is not None and self._faults.take(
+            now, FaultKind.CORRUPT_SNAPSHOT, detail=f"corrupted page of app {app_id}"
+        ):
+            return corrupted_page(page)
+        return page
 
     def app_comments(
         self, app_id: int, client: str, country: str, now: float

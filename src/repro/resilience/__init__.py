@@ -1,0 +1,72 @@
+"""Deterministic fault injection and recovery primitives.
+
+The paper's dataset exists because four crawlers survived months of
+flaky proxies, rate limits, geo-blocks, and broken pages.  This package
+is the reproduction's robustness pillar: it makes those failures
+*schedulable* -- a seeded :class:`~repro.resilience.faults.FaultPlan`
+pins proxy deaths, transient errors, corrupt snapshots, worker crashes,
+and clock skew to simulated-clock timestamps -- and provides the
+recovery primitives (:class:`~repro.resilience.retry.RetryPolicy`,
+:class:`~repro.resilience.breaker.CircuitBreaker`) the crawler and the
+replication pool recover with.
+
+Because both the faults and the recovery run on seeds and the simulated
+clock, any chaos run replays exactly:
+
+- the same fault seed reproduces the same failure trace, twice;
+- a crawl under an aggressive plan recovers the *same* dataset (same
+  :meth:`~repro.crawler.database.SnapshotDatabase.fingerprint`) as the
+  fault-free crawl.
+
+``repro chaos --plan aggressive --seed 7`` drives the whole loop from
+the command line; :mod:`repro.resilience.chaos` is the library form.
+"""
+
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.chaos import (
+    ChaosReport,
+    ReplicationChaosReport,
+    estimate_crawl_horizon,
+    run_chaos_crawl,
+    run_chaos_replication,
+)
+from repro.resilience.errors import (
+    CircuitOpen,
+    InjectedFault,
+    ResilienceError,
+    SnapshotCorrupted,
+    TransientFault,
+    WorkerCrashed,
+)
+from repro.resilience.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FiredFault,
+    named_plan,
+)
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "BreakerState",
+    "ChaosReport",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FiredFault",
+    "InjectedFault",
+    "ReplicationChaosReport",
+    "ResilienceError",
+    "RetryPolicy",
+    "SnapshotCorrupted",
+    "TransientFault",
+    "WorkerCrashed",
+    "estimate_crawl_horizon",
+    "named_plan",
+    "run_chaos_crawl",
+    "run_chaos_replication",
+]

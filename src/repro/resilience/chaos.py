@@ -1,0 +1,271 @@
+"""Chaos runs: a crawl or replication executed under a fault plan.
+
+This is the harness the resilience layer is proven with: run the exact
+same campaign with and without a fault schedule and diff the resulting
+datasets (they must match -- recovery means *nothing was lost*), or run
+the same plan twice and diff the reports (they must be byte-identical --
+chaos is replayable from one seed).
+
+The :class:`ChaosReport` renders to deterministic text: every number in
+it derives from seeds and the simulated clock, never from wall time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.marketplace.profiles import StoreProfile
+from repro.resilience.faults import FaultKind, FaultPlan, named_plan
+
+#: Worker-crash pressure per named plan for replication chaos runs:
+#: (crash probability per seed, max consecutive crashes per seed).
+REPLICATION_CRASH_PRESSURE: Dict[str, Tuple[float, int]] = {
+    "none": (0.0, 1),
+    "mild": (0.3, 1),
+    "aggressive": (0.7, 2),
+}
+
+#: Crude per-app request cost of one crawl day: one statistics page,
+#: usually one comment page, sometimes an APK fetch.
+_REQUESTS_PER_APP_DAY = 3.0
+#: Safety margin on the horizon estimate so late-crawl faults still land
+#: inside the campaign.
+_HORIZON_MARGIN = 1.25
+
+
+def estimate_crawl_horizon(
+    profile: StoreProfile, requests_per_second: float = 8.0, page_size: int = 50
+) -> float:
+    """Simulated seconds a crawl of ``profile`` is expected to take.
+
+    Deterministic (a pure function of the profile), so a fault plan
+    built from the estimate is itself replayable.
+    """
+    if requests_per_second <= 0:
+        raise ValueError("requests_per_second must be positive")
+    final_apps = profile.initial_apps + profile.new_apps_per_day * (
+        profile.warmup_days + profile.crawl_days
+    )
+    per_day = 2.0 + final_apps / page_size + _REQUESTS_PER_APP_DAY * final_apps
+    requests = per_day * profile.crawl_days
+    return float(requests / requests_per_second * _HORIZON_MARGIN)
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """The recovery summary of one chaos crawl."""
+
+    plan: FaultPlan
+    store_name: str
+    crawl_days: int
+    scheduled: Dict[FaultKind, int]
+    injected: Dict[FaultKind, int]
+    trace: Tuple[str, ...]
+    requests: int
+    retries: int
+    backoff_seconds: float
+    transient_faults: int
+    corrupt_pages: int
+    proxy_failures: int
+    rate_limit_hits: int
+    breaker_skips: int
+    worker_restarts: int
+    proxies_alive: int
+    proxies_total: int
+    final_clock: float
+    dataset_apps: int
+    dataset_downloads: int
+    dataset_fingerprint: str
+
+    def render(self, include_trace: bool = True) -> str:
+        """The report as deterministic text (byte-identical per seed)."""
+        lines = [
+            f"chaos run: plan {self.plan.name!r}, seed {self.plan.seed}, "
+            f"horizon {self.plan.horizon:.3f}s",
+            f"store {self.store_name!r}: {self.crawl_days} crawled days, "
+            f"final crawler clock {self.final_clock:.3f}s",
+            "faults scheduled: "
+            + ", ".join(
+                f"{kind.value} {self.scheduled[kind]}" for kind in FaultKind
+            ),
+            "faults injected:  "
+            + ", ".join(
+                f"{kind.value} {self.injected[kind]}" for kind in FaultKind
+            ),
+            f"recovery: {self.requests} requests, {self.retries} retries, "
+            f"{self.backoff_seconds:.3f}s backoff",
+            f"          {self.transient_faults} transient faults absorbed, "
+            f"{self.corrupt_pages} corrupt pages re-fetched",
+            f"          {self.proxy_failures} proxy failures, "
+            f"{self.rate_limit_hits} rate-limit hits, "
+            f"{self.breaker_skips} breaker fallbacks, "
+            f"{self.worker_restarts} worker restarts",
+            f"proxies: {self.proxies_alive}/{self.proxies_total} alive at end",
+            f"dataset: {self.dataset_apps} apps, "
+            f"{self.dataset_downloads} downloads on the last crawled day",
+            f"dataset fingerprint: sha256:{self.dataset_fingerprint}",
+        ]
+        if include_trace:
+            lines.append(f"failure trace ({len(self.trace)} events):")
+            lines.extend(f"  {line}" for line in self.trace)
+        return "\n".join(lines)
+
+
+def run_chaos_crawl(
+    profile: StoreProfile,
+    plan_name: str = "aggressive",
+    seed: int = 0,
+    fetch_comments: bool = True,
+    plan: Optional[FaultPlan] = None,
+) -> ChaosReport:
+    """Crawl a store under a named (or explicit) fault plan.
+
+    The store, proxies, crawler jitter, and fault schedule all derive
+    from ``seed``, so two runs with equal arguments produce equal
+    reports down to the byte.
+    """
+    # Imported here: repro.crawler already depends on repro.resilience
+    # for its primitives, so the runner imports lazily to keep the
+    # package import graph acyclic.
+    from repro.crawler.scheduler import run_crawl_campaign
+
+    if plan is None:
+        horizon = estimate_crawl_horizon(profile)
+        plan = named_plan(plan_name, seed, horizon)
+    campaign = run_crawl_campaign(
+        profile, seed=seed, fault_plan=plan, fetch_comments=fetch_comments
+    )
+    injector = campaign.fault_injector
+    assert injector is not None
+    stats = campaign.crawler.stats
+    pool = campaign.crawler.proxy_pool
+    database = campaign.database
+    store = campaign.store_name
+    downloads = database.download_vector(store, campaign.last_crawl_day)
+    return ChaosReport(
+        plan=plan,
+        store_name=store,
+        crawl_days=len(campaign.crawled_days),
+        scheduled=plan.counts(),
+        injected=injector.fired_counts(),
+        trace=tuple(injector.trace_lines()),
+        requests=stats.requests,
+        retries=stats.retries,
+        backoff_seconds=stats.backoff_seconds,
+        transient_faults=stats.transient_faults,
+        corrupt_pages=stats.corrupt_pages,
+        proxy_failures=stats.proxy_failures,
+        rate_limit_hits=stats.rate_limit_hits,
+        breaker_skips=stats.breaker_skips,
+        worker_restarts=campaign.worker_restarts,
+        proxies_alive=len(pool.alive_proxies()),
+        proxies_total=pool.size,
+        final_clock=campaign.crawler.clock,
+        dataset_apps=int(downloads.size),
+        dataset_downloads=int(downloads.sum()),
+        dataset_fingerprint=database.fingerprint(),
+    )
+
+
+@dataclass(frozen=True)
+class ReplicationChaosReport:
+    """The recovery summary of one chaos replication sweep."""
+
+    plan_name: str
+    seed: int
+    crash_probability: float
+    max_crashes: int
+    n_requested: int
+    n_succeeded: int
+    failed_seeds: Tuple[int, ...]
+    crashed_seeds: Tuple[Tuple[int, int], ...]
+    counts_fingerprint: str
+
+    def render(self) -> str:
+        """The report as deterministic text (byte-identical per seed)."""
+        crashed = (
+            ", ".join(f"{seed}x{n}" for seed, n in self.crashed_seeds) or "none"
+        )
+        failed = ", ".join(str(seed) for seed in self.failed_seeds) or "none"
+        return "\n".join(
+            [
+                f"chaos replication: plan {self.plan_name!r}, seed {self.seed}, "
+                f"crash probability {self.crash_probability:.2f} "
+                f"(max {self.max_crashes} per seed)",
+                f"replications: {self.n_succeeded}/{self.n_requested} succeeded",
+                f"scheduled crashes (seed x count): {crashed}",
+                f"degraded seeds: {failed}",
+                f"counts fingerprint: sha256:{self.counts_fingerprint}",
+            ]
+        )
+
+
+def run_chaos_replication(
+    plan_name: str = "aggressive",
+    seed: int = 0,
+    n_replications: int = 8,
+    max_seed_retries: int = 2,
+    parallel: bool = True,
+) -> ReplicationChaosReport:
+    """Run a multi-seed replication sweep under injected worker crashes.
+
+    The crash schedule, the replication seeds, and the workload itself
+    all derive from ``seed``; the report is byte-identical run to run.
+    """
+    # Lazy import: repro.workload.replication depends on the resilience
+    # error types, so the runner must not be imported from its module
+    # scope (same cycle-avoidance as run_chaos_crawl).
+    from repro.core.models import ModelKind
+    from repro.workload.generators import WorkloadSpec
+    from repro.workload.replication import (
+        WorkerFaultPlan,
+        replicate_counts,
+        resolve_seeds,
+    )
+
+    try:
+        crash_probability, max_crashes = REPLICATION_CRASH_PRESSURE[plan_name]
+    except KeyError:
+        known = ", ".join(sorted(REPLICATION_CRASH_PRESSURE))
+        raise ValueError(
+            f"unknown fault plan {plan_name!r} (known: {known})"
+        ) from None
+    spec = WorkloadSpec(
+        kind=ModelKind.APP_CLUSTERING,
+        n_apps=300,
+        n_users=150,
+        total_downloads=3000,
+        zr=1.7,
+        zc=1.4,
+        p=0.9,
+        n_clusters=15,
+        seed=seed,
+    )
+    seeds = resolve_seeds(None, n_replications, base_seed=seed)
+    fault_plan = WorkerFaultPlan.generate(
+        seeds,
+        seed=seed,
+        crash_probability=crash_probability,
+        max_crashes=max_crashes,
+    )
+    result = replicate_counts(
+        spec,
+        seeds=seeds,
+        parallel=parallel,
+        max_seed_retries=max_seed_retries,
+        fault_plan=fault_plan,
+    )
+    digest = hashlib.sha256(result.counts.tobytes()).hexdigest()
+    return ReplicationChaosReport(
+        plan_name=plan_name,
+        seed=int(seed),
+        crash_probability=crash_probability,
+        max_crashes=max_crashes,
+        n_requested=len(seeds),
+        n_succeeded=result.n_replications,
+        failed_seeds=result.failed_seeds,
+        crashed_seeds=fault_plan.crashes,
+        counts_fingerprint=digest,
+    )

@@ -1,0 +1,49 @@
+"""Typed failures for the resilience layer.
+
+Every failure the fault-injection subsystem can produce -- and every
+failure the recovery primitives can surface -- has a dedicated type, so
+callers select what to retry, what to degrade, and what to let crash by
+exception class instead of string matching.
+"""
+
+from __future__ import annotations
+
+
+class ResilienceError(Exception):
+    """Base class for all resilience-layer failures."""
+
+
+class InjectedFault(ResilienceError):
+    """Base class for failures raised by deterministic fault injection."""
+
+
+class TransientFault(InjectedFault):
+    """A transient, retryable failure (network blip, store-side 5xx)."""
+
+
+class WorkerCrashed(InjectedFault):
+    """A simulated crash of a crawl or replication worker.
+
+    Raised out of the worker's own code path, so supervisors (the
+    campaign scheduler, the replication pool) exercise their real
+    restart logic.
+    """
+
+
+class SnapshotCorrupted(ResilienceError):
+    """A fetched page failed validation and must be re-fetched."""
+
+
+class CircuitOpen(ResilienceError):
+    """A circuit breaker refused the call while in the OPEN state.
+
+    Attributes
+    ----------
+    retry_at:
+        Simulated-clock time at which the breaker transitions to
+        HALF_OPEN and will admit a probe request.
+    """
+
+    def __init__(self, retry_at: float) -> None:
+        super().__init__(f"circuit open; next probe admitted at {retry_at:.3f}s")
+        self.retry_at = retry_at

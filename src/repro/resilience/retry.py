@@ -1,0 +1,82 @@
+"""Composable retry policies: exponential backoff with bounded jitter.
+
+The paper's crawlers ran for months against four flaky stores; the only
+way that works is disciplined retrying -- back off exponentially so a
+struggling store is not hammered, jitter the delays so concurrent
+workers do not retry in lockstep, and cap the backoff so one bad request
+cannot stall a crawl for hours.
+
+Delays are *deterministic*: the jitter comes from a caller-supplied
+:class:`numpy.random.Generator`, so a chaos run replays exactly from one
+seed.  All times are simulated-clock seconds (see
+``docs/architecture.md``, "The simulated clock").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with bounded, deterministic jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts (first try included) before the caller gives up.
+    base_delay:
+        Backoff before the first retry, in simulated seconds.
+    cap_delay:
+        Upper bound on any single backoff delay.
+    multiplier:
+        Geometric growth factor between consecutive retries.
+    jitter:
+        Fraction of the un-jittered backoff added as random spread; the
+        delay for retry ``k`` always stays within
+        ``[backoff(k), cap_delay]``.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.25
+    cap_delay: float = 30.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be non-negative")
+        if self.cap_delay < self.base_delay:
+            raise ValueError("cap_delay must be >= base_delay")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff(self, retry: int) -> float:
+        """The un-jittered backoff before the ``retry``-th retry (0-based)."""
+        if retry < 0:
+            raise ValueError("retry must be non-negative")
+        return float(min(self.cap_delay, self.base_delay * self.multiplier**retry))
+
+    def delay(self, retry: int, rng: np.random.Generator) -> float:
+        """The jittered backoff before the ``retry``-th retry.
+
+        Guaranteed to lie in ``[self.backoff(retry), self.cap_delay]``;
+        the spread is drawn from ``rng``, so equal seeds give equal
+        delay sequences.
+        """
+        raw = self.backoff(retry)
+        spread = self.jitter * raw * float(rng.random())
+        return float(min(self.cap_delay, raw + spread))
+
+    def delays(self, seed: SeedLike = None) -> list:
+        """All backoff delays of one full retry cycle, for inspection."""
+        rng = make_rng(seed)
+        return [self.delay(retry, rng) for retry in range(self.max_attempts - 1)]

@@ -10,32 +10,97 @@ vectorizing inside each.
 :class:`~repro.workload.generators.WorkloadSpec` is a frozen, picklable
 dataclass, so it travels to worker processes as-is.  Seeds are spawned
 deterministically from a base seed when not given explicitly.
+
+Workers can die -- in production from OOM kills and node failures, in
+chaos tests from an injected :class:`~repro.resilience.errors.WorkerCrashed`.
+A failed seed is retried up to ``max_seed_retries`` times; a seed that
+keeps failing is *degraded*, not fatal: the result carries the surviving
+replications plus an explicit ``failed_seeds`` report, so a months-long
+sweep ends with partial error bars instead of a crashed pool.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.fitting import mean_relative_error
-from repro.stats.rng import make_seed_sequence
+from repro.resilience.errors import ResilienceError, WorkerCrashed
+from repro.stats.rng import derive_seed, make_rng, make_seed_sequence
 from repro.workload.generators import WorkloadSpec
 
 
 @dataclass(frozen=True)
+class WorkerFaultPlan:
+    """A picklable schedule of replication-worker crashes.
+
+    Maps each seed to the number of its initial attempts that crash --
+    a pure function of the plan, so serial and process-pool executions
+    fail (and recover) identically.
+    """
+
+    crashes: Tuple[Tuple[int, int], ...]
+
+    @classmethod
+    def generate(
+        cls,
+        seeds: Sequence[int],
+        seed: int = 0,
+        crash_probability: float = 0.5,
+        max_crashes: int = 1,
+    ) -> "WorkerFaultPlan":
+        """Sample crash counts per replication seed, deterministically."""
+        if not 0.0 <= crash_probability <= 1.0:
+            raise ValueError("crash_probability must be in [0, 1]")
+        if max_crashes < 1:
+            raise ValueError("max_crashes must be >= 1")
+        rng = make_rng(derive_seed(int(seed), "worker-fault-plan"))
+        crashes = []
+        for replication_seed in seeds:
+            count = 0
+            while count < max_crashes and rng.random() < crash_probability:
+                count += 1
+            if count:
+                crashes.append((int(replication_seed), count))
+        return cls(crashes=tuple(crashes))
+
+    def crashes_for(self, seed: int) -> int:
+        """How many initial attempts crash for ``seed``."""
+        table: Dict[int, int] = dict(self.crashes)
+        return table.get(int(seed), 0)
+
+
+@dataclass(frozen=True)
 class ReplicationResult:
-    """Per-seed simulated counts plus summary statistics."""
+    """Per-seed simulated counts plus summary statistics.
+
+    ``seeds`` lists the replications that *succeeded* (rows of
+    ``counts``); ``failed_seeds`` lists the ones degraded away after
+    exhausting their retries.
+    """
 
     seeds: Tuple[int, ...]
     counts: np.ndarray  # shape (n_seeds, n_apps)
+    failed_seeds: Tuple[int, ...] = field(default=())
 
     @property
     def n_replications(self) -> int:
-        """Number of independent replications."""
+        """Number of successful independent replications."""
         return len(self.seeds)
+
+    def describe_failures(self) -> str:
+        """One deterministic line summarizing degraded seeds."""
+        if not self.failed_seeds:
+            return f"{self.n_replications} replications, no failures"
+        failed = ", ".join(str(seed) for seed in self.failed_seeds)
+        return (
+            f"{self.n_replications} replications succeeded; "
+            f"{len(self.failed_seeds)} degraded to partial results "
+            f"(failed seeds: {failed})"
+        )
 
     @property
     def mean_counts(self) -> np.ndarray:
@@ -52,10 +117,24 @@ class ReplicationResult:
         return np.sort(self.counts, axis=1)[:, ::-1]
 
 
-def _simulate_one(spec: WorkloadSpec, seed: int) -> np.ndarray:
-    """Worker: one full simulation of a spec under one seed."""
+def _simulate_one(
+    spec: WorkloadSpec,
+    seed: int,
+    attempt: int = 0,
+    fault_plan: Optional[WorkerFaultPlan] = None,
+) -> np.ndarray:
+    """Worker: one full simulation of a spec under one seed.
+
+    ``attempt``/``fault_plan`` exist for chaos testing: a scheduled
+    crash fires *before* any simulation work, exactly as a worker dying
+    at startup would.
+    """
     from repro.core.models import ModelKind
 
+    if fault_plan is not None and attempt < fault_plan.crashes_for(seed):
+        raise WorkerCrashed(
+            f"replication worker for seed {seed} crashed on attempt {attempt}"
+        )
     model = spec.build_model()
     if spec.kind == ModelKind.APP_CLUSTERING:
         return model.simulate(seed=seed)
@@ -77,6 +156,56 @@ def resolve_seeds(
     )
 
 
+def _replicate_serial(
+    spec: WorkloadSpec,
+    chosen: Tuple[int, ...],
+    max_seed_retries: int,
+    fault_plan: Optional[WorkerFaultPlan],
+) -> Tuple[Dict[int, np.ndarray], List[int]]:
+    results: Dict[int, np.ndarray] = {}
+    failed: List[int] = []
+    for seed in chosen:
+        for attempt in range(max_seed_retries + 1):
+            try:
+                results[seed] = _simulate_one(spec, seed, attempt, fault_plan)
+                break
+            except Exception:  # noqa: BLE001 -- any worker death degrades
+                if attempt == max_seed_retries:
+                    failed.append(seed)
+    return results, failed
+
+
+def _replicate_pool(
+    spec: WorkloadSpec,
+    chosen: Tuple[int, ...],
+    max_seed_retries: int,
+    fault_plan: Optional[WorkerFaultPlan],
+    max_workers: Optional[int],
+) -> Tuple[Dict[int, np.ndarray], List[int]]:
+    results: Dict[int, np.ndarray] = {}
+    failed: List[int] = []
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = {
+            pool.submit(_simulate_one, spec, seed, 0, fault_plan): (seed, 0)
+            for seed in chosen
+        }
+        while futures:
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                seed, attempt = futures.pop(future)
+                try:
+                    results[seed] = future.result()
+                except Exception:  # noqa: BLE001 -- any worker death degrades
+                    if attempt < max_seed_retries:
+                        resubmitted = pool.submit(
+                            _simulate_one, spec, seed, attempt + 1, fault_plan
+                        )
+                        futures[resubmitted] = (seed, attempt + 1)
+                    else:
+                        failed.append(seed)
+    return results, failed
+
+
 def replicate_counts(
     spec: WorkloadSpec,
     seeds: Optional[Sequence[int]] = None,
@@ -84,23 +213,44 @@ def replicate_counts(
     base_seed: int = 0,
     max_workers: Optional[int] = None,
     parallel: bool = True,
+    max_seed_retries: int = 2,
+    fault_plan: Optional[WorkerFaultPlan] = None,
 ) -> ReplicationResult:
     """Simulate a spec under many seeds, one process per seed.
 
     ``parallel=False`` runs the replications serially in-process (useful
     for debugging and for tiny workloads where process startup dominates).
     Results are identical either way: each replication depends only on
-    its seed.
+    its seed, retries re-run the seed from scratch, and failures degrade
+    to ``failed_seeds`` in both modes.
+
+    Raises :class:`~repro.resilience.errors.ResilienceError` only when
+    *every* seed fails -- there is no partial result to degrade to.
     """
     chosen = resolve_seeds(seeds, n_replications, base_seed)
+    if max_seed_retries < 0:
+        raise ValueError("max_seed_retries must be non-negative")
     if parallel and len(chosen) > 1:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            rows: List[np.ndarray] = list(
-                pool.map(_simulate_one, [spec] * len(chosen), chosen)
-            )
+        results, failed = _replicate_pool(
+            spec, chosen, max_seed_retries, fault_plan, max_workers
+        )
     else:
-        rows = [_simulate_one(spec, seed) for seed in chosen]
-    return ReplicationResult(seeds=chosen, counts=np.stack(rows))
+        results, failed = _replicate_serial(
+            spec, chosen, max_seed_retries, fault_plan
+        )
+    succeeded = tuple(seed for seed in chosen if seed in results)
+    if not succeeded:
+        raise ResilienceError(
+            f"all {len(chosen)} replication seeds failed after "
+            f"{max_seed_retries} retries each"
+        )
+    # Deterministic row order: the original seed order, failures removed.
+    failed_ordered = tuple(seed for seed in chosen if seed in set(failed))
+    return ReplicationResult(
+        seeds=succeeded,
+        counts=np.stack([results[seed] for seed in succeeded]),
+        failed_seeds=failed_ordered,
+    )
 
 
 @dataclass(frozen=True)
@@ -127,12 +277,16 @@ def replicate_distances(
     base_seed: int = 0,
     max_workers: Optional[int] = None,
     parallel: bool = True,
+    max_seed_retries: int = 2,
+    fault_plan: Optional[WorkerFaultPlan] = None,
 ) -> DistanceEstimate:
     """Replicated model distance from an observed rank curve.
 
     ``observed`` is the measured per-app download curve; both it and each
     simulated curve are rank-sorted (descending) before the Equation-6
-    mean relative error, matching the fitting pipeline.
+    mean relative error, matching the fitting pipeline.  Seeds that fail
+    even after retries simply drop out of the estimate (the spread is
+    then computed over fewer replications).
     """
     observed = np.sort(np.asarray(observed, dtype=np.float64))[::-1]
     result = replicate_counts(
@@ -142,6 +296,8 @@ def replicate_distances(
         base_seed=base_seed,
         max_workers=max_workers,
         parallel=parallel,
+        max_seed_retries=max_seed_retries,
+        fault_plan=fault_plan,
     )
     if observed.shape[0] != result.counts.shape[1]:
         raise ValueError(

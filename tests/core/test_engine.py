@@ -22,6 +22,10 @@ from repro.core.engine import (
     per_user_budgets,
     sample_new_apps,
 )
+from repro.core.feedback import (
+    RecommenderFeedbackModel,
+    RecommenderFeedbackParams,
+)
 from repro.core.models import (
     AppClusteringModel,
     AppClusteringParams,
@@ -193,6 +197,20 @@ def _tv_distance(a: np.ndarray, b: np.ndarray) -> float:
     return 0.5 * float(np.abs(p - q).sum())
 
 
+def _feedback_model(n_apps=400, n_users=200, total_downloads=8000, **overrides):
+    defaults = dict(
+        n_apps=n_apps,
+        n_users=n_users,
+        total_downloads=total_downloads,
+        zr=1.7,
+        q=0.9,
+        list_size=40,
+        refresh_every=500,
+    )
+    defaults.update(overrides)
+    return RecommenderFeedbackModel(RecommenderFeedbackParams(**defaults))
+
+
 def _clustering_model(n_apps=400, n_users=200, total_downloads=8000, **overrides):
     defaults = dict(
         n_apps=n_apps,
@@ -266,6 +284,38 @@ class TestStatisticalEquivalence:
             )
         assert _tv_distance(legacy, batched) < 0.10
 
+    def test_recommender_feedback(self):
+        model = _feedback_model(self.N_APPS, self.N_USERS, self.N_DOWNLOADS)
+        legacy = self._pooled(lambda seed: model.iter_events_legacy(seed=seed))
+        batched = np.zeros(self.N_APPS, dtype=np.int64)
+        for seed in self.SEEDS:
+            batched += counts_from_batches(
+                model.iter_batches(seed=seed + 100), self.N_APPS
+            )
+        assert _tv_distance(legacy, batched) < 0.10
+
+    def test_feedback_legacy_respects_at_most_once(self):
+        model = _feedback_model(n_apps=80, n_users=20, total_downloads=400)
+        events = list(model.iter_events_legacy(seed=5))
+        pairs = {(e.user_id, e.app_index) for e in events}
+        assert len(pairs) == len(events)
+        assert all(0 <= e.app_index < 80 for e in events)
+
+    def test_feedback_legacy_concentrates_on_chart(self):
+        """The feedback fingerprint: the top-``N`` ranks absorb ~``q``.
+
+        Per-user budgets (10) stay below the list size (20), so
+        fetch-at-most-once never forces recommended draws off the chart.
+        """
+        model = _feedback_model(
+            n_apps=200, n_users=400, total_downloads=4000, q=0.95, list_size=20
+        )
+        counts = np.zeros(200, dtype=np.int64)
+        for event in model.iter_events_legacy(seed=6):
+            counts[event.app_index] += 1
+        top_share = np.sort(counts)[::-1][:20].sum() / counts.sum()
+        assert top_share > 0.8
+
 
 class TestBatchedInvariants:
     """Exact guarantees on the batched event streams."""
@@ -323,6 +373,66 @@ class TestBatchedInvariants:
         events = list(model.iter_events(20, 300, seed=10))
         assert [e.user_id for e in events] == users.tolist()
         assert [e.app_index for e in events] == apps.tolist()
+
+
+class TestDifferentialConsistency:
+    """``simulate``, ``iter_batches`` and ``iter_events`` agree exactly.
+
+    The three entry points of every model are views of one stream: under
+    a shared seed they must produce bit-identical per-app counts.  Run
+    as a differential sweep so a regression in any one path shows up as
+    a divergence from its siblings.
+    """
+
+    SEEDS = (0, 1, 17)
+
+    def _counts_from_events(self, events, n_apps):
+        counts = np.zeros(n_apps, dtype=np.int64)
+        for event in events:
+            counts[event.app_index] += 1
+        return counts
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_zipf_paths_agree(self, seed):
+        model = ZipfModel(120, zr=1.6)
+        simulated = model.simulate(40, 900, seed=seed)
+        batched = counts_from_batches(model.iter_batches(40, 900, seed=seed), 120)
+        evented = self._counts_from_events(
+            model.iter_events(40, 900, seed=seed), 120
+        )
+        assert np.array_equal(simulated, batched)
+        assert np.array_equal(simulated, evented)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_zipf_amo_paths_agree(self, seed):
+        model = ZipfAtMostOnceModel(120, zr=1.6)
+        simulated = model.simulate(40, 900, seed=seed)
+        batched = counts_from_batches(model.iter_batches(40, 900, seed=seed), 120)
+        evented = self._counts_from_events(
+            model.iter_events(40, 900, seed=seed), 120
+        )
+        assert np.array_equal(simulated, batched)
+        assert np.array_equal(simulated, evented)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_clustering_paths_agree(self, seed):
+        model = _clustering_model(n_apps=120, n_users=40, total_downloads=900)
+        simulated = model.simulate(seed=seed)
+        batched = counts_from_batches(model.iter_batches(seed=seed), 120)
+        evented = self._counts_from_events(model.iter_events(seed=seed), 120)
+        assert np.array_equal(simulated, batched)
+        assert np.array_equal(simulated, evented)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_feedback_paths_agree(self, seed):
+        model = _feedback_model(
+            n_apps=120, n_users=40, total_downloads=900, refresh_every=200
+        )
+        simulated = model.simulate(seed=seed)
+        batched = counts_from_batches(model.iter_batches(seed=seed), 120)
+        evented = self._counts_from_events(model.iter_events(seed=seed), 120)
+        assert np.array_equal(simulated, batched)
+        assert np.array_equal(simulated, evented)
 
 
 class TestEmptyClusters:

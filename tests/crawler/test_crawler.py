@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.crawler.crawler import CrawlError, StoreCrawler
+from repro.crawler.crawler import CrawlError, ProxiesExhausted, StoreCrawler
 from repro.crawler.database import SnapshotDatabase
 from repro.crawler.proxies import Proxy, ProxyPool
 from repro.crawler.webapi import StoreWebApi
@@ -108,6 +108,41 @@ class TestResilience:
         crawler.crawl_day(day=2)
         # Hundreds of requests at 8 req/s must take simulated time.
         assert crawler.clock > 1.0
+
+    def test_all_proxies_killed_raises_proxies_exhausted(self, store):
+        pool = ProxyPool.planetlab_like(n_proxies=5, seed=4)
+        crawler, _ = make_crawler(store, proxy_pool=pool)
+        for proxy in pool.proxies():
+            pool.kill(proxy.proxy_id)
+        with pytest.raises(ProxiesExhausted) as excinfo:
+            crawler.crawl_day(day=2)
+        assert excinfo.value.store_name == store.name
+
+    def test_geo_constraint_without_matching_proxy_exhausts(self, store):
+        # A cn-only store served by a pool with no Chinese nodes.
+        pool = ProxyPool(
+            [Proxy(i, "us") for i in range(5)], seed=5
+        )
+        crawler, _ = make_crawler(
+            store, proxy_pool=pool, allowed_countries=("cn",)
+        )
+        with pytest.raises(ProxiesExhausted) as excinfo:
+            crawler.crawl_day(day=2)
+        assert excinfo.value.country == "cn"
+
+    def test_fully_blacklisted_pool_exhausts(self, store):
+        pool = ProxyPool([Proxy(i, "us") for i in range(3)], seed=6)
+        crawler, _ = make_crawler(store, proxy_pool=pool)
+        for proxy in pool.proxies():
+            pool.blacklist(proxy.proxy_id, store.name)
+        with pytest.raises(ProxiesExhausted):
+            crawler.crawl_day(day=2)
+
+    def test_proxies_exhausted_is_a_crawl_error(self):
+        error = ProxiesExhausted("somestore", country="cn")
+        assert isinstance(error, CrawlError)
+        assert "somestore" in str(error)
+        assert "cn" in str(error)
 
     def test_invalid_configuration(self, store):
         api = StoreWebApi(store)

@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) on the resilience primitives.
+
+The resilience layer is only trustworthy if its invariants hold for
+*every* configuration, not just the defaults: backoff delays must stay
+inside ``[backoff(retry), cap]``, a token bucket must never go negative
+and its ``retry_after`` hint must always be sufficient, and an open
+circuit breaker must never serve a request.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crawler.ratelimit import RateLimitExceeded, TokenBucket
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.retry import RetryPolicy
+from repro.stats.rng import make_rng
+
+# Shared strategies -----------------------------------------------------
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=12),
+    base_delay=st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+    cap_delay=st.floats(min_value=10.0, max_value=1e4, allow_nan=False),
+    multiplier=st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+    jitter=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+clock_steps = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestRetryPolicyProperties:
+    @given(policy=policies, seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_delay_always_within_bounds(self, policy, seed):
+        rng = make_rng(seed)
+        for retry in range(policy.max_attempts + 3):
+            delay = policy.delay(retry, rng)
+            assert policy.backoff(retry) <= delay <= policy.cap_delay
+
+    @given(policy=policies)
+    @settings(max_examples=60, deadline=None)
+    def test_backoff_monotone_and_capped(self, policy):
+        previous = 0.0
+        for retry in range(policy.max_attempts + 3):
+            raw = policy.backoff(retry)
+            assert previous <= raw <= policy.cap_delay
+            previous = raw
+
+
+class TestTokenBucketProperties:
+    @given(
+        rate=st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+        capacity=st.floats(min_value=1.0, max_value=1e3, allow_nan=False),
+        steps=clock_steps,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tokens_never_negative(self, rate, capacity, steps):
+        bucket = TokenBucket(rate=rate, capacity=capacity)
+        now = 0.0
+        for step in steps:
+            now += step
+            bucket.try_consume(now)
+            assert bucket.available_tokens >= 0.0
+            assert bucket.available_tokens <= capacity
+
+    @given(
+        rate=st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+        capacity=st.floats(min_value=1.0, max_value=1e3, allow_nan=False),
+        steps=clock_steps,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_retry_after_is_sufficient(self, rate, capacity, steps):
+        bucket = TokenBucket(rate=rate, capacity=capacity)
+        now = 0.0
+        for step in steps:
+            now += step
+            try:
+                bucket.consume_or_raise(now)
+            except RateLimitExceeded as exc:
+                assert exc.retry_after > 0.0
+                # Waiting exactly the hinted time must make the next
+                # request admissible.
+                now += exc.retry_after
+                assert bucket.try_consume(now)
+
+
+class TestCircuitBreakerProperties:
+    @given(
+        failure_threshold=st.integers(min_value=1, max_value=5),
+        reset_timeout=st.floats(min_value=0.5, max_value=100.0, allow_nan=False),
+        probe_successes=st.integers(min_value=1, max_value=3),
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["success", "failure", "allow"]),
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=80,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_never_allows_while_open(
+        self, failure_threshold, reset_timeout, probe_successes, ops
+    ):
+        breaker = CircuitBreaker(
+            failure_threshold=failure_threshold,
+            reset_timeout=reset_timeout,
+            probe_successes=probe_successes,
+        )
+        now = 0.0
+        for op, step in ops:
+            now += step
+            state = breaker.state(now)
+            if op == "allow":
+                # The one safety property everything rests on: an OPEN
+                # breaker never serves, a non-OPEN breaker always does.
+                assert breaker.allow(now) == (state is not BreakerState.OPEN)
+                if state is BreakerState.OPEN:
+                    with pytest.raises(Exception):
+                        breaker.check(now)
+            elif op == "success":
+                breaker.record_success(now)
+            else:
+                breaker.record_failure(now)
+
+    @given(
+        reset_timeout=st.floats(min_value=0.5, max_value=100.0, allow_nan=False),
+        trip_at=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_open_until_exactly_reset_timeout(self, reset_timeout, trip_at):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=reset_timeout)
+        breaker.record_failure(trip_at)
+        reopen = breaker.reopen_at
+        assert reopen == pytest.approx(trip_at + reset_timeout)
+        assert not breaker.allow(reopen - reset_timeout * 1e-6)
+        assert breaker.allow(reopen)

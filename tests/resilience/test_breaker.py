@@ -1,0 +1,80 @@
+"""Tests for repro.resilience.breaker (the circuit-breaker state machine)."""
+
+import pytest
+
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.errors import CircuitOpen
+
+
+def tripped(now: float = 0.0, **kwargs) -> CircuitBreaker:
+    breaker = CircuitBreaker(**kwargs)
+    for _ in range(breaker.failure_threshold):
+        breaker.record_failure(now)
+    return breaker
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker()
+        assert breaker.state(0.0) is BreakerState.CLOSED
+        assert breaker.allow(0.0)
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=10.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        assert breaker.state(1.0) is BreakerState.CLOSED
+        breaker.record_failure(2.0)
+        assert breaker.state(2.0) is BreakerState.OPEN
+        assert not breaker.allow(2.0)
+
+    def test_success_resets_the_failure_run(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure(0.0)
+        breaker.record_success(1.0)
+        breaker.record_failure(2.0)
+        assert breaker.state(2.0) is BreakerState.CLOSED
+
+    def test_check_raises_with_reopen_time(self):
+        breaker = tripped(now=5.0, failure_threshold=1, reset_timeout=10.0)
+        with pytest.raises(CircuitOpen) as excinfo:
+            breaker.check(6.0)
+        assert excinfo.value.retry_at == pytest.approx(15.0)
+
+    def test_half_open_after_reset_timeout(self):
+        breaker = tripped(now=0.0, failure_threshold=1, reset_timeout=10.0)
+        assert breaker.state(9.999) is BreakerState.OPEN
+        assert breaker.state(10.0) is BreakerState.HALF_OPEN
+        assert breaker.allow(10.0)
+
+    def test_probe_success_closes(self):
+        breaker = tripped(now=0.0, failure_threshold=1, reset_timeout=5.0)
+        breaker.record_success(5.0)
+        assert breaker.state(5.0) is BreakerState.CLOSED
+
+    def test_probe_failure_reopens_with_fresh_timeout(self):
+        breaker = tripped(now=0.0, failure_threshold=1, reset_timeout=5.0)
+        breaker.record_failure(5.0)  # failed probe
+        assert breaker.state(6.0) is BreakerState.OPEN
+        assert breaker.reopen_at == pytest.approx(10.0)
+
+    def test_multiple_probe_successes_required(self):
+        breaker = tripped(
+            now=0.0, failure_threshold=1, reset_timeout=5.0, probe_successes=2
+        )
+        breaker.record_success(5.0)
+        assert breaker.state(5.0) is BreakerState.HALF_OPEN
+        breaker.record_success(5.5)
+        assert breaker.state(5.5) is BreakerState.CLOSED
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(failure_threshold=0),
+            dict(reset_timeout=0.0),
+            dict(probe_successes=0),
+        ],
+    )
+    def test_invalid_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)

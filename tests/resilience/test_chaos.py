@@ -1,0 +1,127 @@
+"""Chaos integration tests: the resilience layer's acceptance criteria.
+
+Two invariants prove the tentpole:
+
+1. *Nothing is lost* -- a crawl under an aggressive fault plan terminates
+   and exports the exact same dataset (fingerprint) as the fault-free run.
+2. *Chaos is replayable* -- the same fault seed reproduces the same
+   failure trace and recovery report, byte for byte.
+"""
+
+import pytest
+
+from repro.crawler.scheduler import run_crawl_campaign
+from repro.marketplace.profiles import demo_profile
+from repro.resilience.chaos import (
+    estimate_crawl_horizon,
+    run_chaos_crawl,
+    run_chaos_replication,
+)
+from repro.resilience.faults import FaultKind
+
+
+def small_profile():
+    return demo_profile(
+        initial_apps=60,
+        crawl_days=3,
+        warmup_days=1,
+        n_users=80,
+        daily_downloads=300.0,
+        warmup_daily_downloads=300.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def chaos_report():
+    return run_chaos_crawl(small_profile(), plan_name="aggressive", seed=7)
+
+
+class TestChaosCrawl:
+    def test_chaos_dataset_matches_fault_free_run(self, chaos_report):
+        baseline = run_crawl_campaign(small_profile(), seed=7)
+        assert chaos_report.dataset_fingerprint == baseline.database.fingerprint()
+
+    def test_faults_were_actually_injected(self, chaos_report):
+        assert chaos_report.injected[FaultKind.TRANSIENT_ERROR] > 0
+        assert chaos_report.injected[FaultKind.CORRUPT_SNAPSHOT] > 0
+        assert chaos_report.injected[FaultKind.PROXY_DEATH] > 0
+        assert chaos_report.transient_faults > 0
+        assert chaos_report.corrupt_pages > 0
+        assert chaos_report.retries > 0
+
+    def test_injected_never_exceeds_scheduled(self, chaos_report):
+        for kind in FaultKind:
+            assert chaos_report.injected[kind] <= chaos_report.scheduled[kind]
+
+    def test_same_seed_same_failure_trace_twice(self, chaos_report):
+        again = run_chaos_crawl(small_profile(), plan_name="aggressive", seed=7)
+        assert again.trace == chaos_report.trace
+        assert again.render() == chaos_report.render()
+
+    def test_different_seed_different_report(self, chaos_report):
+        other = run_chaos_crawl(small_profile(), plan_name="aggressive", seed=8)
+        assert other.render() != chaos_report.render()
+
+    def test_none_plan_injects_nothing(self):
+        report = run_chaos_crawl(small_profile(), plan_name="none", seed=7)
+        assert sum(report.injected.values()) == 0
+        assert report.trace == ()
+        assert report.transient_faults == 0
+        assert report.worker_restarts == 0
+
+    def test_horizon_estimate_is_deterministic_and_positive(self):
+        profile = small_profile()
+        horizon = estimate_crawl_horizon(profile)
+        assert horizon > 0
+        assert horizon == estimate_crawl_horizon(profile)
+        with pytest.raises(ValueError):
+            estimate_crawl_horizon(profile, requests_per_second=0.0)
+
+
+class TestChaosReplication:
+    def test_same_seed_same_report_twice(self):
+        first = run_chaos_replication("aggressive", seed=3, n_replications=6)
+        second = run_chaos_replication("aggressive", seed=3, n_replications=6)
+        assert first.render() == second.render()
+
+    def test_serial_matches_pool(self):
+        serial = run_chaos_replication(
+            "aggressive", seed=3, n_replications=6, parallel=False
+        )
+        pooled = run_chaos_replication(
+            "aggressive", seed=3, n_replications=6, parallel=True
+        )
+        assert serial.render() == pooled.render()
+
+    def test_crashes_are_retried_away(self):
+        # Aggressive pressure schedules at most 2 crashes per seed; with
+        # max_seed_retries=2 every seed must eventually succeed.
+        report = run_chaos_replication(
+            "aggressive", seed=3, n_replications=6, max_seed_retries=2
+        )
+        assert any(count > 0 for _, count in report.crashed_seeds)
+        assert report.failed_seeds == ()
+        assert report.n_succeeded == report.n_requested
+
+    def test_exhausted_retries_degrade_to_partial(self):
+        report = run_chaos_replication(
+            "aggressive", seed=3, n_replications=6, max_seed_retries=0, parallel=False
+        )
+        crashed = {seed for seed, count in report.crashed_seeds if count > 0}
+        assert set(report.failed_seeds) == crashed
+        assert report.n_succeeded == report.n_requested - len(crashed)
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            run_chaos_replication("apocalyptic", seed=0)
+
+
+@pytest.mark.slow
+class TestChaosSweep:
+    """Heavier sweep excluded from tier-1 (run with ``-m slow``)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_dataset_survives_aggressive_plan(self, seed):
+        chaos = run_chaos_crawl(small_profile(), plan_name="aggressive", seed=seed)
+        baseline = run_crawl_campaign(small_profile(), seed=seed)
+        assert chaos.dataset_fingerprint == baseline.database.fingerprint()

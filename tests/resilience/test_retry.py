@@ -1,0 +1,53 @@
+"""Tests for repro.resilience.retry (backoff policies)."""
+
+import pytest
+
+from repro.resilience.retry import RetryPolicy
+from repro.stats.rng import make_rng
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_geometrically_until_cap(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, cap_delay=8.0, multiplier=2.0, jitter=0.0
+        )
+        assert [policy.backoff(k) for k in range(5)] == [1.0, 2.0, 4.0, 8.0, 8.0]
+
+    def test_delay_deterministic_per_seed(self):
+        policy = RetryPolicy(max_attempts=6)
+        assert policy.delays(seed=9) == policy.delays(seed=9)
+        assert policy.delays(seed=9) != policy.delays(seed=10)
+
+    def test_delay_within_bounds(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_delay=0.5, cap_delay=10.0, multiplier=3.0, jitter=0.5
+        )
+        rng = make_rng(4)
+        for retry in range(20):
+            delay = policy.delay(retry, rng)
+            assert policy.backoff(retry) <= delay <= policy.cap_delay
+
+    def test_zero_jitter_is_pure_backoff(self):
+        policy = RetryPolicy(max_attempts=5, jitter=0.0)
+        rng = make_rng(0)
+        assert [policy.delay(k, rng) for k in range(4)] == [
+            policy.backoff(k) for k in range(4)
+        ]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_attempts=0),
+            dict(base_delay=-1.0),
+            dict(base_delay=2.0, cap_delay=1.0),
+            dict(multiplier=0.5),
+            dict(jitter=1.5),
+        ],
+    )
+    def test_invalid_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_negative_retry_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(-1)

@@ -190,3 +190,42 @@ class TestCache:
         assert exit_code == 0
         assert "LRU hit ratio" in captured.out
         assert "APP-CLUSTERING" in captured.out
+
+
+class TestChaos:
+    def test_crawl_report_is_replayable(self, tmp_path, capsys):
+        def run(out):
+            exit_code = main(
+                [
+                    "chaos",
+                    "--plan",
+                    "aggressive",
+                    "--seed",
+                    "7",
+                    "--no-comments",
+                    "--out",
+                    str(out),
+                ]
+            )
+            assert exit_code == 0
+            return out.read_text(encoding="utf-8")
+
+        first = run(tmp_path / "first.txt")
+        second = run(tmp_path / "second.txt")
+        captured = capsys.readouterr()
+        assert first == second
+        assert "dataset fingerprint: sha256:" in first
+        assert "failure trace" in captured.out
+
+    def test_replication_mode(self, capsys):
+        exit_code = main(
+            ["chaos", "--mode", "replication", "--plan", "mild", "--seed", "2"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "chaos replication" in captured.out
+        assert "counts fingerprint: sha256:" in captured.out
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--plan", "apocalyptic"])
