@@ -11,11 +11,13 @@ size, with a wide gap at small caches that narrows as capacity grows;
 hit ratios grow monotonically with capacity.
 """
 
+import time
+
 import numpy as np
 from conftest import emit
 
 from repro.cache.policies import LruCache
-from repro.cache.simulator import simulate_cache
+from repro.cache.simulator import simulate_cache, simulate_cache_batches
 from repro.core.models import ModelKind
 from repro.reporting.tables import render_table
 from repro.workload.generators import figure19_spec
@@ -88,3 +90,52 @@ def test_fig19_cache_hit_ratio(benchmark, results_dir):
         results[ModelKind.APP_CLUSTERING][f] for f in CACHE_FRACTIONS
     ]
     assert clustering_curve == sorted(clustering_curve)
+
+
+def _legacy_simulate_cache_batches(batches, cache):
+    """The pre-fast-path batch replay: one ``.tolist()`` per batch."""
+    access = cache.access
+    n_accesses = 0
+    for batch in batches:
+        for app_index in batch.app_indices.tolist():
+            access(app_index)
+        n_accesses += len(batch)
+    return n_accesses
+
+
+def test_batched_replay_fast_path_delta(results_dir):
+    """The concatenating fast path must match the legacy per-batch loop
+    hit-for-hit; the emitted table records the speed delta."""
+    spec = figure19_spec(kind=ModelKind.APP_CLUSTERING, scale=SCALE, seed=7)
+    batches = list(spec.event_batches())
+    capacity = max(1, int(0.05 * spec.n_apps))
+
+    legacy_cache = LruCache(capacity)
+    start = time.perf_counter()
+    n_accesses = _legacy_simulate_cache_batches(iter(batches), legacy_cache)
+    legacy_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast = simulate_cache_batches(iter(batches), LruCache(capacity))
+    fast_seconds = time.perf_counter() - start
+
+    # Exact equivalence: same accesses, same hits, same misses.
+    assert fast.n_accesses == n_accesses
+    assert fast.hits == legacy_cache.hits
+    assert fast.misses == legacy_cache.misses
+
+    speedup = legacy_seconds / fast_seconds if fast_seconds > 0 else float("inf")
+    table = render_table(
+        ["path", "seconds", "events/s"],
+        [
+            ["legacy per-batch tolist", round(legacy_seconds, 4),
+             int(n_accesses / legacy_seconds) if legacy_seconds else 0],
+            ["concatenated trace", round(fast_seconds, 4),
+             int(n_accesses / fast_seconds) if fast_seconds else 0],
+        ],
+        title=(
+            f"Batched cache replay fast path "
+            f"({n_accesses} events, speedup {speedup:.2f}x)"
+        ),
+    )
+    emit(results_dir, "fig19_cache_fastpath", table)

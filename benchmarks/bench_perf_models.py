@@ -35,10 +35,13 @@ import pytest
 
 from repro.core.engine import counts_from_batches
 from repro.core.models import ModelKind
+from repro.obs.manifest import RunManifest, write_metrics_jsonl
+from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.workload.generators import WorkloadSpec, make_workload_batches
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_models.json"
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 #: The ISSUE-2 reference workload: paper-scale store, 1M downloads.
 REFERENCE = dict(n_apps=60_000, n_users=100_000, total_downloads=1_000_000)
@@ -161,15 +164,36 @@ def write_results(
     return record
 
 
+def _write_metrics_sidecar(
+    registry: MetricsRegistry, label: str, sizes: Dict[str, int], seed: int, path: Path
+) -> Path:
+    """Write the benchmark's engine metrics next to its timing output."""
+    path.parent.mkdir(exist_ok=True)
+    manifest = RunManifest(
+        command=f"bench-perf-models-{label}",
+        seed=seed,
+        params={key: int(value) for key, value in sizes.items()},
+    )
+    return write_metrics_jsonl(path, registry, manifest)
+
+
 @pytest.mark.bench_smoke
 def test_bench_perf_models_smoke():
     """Smoke mode: small sizes, catches gross perf regressions fast.
 
     The batched path must beat the legacy path on every model even at
     smoke sizes; the 5x acceptance bar applies to the full reference run
-    (see ``main``), where vectorization has room to amortize.
+    (see ``main``), where vectorization has room to amortize.  The run's
+    engine counters land in ``results/bench_smoke.metrics.jsonl`` (CI
+    uploads it as an artifact).
     """
-    timings = run_benchmark(SMOKE, seed=0)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        timings = run_benchmark(SMOKE, seed=0)
+    sidecar = _write_metrics_sidecar(
+        registry, "smoke", SMOKE, 0, RESULTS_DIR / "bench_smoke.metrics.jsonl"
+    )
+    print(f"(metrics sidecar: {sidecar})")
     for timing in timings:
         print(timing.describe())
         assert timing.batched_events > 0
@@ -195,11 +219,21 @@ def main() -> None:
 
     sizes = SMOKE if args.smoke else REFERENCE
     label = "smoke" if args.smoke else "reference"
-    timings = run_benchmark(sizes, seed=args.seed)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        timings = run_benchmark(sizes, seed=args.seed)
     for timing in timings:
         print(timing.describe())
     record = write_results(timings, label, path=args.out)
     print(f"wrote {args.out} ({label}, {len(record['models'])} models)")
+    sidecar = _write_metrics_sidecar(
+        registry,
+        label,
+        sizes,
+        args.seed,
+        RESULTS_DIR / f"bench_{label}.metrics.jsonl",
+    )
+    print(f"wrote {sidecar}")
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ class CachePolicy:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         raise NotImplementedError
@@ -100,6 +101,7 @@ class LruCache(CachePolicy):
     def _admit(self, key: Hashable) -> None:
         if len(self._entries) >= self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
         self._entries[key] = None
 
 
@@ -124,6 +126,7 @@ class FifoCache(CachePolicy):
     def _admit(self, key: Hashable) -> None:
         if len(self._entries) >= self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
         self._entries[key] = None
 
 
@@ -156,6 +159,7 @@ class LfuCache(CachePolicy):
             )
             del self._entries[victim]
             del self._frequency[victim]
+            self.evictions += 1
         self._entries[key] = None
         self._frequency[key] += 1
 
@@ -202,6 +206,7 @@ class SegmentedLruCache(CachePolicy):
     def _insert_probation(self, key: Hashable) -> None:
         if len(self._probation) >= self._probation_capacity:
             self._probation.popitem(last=False)
+            self.evictions += 1
         self._probation[key] = None
 
     def _admit(self, key: Hashable) -> None:
@@ -290,6 +295,7 @@ class CategoryAwareLruCache(CachePolicy):
             raise RuntimeError("eviction requested on an empty cache")
         self._segments[worst_category].popitem(last=False)
         self._size -= 1
+        self.evictions += 1
 
     def _admit(self, key: Hashable) -> None:
         category = self._category_of(key)

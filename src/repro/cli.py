@@ -9,10 +9,17 @@ Usage (also via ``python -m repro``):
     repro workload --kind APP-CLUSTERING --out trace.jsonl
     repro cache    --scale 0.02                          # Figure 19
     repro chaos    --plan aggressive --seed 7            # fault injection
+    repro metrics  run.metrics.jsonl                     # inspect a metrics file
     repro lint     src/                                  # RPL static analysis
 
-Every command prints the same textual tables the benchmarks produce, so
-the pipeline can be driven without writing Python.
+(``repro run`` is an alias for ``repro campaign``.)  Every command prints
+the same textual tables the benchmarks produce, so the pipeline can be
+driven without writing Python.  Each invocation runs under a fresh
+metrics registry; ``--emit-metrics PATH`` on the long-running commands
+(``campaign``/``run``, ``chaos``, ``cache``) writes the registry plus a
+run manifest as metrics JSONL.  The deterministic records of that file
+are byte-identical across same-seed runs (``repro metrics --check``
+verifies the format; see docs/architecture.md, "Observability").
 """
 
 from __future__ import annotations
@@ -24,6 +31,9 @@ from typing import List, Optional
 from repro.crawler.database import SnapshotDatabase
 from repro.crawler.scheduler import run_crawl_campaign
 from repro.marketplace.profiles import demo_profile, paper_profile, scaled_profile
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+_METRICS_HELP = "write run metrics + manifest to this file (JSONL)"
 
 _DEFAULT_SCALES = dict(
     app_scale=0.05, download_scale=5e-4, user_scale=2e-3, day_scale=0.2
@@ -33,6 +43,7 @@ _DEFAULT_SCALES = dict(
 def _add_campaign_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "campaign",
+        aliases=["run"],
         help="simulate a store, crawl it daily, and save the database",
     )
     parser.add_argument(
@@ -60,6 +71,7 @@ def _add_campaign_parser(subparsers) -> None:
         action="store_true",
         help="skip comment collection (faster; disables the affinity study)",
     )
+    parser.add_argument("--emit-metrics", default=None, help=_METRICS_HELP)
     parser.set_defaults(handler=_run_campaign)
 
 
@@ -292,6 +304,7 @@ def _add_cache_parser(subparsers) -> None:
         help="comma-separated cache sizes as fractions of the catalog",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--emit-metrics", default=None, help=_METRICS_HELP)
     parser.set_defaults(handler=_run_cache)
 
 
@@ -299,7 +312,7 @@ def _run_cache(args) -> int:
     import numpy as np
 
     from repro.cache.policies import LruCache
-    from repro.cache.simulator import simulate_cache
+    from repro.cache.simulator import simulate_cache_batches
     from repro.core.models import ModelKind
     from repro.reporting.tables import render_table
     from repro.workload.generators import figure19_spec
@@ -319,8 +332,10 @@ def _run_cache(args) -> int:
         for kind in ModelKind:
             spec = specs[kind]
             capacity = max(1, int(fraction * spec.n_apps))
-            result = simulate_cache(
-                spec.events(), LruCache(capacity), warm_keys=warm[kind][:capacity]
+            result = simulate_cache_batches(
+                spec.event_batches(),
+                LruCache(capacity),
+                warm_keys=warm[kind][:capacity],
             )
             row.append(round(result.hit_ratio * 100, 1))
         rows.append(row)
@@ -372,6 +387,7 @@ def _add_chaos_parser(subparsers) -> None:
         help="omit the per-fault failure trace from the report",
     )
     parser.add_argument("--out", default=None, help="also write the report to a file")
+    parser.add_argument("--emit-metrics", default=None, help=_METRICS_HELP)
     parser.set_defaults(handler=_run_chaos)
 
 
@@ -425,6 +441,56 @@ def _run_report(args) -> int:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text)
         print(f"(written to {args.out})", file=sys.stderr)
+    return 0
+
+
+def _add_metrics_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "metrics",
+        help="inspect a metrics JSONL file written by --emit-metrics",
+    )
+    parser.add_argument("path", help="metrics JSONL file")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the format (JSON lines, record tags, stable key "
+        "order); exits nonzero on problems",
+    )
+    parser.add_argument(
+        "--strip-wall-clock",
+        action="store_true",
+        help="print the file with the wall-clock record removed (what "
+        "remains is seed-deterministic, safe to diff across runs)",
+    )
+    parser.set_defaults(handler=_run_metrics)
+
+
+def _run_metrics(args) -> int:
+    from repro.obs.manifest import (
+        check_metrics_file,
+        read_metrics_records,
+        render_metrics_summary,
+        strip_wall_clock,
+    )
+
+    if args.check:
+        problems = check_metrics_file(args.path)
+        if problems:
+            for problem in problems:
+                print(f"error: {args.path}: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.path}: ok")
+        return 0
+    if args.strip_wall_clock:
+        with open(args.path, encoding="utf-8") as handle:
+            sys.stdout.write(strip_wall_clock(handle.read()))
+        return 0
+    try:
+        records = read_metrics_records(args.path)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_metrics_summary(records))
     return 0
 
 
@@ -485,15 +551,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_chaos_parser(subparsers)
     _add_export_parser(subparsers)
     _add_report_parser(subparsers)
+    _add_metrics_parser(subparsers)
     _add_lint_parser(subparsers)
     return parser
 
 
+def _emit_metrics(args, registry: MetricsRegistry) -> None:
+    """Write the invocation's registry + manifest when requested."""
+    path = getattr(args, "emit_metrics", None)
+    if not path:
+        return
+    from repro.obs.manifest import RunManifest, write_metrics_jsonl
+
+    params = {
+        key: value
+        for key, value in vars(args).items()
+        if key not in ("handler", "command", "emit_metrics", "seed")
+        and isinstance(value, (bool, int, float, str, type(None)))
+    }
+    seed = getattr(args, "seed", None)
+    manifest = RunManifest(
+        command=args.command,
+        seed=int(seed) if seed is not None else None,
+        params=params,
+    )
+    write_metrics_jsonl(path, registry, manifest)
+    print(f"(metrics written to {path})", file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Every invocation runs under its own :class:`MetricsRegistry`, so
+    counters never leak between commands in one process (tests drive
+    :func:`main` repeatedly) and ``--emit-metrics`` captures exactly one
+    run.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        code = args.handler(args)
+        _emit_metrics(args, registry)
+    return code
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ from typing import Callable, Iterator, List, Mapping, Optional, Set
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
 from repro.stats.sampling import AliasSampler
 
 #: Default number of download slots processed per vectorized chunk.
@@ -247,11 +248,16 @@ def sample_new_apps(
     Returns an ``int64`` array aligned with ``users``; ``-1`` marks slots
     for which no new app was found within ``max_rejections`` attempts.
     """
+    metrics = get_registry()
+    retry_counter = metrics.counter("engine.rejection_retries")
     apps = np.full(users.size, -1, dtype=np.int64)
     pending = np.flatnonzero(~ledger.saturated(users))
-    for _ in range(max_rejections):
+    for round_index in range(max_rejections):
         if pending.size == 0:
             break
+        if round_index:
+            # Redraw rounds only: the first draw of a batch is not a retry.
+            retry_counter.add(1)
         draws = draw(pending.size)
         ok = ~ledger.contains(users[pending], draws)
         if available is not None:
@@ -275,6 +281,8 @@ def sample_new_apps(
         pending = pending[~ok]
         if pending.size:
             pending = pending[~ledger.saturated(users[pending])]
+    if pending.size:
+        metrics.counter("engine.slots_unfilled").add(int(pending.size))
     return apps
 
 
@@ -376,9 +384,14 @@ def zipf_event_batches(
     batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> Iterator[EventBatch]:
     """Pure ZIPF downloads as a chunked batch stream."""
+    metrics = get_registry()
+    batch_counter = metrics.counter("engine.batches")
+    event_counter = metrics.counter("engine.events")
     budgets = per_user_budgets(total_downloads, n_users, rng)
     order = interleaved_user_order(budgets, rng)
     for chunk in _chunks(order, batch_size):
+        batch_counter.add(1)
+        event_counter.add(int(chunk.size))
         yield EventBatch(chunk, sampler.sample(chunk.size, seed=rng))
 
 
@@ -398,6 +411,9 @@ def zipf_amo_event_batches(
     vectorized rejection kernel; slots that fail ``max_rejections``
     attempts are dropped, exactly like the legacy per-event path.
     """
+    metrics = get_registry()
+    batch_counter = metrics.counter("engine.batches")
+    event_counter = metrics.counter("engine.events")
     ledger = DownloadLedger(
         n_users, sampler.n_outcomes, memory_budget_bytes, mode=ledger_mode
     )
@@ -412,6 +428,8 @@ def zipf_amo_event_batches(
             max_rejections,
         )
         done = apps >= 0
+        batch_counter.add(1)
+        event_counter.add(int(np.count_nonzero(done)))
         yield EventBatch(chunk[done], apps[done])
 
 
@@ -438,6 +456,9 @@ def app_clustering_event_batches(
     shuffling within each round) changes only the interleaving of the
     event stream, not its statistics.  One batch is emitted per round.
     """
+    metrics = get_registry()
+    batch_counter = metrics.counter("engine.batches")
+    event_counter = metrics.counter("engine.events")
     n_apps = cluster_of.size
     ledger = DownloadLedger(
         n_users, n_apps, memory_budget_bytes, mode=ledger_mode
@@ -489,6 +510,8 @@ def app_clustering_event_batches(
         done_users = active[done]
         done_apps = apps[done]
         visited.record(done_users, cluster_of[done_apps])
+        batch_counter.add(1)
+        event_counter.add(int(done.size))
         yield EventBatch(done_users, done_apps)
 
 

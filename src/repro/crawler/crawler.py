@@ -27,6 +27,7 @@ from repro.crawler.database import ApkRecord, AppSnapshot, SnapshotDatabase
 from repro.crawler.proxies import NoProxyAvailable, ProxyError, ProxyPool
 from repro.crawler.ratelimit import RateLimitExceeded, TokenBucket
 from repro.crawler.webapi import GeoBlockedError, StoreWebApi, page_is_corrupt
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.errors import SnapshotCorrupted, TransientFault, WorkerCrashed
 from repro.resilience.faults import FaultInjector, FaultKind
@@ -42,9 +43,11 @@ class CrawlStats:
     retries: int = 0
     rate_limit_hits: int = 0
     proxy_failures: int = 0
+    proxy_pick_failures: int = 0
     transient_faults: int = 0
     corrupt_pages: int = 0
     breaker_skips: int = 0
+    pages_dropped: int = 0
     backoff_seconds: float = 0.0
     apps_crawled: int = 0
     apks_fetched: int = 0
@@ -107,6 +110,14 @@ class StoreCrawler:
     seed:
         Randomness for backoff jitter only -- the crawled data never
         depends on it.
+    drop_failed_pages:
+        When True, an app page whose request exhausts all retries is
+        *dropped* -- counted in ``stats.pages_dropped`` and the
+        ``crawler.pages_dropped`` metric -- instead of aborting the
+        whole crawl day.  The paper's crawler behaved this way: a
+        single unreachable listing cost one observation, not the day.
+    metrics:
+        Observability sink; defaults to the process-global registry.
     """
 
     def __init__(
@@ -120,6 +131,8 @@ class StoreCrawler:
         breaker_factory=None,
         fault_injector: Optional[FaultInjector] = None,
         seed: SeedLike = None,
+        drop_failed_pages: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if requests_per_second <= 0:
             raise ValueError("requests_per_second must be positive")
@@ -145,6 +158,8 @@ class StoreCrawler:
         self._retry_rng = make_rng(seed)
         self.stats = CrawlStats()
         self._clock = 0.0
+        self.drop_failed_pages = drop_failed_pages
+        self._metrics = metrics if metrics is not None else get_registry()
 
     @property
     def clock(self) -> float:
@@ -208,11 +223,16 @@ class StoreCrawler:
         try:
             return self._proxies.pick(store, country, exclude=open_ids)
         except NoProxyAvailable:
-            pass
+            # Not silent: a failed constrained pick is the first signal a
+            # pool is going under, and production debugging needs it on a
+            # counter -- even (especially) when degradation recovers.
+            self.stats.proxy_pick_failures += 1
+            self._metrics.counter("crawler.proxy_pick_failures").add(1)
         if open_ids:
             # Every admissible proxy is breaker-open; degrade by probing
             # one of them rather than deadlocking the crawl.
             self.stats.breaker_skips += 1
+            self._metrics.counter("crawler.breaker_skips").add(1)
             try:
                 return self._proxies.pick(store, country)
             except NoProxyAvailable as error:
@@ -229,6 +249,7 @@ class StoreCrawler:
         """
         country = self._api.requires_country
         policy = self.retry_policy
+        metrics = self._metrics
         last_error: Optional[Exception] = None
         for attempt in range(policy.max_attempts):
             if attempt > 0:
@@ -236,6 +257,7 @@ class StoreCrawler:
                 self._clock += delay
                 self.stats.backoff_seconds += delay
                 self.stats.retries += 1
+                metrics.counter("crawler.retries").add(1)
             self._apply_scheduled_faults()
 
             # Self-pacing: wait (by advancing the simulated clock) until
@@ -250,6 +272,7 @@ class StoreCrawler:
                 self._proxies.request_through(proxy)
             except ProxyError as error:
                 self.stats.proxy_failures += 1
+                metrics.counter("crawler.proxy_failures").add(1)
                 breaker.record_failure(self._clock)
                 last_error = error
                 continue
@@ -258,6 +281,7 @@ class StoreCrawler:
                 result = endpoint(*args, client, proxy.country, self._clock)
             except RateLimitExceeded as error:
                 self.stats.rate_limit_hits += 1
+                metrics.counter("crawler.rate_limit_hits").add(1)
                 self._clock += error.retry_after
                 # A throttle is the store talking, not the proxy failing;
                 # the breaker does not count it.
@@ -271,17 +295,24 @@ class StoreCrawler:
                 continue
             except TransientFault as error:
                 self.stats.transient_faults += 1
+                metrics.counter("crawler.transient_faults").add(1)
                 breaker.record_failure(self._clock)
                 last_error = error
                 continue
             if endpoint == self._api.app_page and page_is_corrupt(result):
                 self.stats.corrupt_pages += 1
+                metrics.counter("crawler.corrupt_pages").add(1)
                 breaker.record_success(self._clock)
                 last_error = SnapshotCorrupted(
                     f"corrupt page for app {args[0]} via {client}"
                 )
                 continue
             self.stats.requests += 1
+            metrics.counter("crawler.requests").add(1)
+            if attempt > 0:
+                # The whole point of the retry budget: failures that the
+                # policy absorbed end-to-end, visible per run.
+                metrics.counter("crawler.requests_recovered").add(1)
             breaker.record_success(self._clock)
             return result
         raise CrawlError(
@@ -303,11 +334,25 @@ class StoreCrawler:
         crawler tags each observation with its crawl date the same way.
         Writes are idempotent, so a supervisor may safely re-run a day
         whose worker crashed partway through.
+
+        With ``drop_failed_pages`` set, an app whose statistics page
+        cannot be fetched within the retry budget is skipped for the day
+        and accounted as a dropped page; :class:`ProxiesExhausted` still
+        propagates, because a dead pool dooms every remaining app.
         """
         app_ids = self._discover_app_ids()
         known_apks = self._database.latest_apk_per_app(self._api.store_name)
         for app_id in app_ids:
-            page = self._request(self._api.app_page, app_id)
+            try:
+                page = self._request(self._api.app_page, app_id)
+            except ProxiesExhausted:
+                raise
+            except CrawlError:
+                if not self.drop_failed_pages:
+                    raise
+                self.stats.pages_dropped += 1
+                self._metrics.counter("crawler.pages_dropped").add(1)
+                continue
             self._database.add_snapshot(
                 AppSnapshot(
                     store=self._api.store_name,

@@ -19,6 +19,8 @@ from repro.crawler.proxies import ProxyPool
 from repro.crawler.webapi import StoreWebApi
 from repro.marketplace.generator import GeneratedStore, build_store
 from repro.marketplace.profiles import StoreProfile
+from repro.obs.metrics import get_registry
+from repro.obs.timing import span
 from repro.resilience.errors import ResilienceError, WorkerCrashed
 from repro.resilience.faults import FaultInjector, FaultPlan
 from repro.stats.rng import SeedLike, derive_seed, make_rng
@@ -129,22 +131,26 @@ def run_crawl_campaign(
     first_crawl_day = store.day
     last_crawl_day = first_crawl_day
     worker_restarts = 0
+    metrics = get_registry()
     for offset in range(profile.crawl_days):
         store.advance_day()
         observed_day = store.day - 1
         if offset % crawl_every == 0 or offset == profile.crawl_days - 1:
             while True:
                 try:
-                    crawler.crawl_day(observed_day, fetch_comments=fetch_comments)
+                    with span("campaign/crawl_day", clock=lambda: crawler.clock):
+                        crawler.crawl_day(observed_day, fetch_comments=fetch_comments)
                     break
                 except WorkerCrashed as crash:
                     worker_restarts += 1
+                    metrics.counter("scheduler.worker_restarts").add(1)
                     if worker_restarts > max_worker_restarts:
                         raise ResilienceError(
                             f"crawl worker crashed {worker_restarts} times "
                             f"(limit {max_worker_restarts}); giving up on "
                             f"day {observed_day}"
                         ) from crash
+            metrics.counter("scheduler.days_crawled").add(1)
             last_crawl_day = observed_day
     return CrawlCampaign(
         generated=generated,

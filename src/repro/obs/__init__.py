@@ -1,0 +1,56 @@
+"""Observability: deterministic metrics, timing spans, run manifests.
+
+The pipeline's instrumentation layer (``repro.obs``), built for the
+same contract as everything else in this tree: **same seed, same
+bytes**.  Counters, gauges, and fixed-bucket histograms capture what a
+run actually did (batches emitted, rejection redraws, pages dropped,
+breakers tripped); spans time blocks on both the simulated clock and
+``perf_counter``; a :class:`~repro.obs.manifest.RunManifest` pins the
+seed, parameters, and checkout that produced a metrics file.  Wall-clock
+durations are quarantined in their own JSONL record so stripping one
+line restores byte-identical comparability between runs.
+
+The module is dependency-free (stdlib only) so every layer -- the
+engine, the crawler, the resilience primitives -- can instrument itself
+without import cycles or new requirements.
+"""
+
+from repro.obs.manifest import (
+    RunManifest,
+    check_metrics_file,
+    git_describe,
+    read_metrics_records,
+    render_metrics_summary,
+    strip_wall_clock,
+    write_metrics_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKET_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.timing import span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKET_EDGES",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunManifest",
+    "check_metrics_file",
+    "get_registry",
+    "git_describe",
+    "read_metrics_records",
+    "render_metrics_summary",
+    "set_registry",
+    "span",
+    "strip_wall_clock",
+    "use_registry",
+    "write_metrics_jsonl",
+]

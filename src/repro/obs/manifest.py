@@ -1,0 +1,223 @@
+"""Per-run manifests and the metrics JSONL format.
+
+A metrics file is three JSONL records, one object per line, every
+mapping serialized in sorted key order:
+
+1. ``{"record": "manifest", ...}`` -- what ran: command, seed, model
+   parameters, the package version, and ``git describe`` of the
+   checkout.  Deterministic for a given checkout and invocation.
+2. ``{"record": "metrics", ...}`` -- the registry's deterministic
+   snapshot: counters, gauges, histograms, span counts and simulated
+   durations.  Same seed, same bytes.
+3. ``{"record": "wall_clock", ...}`` -- wall-clock span durations.
+   Real, useful, and explicitly *not* covered by the determinism
+   contract; consumers diffing runs strip this record first
+   (:func:`strip_wall_clock`).
+
+The format is append-friendly (JSONL) so sidecars from successive bench
+runs can be concatenated into a trajectory, and dependency-free to read
+(``json.loads`` per line).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "RunManifest",
+    "check_metrics_file",
+    "git_describe",
+    "read_metrics_records",
+    "render_metrics_summary",
+    "strip_wall_clock",
+    "write_metrics_jsonl",
+]
+
+PathLike = Union[str, Path]
+
+
+def git_describe() -> str:
+    """``git describe --always --dirty`` of the working tree, or ``"unknown"``.
+
+    Gated so the manifest still builds from an installed package or a
+    tarball checkout without git.
+    """
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    described = completed.stdout.strip()
+    return described if completed.returncode == 0 and described else "unknown"
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """What produced a metrics file: command, seed, parameters, code id."""
+
+    command: str
+    seed: Optional[int] = None
+    params: Mapping[str, object] = field(default_factory=dict)
+    git: str = field(default_factory=git_describe)
+    schema: int = 1
+
+    def as_record(self) -> Dict[str, object]:
+        """The manifest as the JSONL ``manifest`` record."""
+        from repro import __version__
+
+        return {
+            "record": "manifest",
+            "command": self.command,
+            "seed": self.seed,
+            "params": {key: self.params[key] for key in sorted(self.params)},
+            "git": self.git,
+            "version": __version__,
+            "schema": self.schema,
+        }
+
+
+def _dumps(record: Mapping[str, object]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def write_metrics_jsonl(
+    path: PathLike,
+    registry: MetricsRegistry,
+    manifest: Optional[RunManifest] = None,
+) -> Path:
+    """Serialize a registry (plus manifest) to a metrics JSONL file.
+
+    The deterministic records come first; the wall-clock record is last
+    so ``strip_wall_clock`` (and humans) can drop it by suffix.
+    """
+    path = Path(path)
+    lines: List[str] = []
+    if manifest is not None:
+        lines.append(_dumps(manifest.as_record()))
+    lines.append(_dumps({"record": "metrics", **registry.snapshot()}))
+    lines.append(
+        _dumps({"record": "wall_clock", **registry.wall_clock_snapshot()})
+    )
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def read_metrics_records(path: PathLike) -> List[Dict[str, object]]:
+    """Parse a metrics JSONL file into its records."""
+    records: List[Dict[str, object]] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            records.append(json.loads(line))
+    return records
+
+
+def strip_wall_clock(text: str) -> str:
+    """Drop the wall-clock record: what remains is seed-deterministic."""
+    kept = [
+        line
+        for line in text.splitlines()
+        if line.strip() and json.loads(line).get("record") != "wall_clock"
+    ]
+    return "\n".join(kept) + "\n" if kept else ""
+
+
+def check_metrics_file(path: PathLike) -> List[str]:
+    """Validate a metrics file; returns problems (empty means OK).
+
+    Checks that every line parses as a JSON object, that each carries a
+    ``record`` tag, that a ``metrics`` record is present, and that the
+    serialization has stable (sorted) key order -- i.e. re-serializing
+    the parsed object reproduces the line byte for byte.
+    """
+    problems: List[str] = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        return [f"unreadable: {error}"]
+    seen_records = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            parsed = json.loads(line)
+        except json.JSONDecodeError as error:
+            problems.append(f"line {number}: not JSON ({error})")
+            continue
+        if not isinstance(parsed, dict) or "record" not in parsed:
+            problems.append(f"line {number}: missing 'record' tag")
+            continue
+        seen_records.append(parsed["record"])
+        if _dumps(parsed) != line:
+            problems.append(
+                f"line {number}: key order is not stable "
+                f"(re-serializing with sorted keys changed the bytes)"
+            )
+    if "metrics" not in seen_records:
+        problems.append("no 'metrics' record found")
+    return problems
+
+
+def render_metrics_summary(records: List[Dict[str, object]]) -> str:
+    """A human-readable digest of a parsed metrics file."""
+    lines: List[str] = []
+    for record in records:
+        tag = record.get("record")
+        if tag == "manifest":
+            lines.append(
+                f"manifest: command {record.get('command')!r}, "
+                f"seed {record.get('seed')}, git {record.get('git')}, "
+                f"version {record.get('version')}"
+            )
+            params = record.get("params") or {}
+            if params:
+                rendered = ", ".join(
+                    f"{key}={params[key]}" for key in sorted(params)
+                )
+                lines.append(f"  params: {rendered}")
+        elif tag == "metrics":
+            counters = record.get("counters") or {}
+            lines.append(f"counters ({len(counters)}):")
+            for name in sorted(counters):
+                lines.append(f"  {name} = {counters[name]}")
+            gauges = record.get("gauges") or {}
+            if gauges:
+                lines.append(f"gauges ({len(gauges)}):")
+                for name in sorted(gauges):
+                    lines.append(f"  {name} = {gauges[name]}")
+            histograms = record.get("histograms") or {}
+            if histograms:
+                lines.append(f"histograms ({len(histograms)}):")
+                for name in sorted(histograms):
+                    data = histograms[name]
+                    lines.append(
+                        f"  {name}: n={data['count']} sum={data['sum']:.6g}"
+                    )
+            spans = record.get("spans") or {}
+            if spans:
+                lines.append(f"spans ({len(spans)}):")
+                for name in sorted(spans):
+                    data = spans[name]
+                    lines.append(
+                        f"  {name}: n={data['count']} "
+                        f"sim={data['sim_seconds']:.3f}s"
+                    )
+        elif tag == "wall_clock":
+            spans = record.get("spans") or {}
+            if spans:
+                lines.append("wall clock (not covered by determinism):")
+                for name in sorted(spans):
+                    lines.append(
+                        f"  {name}: {spans[name]['wall_seconds']:.3f}s"
+                    )
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Timing spans: the two-clock answer to "where did the run go?".
+
+Everything in this tree advances a *simulated* clock (crawler seconds,
+store days), while the operator cares about *wall* seconds.  A span
+therefore records both: the simulated delta (deterministic, lands in the
+metrics snapshot) and the ``perf_counter`` delta (real, quarantined in
+the wall-clock section so it can never break the byte-identical
+contract).
+
+Spans nest: entering ``span("campaign")`` and then ``span("crawl_day")``
+records under the qualified name ``campaign/crawl_day``, giving the
+metrics file a cheap flame-graph of the run without any dependency.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["span"]
+
+
+@contextmanager
+def span(
+    name: str,
+    clock: Optional[Callable[[], float]] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[None]:
+    """Time a block under ``name`` in ``registry`` (global by default).
+
+    ``clock`` is a zero-argument callable returning simulated seconds
+    (e.g. ``lambda: crawler.clock``); omit it for blocks with no
+    simulated time, which then record only counts and wall seconds.
+    """
+    target = registry if registry is not None else get_registry()
+    with target.span(name, clock=clock):
+        yield

@@ -16,6 +16,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import get_registry
 from repro.resilience.errors import CircuitOpen
 
 
@@ -92,10 +93,12 @@ class CircuitBreaker:
     def record_failure(self, now: float) -> None:
         """Register a failed call; may trip (or re-open) the breaker."""
         if self.state(now) is BreakerState.HALF_OPEN:
+            get_registry().counter("breaker.reopened").add(1)
             self._trip(now)
             return
         self._consecutive_failures += 1
         if self._consecutive_failures >= self.failure_threshold:
+            get_registry().counter("breaker.opened").add(1)
             self._trip(now)
 
     def _trip(self, now: float) -> None:
@@ -104,6 +107,10 @@ class CircuitBreaker:
         self._probes_succeeded = 0
 
     def _close(self) -> None:
+        # State transitions are observable events: OPEN/HALF_OPEN ->
+        # CLOSED is counted; a no-op close (already closed) is not.
+        if self._is_open:
+            get_registry().counter("breaker.closed").add(1)
         self._is_open = False
         self._consecutive_failures = 0
         self._probes_succeeded = 0

@@ -21,6 +21,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.obs.metrics import get_registry
 from repro.resilience.errors import TransientFault
 from repro.stats.rng import derive_seed, make_rng
 
@@ -221,6 +222,7 @@ class FaultInjector:
         self.trace.append(
             FiredFault(at=event.at, fired_at=now, kind=event.kind, detail=detail)
         )
+        get_registry().counter(f"faults.injected.{event.kind.value}").add(1)
 
     def maybe_raise_transient(self, now: float, where: str) -> None:
         """Raise :class:`TransientFault` when a transient error is due."""

@@ -28,6 +28,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.fitting import mean_relative_error
+from repro.obs.metrics import MetricsRegistry, get_registry, use_registry
 from repro.resilience.errors import ResilienceError, WorkerCrashed
 from repro.stats.rng import derive_seed, make_rng, make_seed_sequence
 from repro.workload.generators import WorkloadSpec
@@ -79,12 +80,14 @@ class ReplicationResult:
 
     ``seeds`` lists the replications that *succeeded* (rows of
     ``counts``); ``failed_seeds`` lists the ones degraded away after
-    exhausting their retries.
+    exhausting their retries, and ``failure_reasons`` pairs each of them
+    with the ``repr`` of the exception that killed the final attempt.
     """
 
     seeds: Tuple[int, ...]
     counts: np.ndarray  # shape (n_seeds, n_apps)
     failed_seeds: Tuple[int, ...] = field(default=())
+    failure_reasons: Tuple[Tuple[int, str], ...] = field(default=())
 
     @property
     def n_replications(self) -> int:
@@ -92,10 +95,19 @@ class ReplicationResult:
         return len(self.seeds)
 
     def describe_failures(self) -> str:
-        """One deterministic line summarizing degraded seeds."""
+        """One deterministic line summarizing degraded seeds.
+
+        Includes the captured exception per seed -- the whole point of
+        recording ``failure_reasons`` is that "seed 7 failed" alone is
+        undebuggable after a months-long sweep.
+        """
         if not self.failed_seeds:
             return f"{self.n_replications} replications, no failures"
-        failed = ", ".join(str(seed) for seed in self.failed_seeds)
+        reasons = dict(self.failure_reasons)
+        failed = "; ".join(
+            f"seed {seed}: {reasons.get(seed, 'unknown error')}"
+            for seed in self.failed_seeds
+        )
         return (
             f"{self.n_replications} replications succeeded; "
             f"{len(self.failed_seeds)} degraded to partial results "
@@ -141,6 +153,25 @@ def _simulate_one(
     return model.simulate(spec.n_users, spec.total_downloads, seed=seed)
 
 
+def _simulate_one_observed(
+    spec: WorkloadSpec,
+    seed: int,
+    attempt: int = 0,
+    fault_plan: Optional[WorkerFaultPlan] = None,
+) -> Tuple[np.ndarray, Dict[str, dict]]:
+    """Worker: simulate one seed under a private metrics registry.
+
+    Returns the counts plus the registry snapshot so the parent can
+    merge worker metrics deterministically (in chosen-seed order, not
+    pool completion order).  A private registry also keeps in-process
+    serial runs from writing worker metrics twice.
+    """
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        counts = _simulate_one(spec, seed, attempt, fault_plan)
+    return counts, registry.snapshot()
+
+
 def resolve_seeds(
     seeds: Optional[Sequence[int]], n_replications: int, base_seed: int
 ) -> Tuple[int, ...]:
@@ -156,22 +187,30 @@ def resolve_seeds(
     )
 
 
+_SeedOutcome = Tuple[np.ndarray, Dict[str, dict]]
+
+
 def _replicate_serial(
     spec: WorkloadSpec,
     chosen: Tuple[int, ...],
     max_seed_retries: int,
     fault_plan: Optional[WorkerFaultPlan],
-) -> Tuple[Dict[int, np.ndarray], List[int]]:
-    results: Dict[int, np.ndarray] = {}
-    failed: List[int] = []
+) -> Tuple[Dict[int, _SeedOutcome], List[Tuple[int, str]]]:
+    metrics = get_registry()
+    results: Dict[int, _SeedOutcome] = {}
+    failed: List[Tuple[int, str]] = []
     for seed in chosen:
         for attempt in range(max_seed_retries + 1):
+            metrics.counter("replication.attempts").add(1)
             try:
-                results[seed] = _simulate_one(spec, seed, attempt, fault_plan)
+                results[seed] = _simulate_one_observed(
+                    spec, seed, attempt, fault_plan
+                )
                 break
-            except Exception:  # noqa: BLE001 -- any worker death degrades
+            except Exception as exc:  # noqa: BLE001 -- any worker death degrades
+                metrics.counter("replication.crashes").add(1)
                 if attempt == max_seed_retries:
-                    failed.append(seed)
+                    failed.append((seed, repr(exc)))
     return results, failed
 
 
@@ -181,28 +220,33 @@ def _replicate_pool(
     max_seed_retries: int,
     fault_plan: Optional[WorkerFaultPlan],
     max_workers: Optional[int],
-) -> Tuple[Dict[int, np.ndarray], List[int]]:
-    results: Dict[int, np.ndarray] = {}
-    failed: List[int] = []
+) -> Tuple[Dict[int, _SeedOutcome], List[Tuple[int, str]]]:
+    metrics = get_registry()
+    results: Dict[int, _SeedOutcome] = {}
+    failed: List[Tuple[int, str]] = []
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         futures = {
-            pool.submit(_simulate_one, spec, seed, 0, fault_plan): (seed, 0)
+            pool.submit(_simulate_one_observed, spec, seed, 0, fault_plan): (seed, 0)
             for seed in chosen
         }
+        for _ in chosen:
+            metrics.counter("replication.attempts").add(1)
         while futures:
             done, _ = wait(futures, return_when=FIRST_COMPLETED)
             for future in done:
                 seed, attempt = futures.pop(future)
                 try:
                     results[seed] = future.result()
-                except Exception:  # noqa: BLE001 -- any worker death degrades
+                except Exception as exc:  # noqa: BLE001 -- any worker death degrades
+                    metrics.counter("replication.crashes").add(1)
                     if attempt < max_seed_retries:
                         resubmitted = pool.submit(
-                            _simulate_one, spec, seed, attempt + 1, fault_plan
+                            _simulate_one_observed, spec, seed, attempt + 1, fault_plan
                         )
                         futures[resubmitted] = (seed, attempt + 1)
+                        metrics.counter("replication.attempts").add(1)
                     else:
-                        failed.append(seed)
+                        failed.append((seed, repr(exc)))
     return results, failed
 
 
@@ -240,16 +284,28 @@ def replicate_counts(
         )
     succeeded = tuple(seed for seed in chosen if seed in results)
     if not succeeded:
+        reasons = "; ".join(f"seed {seed}: {reason}" for seed, reason in failed)
         raise ResilienceError(
             f"all {len(chosen)} replication seeds failed after "
-            f"{max_seed_retries} retries each"
+            f"{max_seed_retries} retries each ({reasons})"
         )
+    metrics = get_registry()
+    metrics.counter("replication.seeds_failed").add(len(failed))
+    # Merge each worker's private registry into the caller's in chosen-
+    # seed order (not pool completion order) so float accumulation is
+    # identical run to run and identical to the serial path.
+    for seed in succeeded:
+        metrics.merge_snapshot(results[seed][1])
     # Deterministic row order: the original seed order, failures removed.
-    failed_ordered = tuple(seed for seed in chosen if seed in set(failed))
+    failed_table = dict(failed)
+    failed_ordered = tuple(seed for seed in chosen if seed in failed_table)
     return ReplicationResult(
         seeds=succeeded,
-        counts=np.stack([results[seed] for seed in succeeded]),
+        counts=np.stack([results[seed][0] for seed in succeeded]),
         failed_seeds=failed_ordered,
+        failure_reasons=tuple(
+            (seed, failed_table[seed]) for seed in failed_ordered
+        ),
     )
 
 

@@ -8,6 +8,7 @@ from repro.cache.simulator import (
     AVERAGE_APP_SIZE_MB,
     hit_ratio_curve,
     hit_ratio_curve_batched,
+    hit_ratio_curve_from_trace,
     materialize_trace,
     replay_trace,
     simulate_cache,
@@ -15,6 +16,7 @@ from repro.cache.simulator import (
 )
 from repro.core.engine import EventBatch
 from repro.core.models import DownloadEvent, ModelKind
+from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.workload.generators import WorkloadSpec
 
 
@@ -75,6 +77,70 @@ class TestBatchedReplay:
         direct = simulate_cache(iter(events), LruCache(2))
         replayed = replay_trace(trace, LruCache(2))
         assert replayed == direct
+
+    def test_batched_fast_path_matches_workload_replay(self):
+        """Exact hit/miss equivalence on a real model's batch stream."""
+        spec = small_spec(ModelKind.APP_CLUSTERING)
+        from_batches = simulate_cache_batches(
+            spec.event_batches(), LruCache(30), warm_keys=[0, 1, 2]
+        )
+        from_events = simulate_cache(
+            spec.events(), LruCache(30), warm_keys=[0, 1, 2]
+        )
+        assert from_batches == from_events
+
+    def test_empty_batch_stream(self):
+        result = simulate_cache_batches(iter([]), LruCache(4))
+        assert result.n_accesses == 0
+        assert result.hits == 0 and result.misses == 0
+        assert result.hit_ratio == 0.0
+
+    def test_empty_trace(self):
+        result = replay_trace(np.empty(0, dtype=np.int64), LruCache(4))
+        assert result.n_accesses == 0
+        assert result.hit_ratio == 0.0
+
+
+class TestEvictionAccounting:
+    def test_evictions_counted_and_consistent(self):
+        # Working set of 6 through capacity 2: every miss past the first
+        # two fills evicts exactly one entry.
+        events = [DownloadEvent(0, i % 6) for i in range(60)]
+        result = simulate_cache(iter(events), LruCache(2))
+        assert result.evictions == result.misses - 2
+
+    def test_eviction_counters_reach_registry(self):
+        registry = MetricsRegistry()
+        events = [DownloadEvent(0, i % 6) for i in range(60)]
+        with use_registry(registry):
+            result = simulate_cache(iter(events), LruCache(2))
+        assert registry.counter("cache.LRU.hits").value == result.hits
+        assert registry.counter("cache.LRU.misses").value == result.misses
+        assert (
+            registry.counter("cache.LRU.evictions").value == result.evictions
+        )
+
+
+class TestCurveFromTraceEdges:
+    def test_warm_keys_truncated_to_cache_size(self):
+        """Each curve point warms with at most ``size`` keys -- a longer
+        warm list must not flush a small cache before measurement."""
+        trace = np.array([0, 1, 0, 1], dtype=np.int64)
+        # Warm list longer than the smallest cache: with truncation the
+        # size-2 cache holds exactly {0, 1} and every access hits.
+        results = hit_ratio_curve_from_trace(
+            trace, cache_sizes=[2, 4], warm_keys=[0, 1, 2, 3]
+        )
+        assert results[0].capacity == 2
+        assert results[0].hits == 4 and results[0].misses == 0
+        assert results[1].hits == 4
+
+    def test_empty_trace_curve(self):
+        results = hit_ratio_curve_from_trace(
+            np.empty(0, dtype=np.int64), cache_sizes=[2, 4]
+        )
+        assert [r.n_accesses for r in results] == [0, 0]
+        assert all(r.hit_ratio == 0.0 for r in results)
 
 
 class TestHitRatioCurveSimulatesOnce:

@@ -8,6 +8,8 @@ from repro.crawler.proxies import Proxy, ProxyPool
 from repro.crawler.webapi import StoreWebApi
 from repro.marketplace import build_store
 from repro.marketplace.profiles import demo_profile
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.errors import TransientFault
 
 
 @pytest.fixture()
@@ -153,3 +155,78 @@ class TestResilience:
                 ProxyPool.planetlab_like(5, seed=0),
                 requests_per_second=0.0,
             )
+
+
+class TestObservability:
+    """Regression tests: recovery paths must be counted, never silent."""
+
+    def test_proxy_pick_failure_is_counted_not_silent(self, store):
+        """The NoProxyAvailable swallow in _pick_proxy now leaves a trace.
+
+        One always-failing proxy trips its breaker after three
+        consecutive failures; every later constrained pick excludes it
+        and fails -- which the old code absorbed with a bare ``pass``.
+        """
+        registry = MetricsRegistry()
+        pool = ProxyPool([Proxy(0, "us", failure_rate=1.0)], seed=2)
+        crawler = StoreCrawler(
+            StoreWebApi(store),
+            SnapshotDatabase(),
+            pool,
+            max_retries=8,
+            metrics=registry,
+        )
+        with pytest.raises(CrawlError):
+            crawler.crawl_day(day=2)
+        assert crawler.stats.proxy_pick_failures > 0
+        assert (
+            registry.counter("crawler.proxy_pick_failures").value
+            == crawler.stats.proxy_pick_failures
+        )
+        # The degraded breaker probes are visible on the registry too.
+        assert (
+            registry.counter("crawler.breaker_skips").value
+            == crawler.stats.breaker_skips
+        )
+
+    def _crawler_with_poisoned_app(self, store, registry=None, **kwargs):
+        """A crawler whose API permanently fails one app's page."""
+        api = StoreWebApi(store)
+        victim = store.listed_app_ids()[0]
+        original = api.app_page
+
+        def poisoned_app_page(app_id, client, country, now):
+            if app_id == victim:
+                raise TransientFault(f"injected: page host down for {app_id}")
+            return original(app_id, client, country, now)
+
+        api.app_page = poisoned_app_page
+        crawler = StoreCrawler(
+            api,
+            SnapshotDatabase(),
+            ProxyPool.planetlab_like(n_proxies=20, seed=0),
+            max_retries=3,
+            metrics=registry,
+            **kwargs,
+        )
+        return crawler
+
+    def test_dropped_page_is_counted(self, store):
+        """With drop_failed_pages, a doomed page costs one counted drop."""
+        registry = MetricsRegistry()
+        crawler = self._crawler_with_poisoned_app(
+            store, registry=registry, drop_failed_pages=True
+        )
+        listed = crawler.crawl_day(day=2)
+        assert listed == len(store.listed_app_ids())
+        assert crawler.stats.pages_dropped == 1
+        assert registry.counter("crawler.pages_dropped").value == 1
+        # Every other app was still observed.
+        assert crawler.stats.apps_crawled == listed - 1
+
+    def test_without_drop_mode_the_day_still_fails(self, store):
+        """Default behaviour is unchanged: retry exhaustion aborts the day."""
+        crawler = self._crawler_with_poisoned_app(store)
+        with pytest.raises(CrawlError):
+            crawler.crawl_day(day=2)
+        assert crawler.stats.pages_dropped == 0

@@ -1,0 +1,109 @@
+"""Tests for repro.obs.manifest (metrics JSONL files and run manifests)."""
+
+import json
+
+from repro.obs.manifest import (
+    RunManifest,
+    check_metrics_file,
+    read_metrics_records,
+    render_metrics_summary,
+    strip_wall_clock,
+    write_metrics_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("engine.batches").add(3)
+    registry.gauge("pool.alive").set(9)
+    registry.histogram("latency", edges=(0.1, 1.0)).observe(0.5)
+    with registry.span("run"):
+        pass
+    return registry
+
+
+class TestWriteAndRead:
+    def test_record_order_and_roundtrip(self, tmp_path):
+        path = tmp_path / "run.metrics.jsonl"
+        manifest = RunManifest(command="test", seed=7, params={"scale": 0.1})
+        write_metrics_jsonl(path, populated_registry(), manifest)
+        records = read_metrics_records(path)
+        assert [record["record"] for record in records] == [
+            "manifest",
+            "metrics",
+            "wall_clock",
+        ]
+        assert records[0]["seed"] == 7
+        assert records[0]["params"] == {"scale": 0.1}
+        assert records[1]["counters"] == {"engine.batches": 3}
+
+    def test_manifest_optional(self, tmp_path):
+        path = tmp_path / "bare.metrics.jsonl"
+        write_metrics_jsonl(path, populated_registry())
+        tags = [record["record"] for record in read_metrics_records(path)]
+        assert tags == ["metrics", "wall_clock"]
+
+
+class TestDeterminism:
+    def test_same_registry_same_bytes_after_strip(self, tmp_path):
+        manifest = RunManifest(command="test", seed=1, git="pinned")
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        write_metrics_jsonl(first, populated_registry(), manifest)
+        write_metrics_jsonl(second, populated_registry(), manifest)
+        stripped_a = strip_wall_clock(first.read_text(encoding="utf-8"))
+        stripped_b = strip_wall_clock(second.read_text(encoding="utf-8"))
+        assert stripped_a == stripped_b
+
+    def test_strip_wall_clock_removes_only_wall_record(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_metrics_jsonl(path, populated_registry(), RunManifest(command="t"))
+        stripped = strip_wall_clock(path.read_text(encoding="utf-8"))
+        tags = [json.loads(line)["record"] for line in stripped.splitlines()]
+        assert tags == ["manifest", "metrics"]
+
+    def test_strip_wall_clock_empty_text(self):
+        assert strip_wall_clock("") == ""
+
+
+class TestCheck:
+    def test_valid_file_has_no_problems(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        write_metrics_jsonl(path, populated_registry(), RunManifest(command="t"))
+        assert check_metrics_file(path) == []
+
+    def test_unreadable_file(self, tmp_path):
+        problems = check_metrics_file(tmp_path / "missing.jsonl")
+        assert problems and "unreadable" in problems[0]
+
+    def test_bad_json_and_missing_tag_reported(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('not json\n{"no_tag":1}\n', encoding="utf-8")
+        problems = check_metrics_file(path)
+        assert any("not JSON" in problem for problem in problems)
+        assert any("record" in problem for problem in problems)
+        assert any("no 'metrics'" in problem for problem in problems)
+
+    def test_unstable_key_order_detected(self, tmp_path):
+        path = tmp_path / "unsorted.jsonl"
+        # Valid JSON, but keys out of sorted order: the re-serialization
+        # check must flag it.
+        path.write_text(
+            '{"record":"metrics","counters":{}}\n', encoding="utf-8"
+        )
+        problems = check_metrics_file(path)
+        assert any("key order" in problem for problem in problems)
+
+
+class TestSummary:
+    def test_summary_mentions_everything(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        manifest = RunManifest(command="test", seed=3, params={"p": 0.9})
+        write_metrics_jsonl(path, populated_registry(), manifest)
+        text = render_metrics_summary(read_metrics_records(path))
+        assert "command 'test'" in text
+        assert "engine.batches = 3" in text
+        assert "latency" in text
+        assert "pool.alive" in text
+        assert "wall clock" in text

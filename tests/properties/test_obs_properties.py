@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) on the observability primitives.
+
+The metrics layer underwrites the repo's determinism contract, so its
+invariants must hold for arbitrary inputs: counters never go negative
+(and reject attempts to make them), histogram bucket counts always sum
+to the observation count regardless of the values or the bucket edges,
+and merging snapshots adds integer metrics exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+# Shared strategies -----------------------------------------------------
+
+amounts = st.lists(st.integers(min_value=0, max_value=10**9), max_size=50)
+
+observations = st.lists(
+    st.floats(
+        min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+    ),
+    max_size=200,
+)
+
+edge_sets = st.lists(
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=12,
+    unique=True,
+).map(sorted)
+
+
+class TestCounterProperties:
+    @given(adds=amounts)
+    @settings(max_examples=60, deadline=None)
+    def test_counter_is_sum_of_adds_and_never_negative(self, adds):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        for amount in adds:
+            counter.add(amount)
+        assert counter.value == sum(adds)
+        assert counter.value >= 0
+
+    @given(
+        adds=amounts, bad=st.integers(min_value=-(10**9), max_value=-1)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_negative_add_rejected_without_corruption(self, adds, bad):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        for amount in adds:
+            counter.add(amount)
+        before = counter.value
+        with pytest.raises(ValueError):
+            counter.add(bad)
+        assert counter.value == before
+
+
+class TestHistogramProperties:
+    @given(values=observations, edges=edge_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_bucket_counts_sum_to_observation_count(self, values, edges):
+        histogram = Histogram("h", edges=edges)
+        for value in values:
+            histogram.observe(value)
+        assert sum(histogram.bucket_counts) == len(values)
+        assert histogram.count == len(values)
+        if values:
+            assert histogram.minimum == min(values)
+            assert histogram.maximum == max(values)
+
+    @given(values=observations, edges=edge_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_bucket_counts_independent_of_order(self, values, edges):
+        forward = Histogram("h", edges=edges)
+        backward = Histogram("h", edges=edges)
+        for value in values:
+            forward.observe(value)
+        for value in reversed(values):
+            backward.observe(value)
+        assert forward.bucket_counts == backward.bucket_counts
+
+
+class TestMergeProperties:
+    @given(
+        first=st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(min_value=0, max_value=10**6),
+            max_size=3,
+        ),
+        second=st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(min_value=0, max_value=10**6),
+            max_size=3,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_adds_counters_exactly(self, first, second):
+        left = MetricsRegistry()
+        for name, value in first.items():
+            left.counter(name).add(value)
+        right = MetricsRegistry()
+        for name, value in second.items():
+            right.counter(name).add(value)
+        left.merge_snapshot(right.snapshot())
+        merged = left.snapshot()["counters"]
+        for name in set(first) | set(second):
+            assert merged[name] == first.get(name, 0) + second.get(name, 0)
+
+    @given(values=observations)
+    @settings(max_examples=30, deadline=None)
+    def test_merged_histogram_equals_single_pass(self, values):
+        half = len(values) // 2
+        split_a = MetricsRegistry()
+        split_b = MetricsRegistry()
+        combined = MetricsRegistry()
+        for value in values[:half]:
+            split_a.histogram("h").observe(value)
+        for value in values[half:]:
+            split_b.histogram("h").observe(value)
+        for value in values:
+            combined.histogram("h").observe(value)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(split_a.snapshot())
+        merged.merge_snapshot(split_b.snapshot())
+        merged_h = merged.snapshot()["histograms"].get("h")
+        combined_h = combined.snapshot()["histograms"].get("h")
+        if merged_h is not None:
+            assert merged_h["bucket_counts"] == combined_h["bucket_counts"]
+            assert merged_h["count"] == combined_h["count"]
+            assert merged_h["min"] == combined_h["min"]
+            assert merged_h["max"] == combined_h["max"]

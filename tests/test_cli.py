@@ -229,3 +229,95 @@ class TestChaos:
     def test_unknown_plan_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["chaos", "--plan", "apocalyptic"])
+
+
+class TestRunAliasAndMetrics:
+    def test_run_is_a_campaign_alias(self, tmp_path):
+        out = tmp_path / "crawl.jsonl"
+        exit_code = main(
+            ["run", "--store", "demo", "--out", str(out), "--seed", "3"]
+        )
+        assert exit_code == 0
+        assert out.exists()
+
+    def test_same_seed_metrics_byte_identical(self, tmp_path):
+        """The determinism contract, end to end through the CLI: two
+        identical invocations emit byte-identical metrics once the
+        wall-clock record is stripped."""
+        from repro.obs.manifest import strip_wall_clock
+
+        out = tmp_path / "crawl.jsonl"
+
+        def run(metrics_path):
+            exit_code = main(
+                [
+                    "run",
+                    "--store",
+                    "demo",
+                    "--out",
+                    str(out),
+                    "--seed",
+                    "3",
+                    "--emit-metrics",
+                    str(metrics_path),
+                ]
+            )
+            assert exit_code == 0
+            return strip_wall_clock(metrics_path.read_text(encoding="utf-8"))
+
+        first = run(tmp_path / "first.metrics.jsonl")
+        second = run(tmp_path / "second.metrics.jsonl")
+        assert first == second
+        assert '"record":"manifest"' in first
+        assert '"scheduler.days_crawled"' in first
+
+    def test_metrics_check_and_summary(self, tmp_path, capsys):
+        metrics_path = tmp_path / "run.metrics.jsonl"
+        assert (
+            main(
+                [
+                    "chaos",
+                    "--plan",
+                    "mild",
+                    "--seed",
+                    "2",
+                    "--no-comments",
+                    "--emit-metrics",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["metrics", str(metrics_path), "--check"]) == 0
+        assert "ok" in capsys.readouterr().out
+        assert main(["metrics", str(metrics_path)]) == 0
+        summary = capsys.readouterr().out
+        assert "command 'chaos'" in summary
+        assert "counters" in summary
+
+    def test_metrics_check_fails_on_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n", encoding="utf-8")
+        assert main(["metrics", str(bad), "--check"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_metrics_strip_wall_clock(self, tmp_path, capsys):
+        metrics_path = tmp_path / "run.metrics.jsonl"
+        main(
+            [
+                "cache",
+                "--scale",
+                "0.003",
+                "--sizes",
+                "0.05",
+                "--emit-metrics",
+                str(metrics_path),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["metrics", str(metrics_path), "--strip-wall-clock"]) == 0
+        stripped = capsys.readouterr().out
+        assert '"record":"wall_clock"' not in stripped
+        assert '"record":"metrics"' in stripped
+        assert '"cache.LRU.hits"' in stripped

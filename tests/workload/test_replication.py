@@ -4,9 +4,11 @@ import numpy as np
 import pytest
 
 from repro.core.models import ModelKind
+from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.workload.generators import WorkloadSpec
 from repro.workload.replication import (
     DistanceEstimate,
+    WorkerFaultPlan,
     replicate_counts,
     replicate_distances,
     resolve_seeds,
@@ -68,6 +70,81 @@ class TestReplicateCounts:
         result = replicate_counts(tiny_spec(), n_replications=2, parallel=False)
         curves = result.rank_curves()
         assert (np.diff(curves, axis=1) <= 0).all()
+
+
+class TestFailureReporting:
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_failure_reason_is_captured_not_lost(self, parallel):
+        """Regression: the broad ``except Exception`` used to discard the
+        exception entirely, leaving only an undebuggable seed number."""
+        seeds = [5, 6, 7]
+        doomed = [5]
+        # Only seed 5 is in the plan: it crashes on its first 3 attempts,
+        # which exhausts max_seed_retries=1 (2 attempts); seeds 6 and 7
+        # survive, so the run degrades instead of aborting.
+        plan = WorkerFaultPlan.generate(
+            doomed, seed=0, crash_probability=1.0, max_crashes=3
+        )
+        assert plan.crashes_for(5) == 3
+        result = replicate_counts(
+            tiny_spec(ModelKind.ZIPF_AT_MOST_ONCE),
+            seeds=seeds,
+            parallel=parallel,
+            max_workers=2,
+            max_seed_retries=1,
+            fault_plan=plan,
+        )
+        assert set(result.failed_seeds) == set(doomed)
+        reasons = dict(result.failure_reasons)
+        for seed in doomed:
+            assert "WorkerCrashed" in reasons[seed]
+            assert str(seed) in reasons[seed]
+        description = result.describe_failures()
+        assert "WorkerCrashed" in description
+        assert "degraded" in description
+
+    def test_describe_failures_without_failures(self):
+        result = replicate_counts(
+            tiny_spec(), n_replications=2, parallel=False
+        )
+        assert result.failure_reasons == ()
+        assert "no failures" in result.describe_failures()
+
+    def test_crash_and_attempt_counters(self):
+        seeds = [5, 6, 7]
+        plan = WorkerFaultPlan.generate(
+            seeds, seed=0, crash_probability=1.0, max_crashes=1
+        )
+        crashing = sum(1 for seed in seeds if plan.crashes_for(seed))
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            result = replicate_counts(
+                tiny_spec(ModelKind.ZIPF_AT_MOST_ONCE),
+                seeds=seeds,
+                parallel=False,
+                max_seed_retries=2,
+                fault_plan=plan,
+            )
+        assert result.failed_seeds == ()
+        assert registry.counter("replication.crashes").value == crashing
+        assert (
+            registry.counter("replication.attempts").value
+            == len(seeds) + crashing
+        )
+        assert registry.counter("replication.seeds_failed").value == 0
+
+    def test_pool_metrics_merge_matches_serial(self):
+        """Worker registries merge in seed order: the metrics file from a
+        pooled run must equal the serial run byte for byte."""
+        spec = tiny_spec(ModelKind.ZIPF_AT_MOST_ONCE)
+        seeds = [5, 6, 7]
+        serial_registry = MetricsRegistry()
+        with use_registry(serial_registry):
+            replicate_counts(spec, seeds=seeds, parallel=False)
+        pooled_registry = MetricsRegistry()
+        with use_registry(pooled_registry):
+            replicate_counts(spec, seeds=seeds, parallel=True, max_workers=2)
+        assert serial_registry.snapshot() == pooled_registry.snapshot()
 
 
 class TestReplicateDistances:
