@@ -38,6 +38,7 @@ from repro.core.models import ModelKind
 from repro.obs.manifest import RunManifest, write_metrics_jsonl
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.workload.generators import WorkloadSpec, make_workload_batches
+from repro.workload.sharding import run_sharded_campaign
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_models.json"
@@ -83,6 +84,68 @@ class ModelTiming:
             f"batched {self.batched_events_per_sec:,.0f} ev/s "
             f"({self.speedup:.1f}x)"
         )
+
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """One model's sharded-campaign timing and exactness check."""
+
+    model: str
+    n_shards: int
+    block_size: int
+    n_users: int
+    total_downloads: int
+    n_events: int
+    seconds: float
+    fingerprint: str
+    serial_matches: bool
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.n_events / self.seconds if self.seconds else 0.0
+
+    def describe(self) -> str:
+        check = "==" if self.serial_matches else "!="
+        return (
+            f"{self.model} sharded x{self.n_shards}: "
+            f"{self.events_per_sec:,.0f} ev/s "
+            f"({self.n_events:,} events in {self.seconds:.2f}s, "
+            f"fingerprint {check} serial)"
+        )
+
+
+def time_sharded(
+    kind: ModelKind,
+    sizes: Dict[str, int],
+    n_shards: int,
+    block_size: int,
+    seed: int = 0,
+) -> ShardTiming:
+    """Time a sharded campaign and verify it reproduces the serial run.
+
+    The serial reference runs first (in-process, ``n_shards=1``) so the
+    fingerprint comparison is part of every benchmark, not just the test
+    suite: a sharded number only counts if it is byte-identical to the
+    serial answer.
+    """
+    spec = _spec(kind, sizes, seed)
+    serial = run_sharded_campaign(
+        spec, n_shards=1, block_size=block_size, use_processes=False
+    )
+    start = time.perf_counter()
+    sharded = run_sharded_campaign(spec, n_shards=n_shards, block_size=block_size)
+    seconds = time.perf_counter() - start
+    return ShardTiming(
+        model=kind.value,
+        n_shards=n_shards,
+        block_size=block_size,
+        n_users=sizes["n_users"],
+        total_downloads=sizes["total_downloads"],
+        n_events=sharded.n_events,
+        seconds=seconds,
+        fingerprint=sharded.fingerprint,
+        serial_matches=sharded.fingerprint == serial.fingerprint,
+    )
 
 
 def _spec(kind: ModelKind, sizes: Dict[str, int], seed: int) -> WorkloadSpec:
@@ -138,7 +201,10 @@ def run_benchmark(
 
 
 def write_results(
-    timings: List[ModelTiming], label: str, path: Path = DEFAULT_OUTPUT
+    timings: List[ModelTiming],
+    label: str,
+    path: Path = DEFAULT_OUTPUT,
+    sharded: Optional[List[ShardTiming]] = None,
 ) -> dict:
     """Append a benchmark record to the JSON trajectory file."""
     record = {
@@ -156,6 +222,14 @@ def write_results(
             for timing in timings
         ],
     }
+    if sharded:
+        record["sharded"] = [
+            {
+                **asdict(timing),
+                "events_per_sec": round(timing.events_per_sec, 1),
+            }
+            for timing in sharded
+        ]
     history = []
     if path.exists():
         history = json.loads(path.read_text(encoding="utf-8"))
@@ -206,6 +280,28 @@ def test_bench_perf_models_smoke():
         assert timing.speedup > 1.5, timing.describe()
 
 
+@pytest.mark.bench_smoke
+def test_bench_sharded_smoke():
+    """Smoke mode for the sharded runner: exactness first, speed second.
+
+    Runs a small campaign through a real process pool and asserts the
+    acceptance criterion directly: the sharded fingerprint equals the
+    serial one.  Throughput is only sanity-checked (> 0) -- smoke sizes
+    are far too small for the pool to amortize its startup.
+    """
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        timings = [
+            time_sharded(kind, SMOKE, n_shards=4, block_size=1_024, seed=0)
+            for kind in ModelKind
+        ]
+    for timing in timings:
+        print(timing.describe())
+        assert timing.serial_matches, timing.describe()
+        assert timing.n_events > 0
+        assert timing.events_per_sec > 0
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -215,16 +311,40 @@ def main() -> None:
     parser.add_argument(
         "--out", type=Path, default=DEFAULT_OUTPUT, help="JSON trajectory file"
     )
+    parser.add_argument(
+        "--label", default=None, help="record label (default: smoke/reference)"
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="worker count for the sharded campaign timings (0 disables)",
+    )
     args = parser.parse_args()
 
     sizes = SMOKE if args.smoke else REFERENCE
-    label = "smoke" if args.smoke else "reference"
+    label = args.label or ("smoke" if args.smoke else "reference")
     registry = MetricsRegistry()
     with use_registry(registry):
         timings = run_benchmark(sizes, seed=args.seed)
     for timing in timings:
         print(timing.describe())
-    record = write_results(timings, label, path=args.out)
+    sharded = None
+    if args.shards:
+        sharded = [
+            time_sharded(
+                kind,
+                sizes,
+                n_shards=args.shards,
+                block_size=1_024 if args.smoke else 65_536,
+                seed=args.seed,
+            )
+            for kind in ModelKind
+        ]
+        for timing in sharded:
+            print(timing.describe())
+            assert timing.serial_matches, timing.describe()
+    record = write_results(timings, label, path=args.out, sharded=sharded)
     print(f"wrote {args.out} ({label}, {len(record['models'])} models)")
     sidecar = _write_metrics_sidecar(
         registry,

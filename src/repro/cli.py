@@ -71,11 +71,94 @@ def _add_campaign_parser(subparsers) -> None:
         action="store_true",
         help="skip comment collection (faster; disables the affinity study)",
     )
+    sharded = parser.add_argument_group(
+        "sharded workload campaign",
+        "with --shards, run a download-model campaign partitioned over "
+        "worker processes instead of a store crawl; --out receives a "
+        "JSON summary with the counts fingerprint (byte-identical "
+        "across shard counts for the same seed)",
+    )
+    sharded.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="number of worker shards (1 = serial in-process)",
+    )
+    sharded.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        help="users per block (the shard-independent unit of work)",
+    )
+    sharded.add_argument(
+        "--kind",
+        default="APP-CLUSTERING",
+        choices=["ZIPF", "ZIPF-at-most-once", "APP-CLUSTERING"],
+        help="workload model for the sharded campaign",
+    )
+    sharded.add_argument("--apps", type=int, default=60_000)
+    sharded.add_argument("--users", type=int, default=100_000)
+    sharded.add_argument("--downloads", type=int, default=1_000_000)
+    sharded.add_argument("--zr", type=float, default=1.7)
+    sharded.add_argument("--zc", type=float, default=1.4)
+    sharded.add_argument("--p", type=float, default=0.9)
+    sharded.add_argument("--clusters", type=int, default=30)
     parser.add_argument("--emit-metrics", default=None, help=_METRICS_HELP)
     parser.set_defaults(handler=_run_campaign)
 
 
+def _run_sharded_campaign(args) -> int:
+    import json
+
+    from repro.core.models import ModelKind
+    from repro.workload.generators import WorkloadSpec
+    from repro.workload.sharding import (
+        DEFAULT_BLOCK_SIZE,
+        run_sharded_campaign,
+    )
+
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    spec = WorkloadSpec(
+        kind=ModelKind(args.kind),
+        n_apps=args.apps,
+        n_users=args.users,
+        total_downloads=args.downloads,
+        zr=args.zr,
+        zc=args.zc,
+        p=args.p,
+        n_clusters=args.clusters,
+        seed=args.seed,
+    )
+    block_size = args.block_size or DEFAULT_BLOCK_SIZE
+    result = run_sharded_campaign(
+        spec, n_shards=args.shards, block_size=block_size
+    )
+    print(result.describe())
+    summary = {
+        "kind": spec.kind.value,
+        "n_apps": spec.n_apps,
+        "n_users": spec.n_users,
+        "total_downloads": spec.total_downloads,
+        "seed": spec.seed,
+        "n_shards": result.n_shards,
+        "n_blocks": result.n_blocks,
+        "block_size": result.block_size,
+        "n_events": result.n_events,
+        "events_unfilled": result.events_unfilled,
+        "counts_fingerprint": f"sha256:{result.fingerprint}",
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"saved {args.out}")
+    return 0
+
+
 def _run_campaign(args) -> int:
+    if args.shards is not None:
+        return _run_sharded_campaign(args)
     if args.store == "demo":
         profile = demo_profile()
     else:

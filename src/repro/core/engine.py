@@ -13,12 +13,22 @@ the alias method was chosen for.  This module batches the inner loop:
   vectorized: a dense ``(n_users, n_apps)`` boolean matrix when it fits
   the memory budget, a packed bitmap at one bit per cell when that fits,
   and a per-user ``set`` fallback otherwise;
-- :func:`sample_new_apps` -- the shared rejection kernel: draw candidate
-  apps for a whole batch of user slots, reject already-downloaded (and
-  intra-batch duplicate) picks vectorized, retry up to ``max_rejections``
-  times;
+- :func:`masked_head_tail_draw` -- the near-rejection-free sampling
+  kernel: the top-``K`` head of the distribution is renormalized exactly
+  against each user's ownership bits (one packed-ledger byte), and tail
+  picks from the alias table are thinned against the ledger -- a
+  near-certain accept, so redraw loops all but disappear;
+- :func:`sample_new_apps` -- the legacy rejection kernel, kept for
+  callers that need ``available`` masks or acceptance thinning (the
+  feedback and behavior models): draw candidate apps for a whole batch
+  of user slots, reject already-downloaded (and intra-batch duplicate)
+  picks vectorized, retry up to ``max_rejections`` times;
 - ``*_event_batches`` generators -- the three models of
-  :mod:`repro.core.models` expressed as chunked batch streams.
+  :mod:`repro.core.models` expressed as chunked batch streams.  The
+  fetch-at-most-once streams are round-vectorized: round ``k`` serves
+  the ``k``-th download of every user with budget left, so user slots
+  within a kernel call are unique by construction (the batch-level dedup
+  happens before any ledger lookup, not after a collision).
 
 The per-user decision process is untouched: every user still runs the
 exact Markov chain of Section 5.1, so the batched streams are
@@ -34,7 +44,7 @@ from typing import Callable, Iterator, List, Mapping, Optional, Set
 import numpy as np
 
 from repro.obs.metrics import get_registry
-from repro.stats.sampling import AliasSampler
+from repro.stats.sampling import AliasSampler, HeadTailSampler
 
 #: Default number of download slots processed per vectorized chunk.
 DEFAULT_BATCH_SIZE = 65_536
@@ -112,6 +122,14 @@ class DownloadLedger:
       one *bit* per cell; an eighth of the memory for a couple of extra
       shifts per lookup.  This is what the paper-scale reference store
       (60k apps x 100k users) lands on under the default 1 GiB budget.
+    - ``"compact"`` -- a ``(n_users, capacity)`` ``int32`` matrix of each
+      user's downloaded app ids (``-1`` padded), available when the
+      caller knows an upper bound on downloads per user (the budgeted
+      streams always do).  At paper scale this is a few MB against the
+      bitmap's hundreds -- the whole structure stays cache-resident, and
+      sparse tail downloads stop page-faulting across a giant address
+      space.  Head-ownership bitmasks for registered top-``K`` app lists
+      (see :meth:`head_bits`) are maintained as contiguous per-head rows.
     - ``"sets"`` -- one Python ``set`` per user; O(events) memory, used
       when even the bitmap would not fit.
 
@@ -119,7 +137,7 @@ class DownloadLedger:
     simulation output is bit-for-bit identical across modes (tested).
     """
 
-    _MODES = ("dense", "packed", "sets")
+    _MODES = ("dense", "packed", "compact", "sets")
 
     def __init__(
         self,
@@ -127,41 +145,146 @@ class DownloadLedger:
         n_apps: int,
         memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
         mode: Optional[str] = None,
+        capacity: Optional[int] = None,
     ) -> None:
         if n_users < 1 or n_apps < 1:
             raise ValueError("n_users and n_apps must be positive")
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive when given")
         if mode is None:
-            cells = n_users * n_apps
-            if cells <= memory_budget_bytes:
-                mode = "dense"
-            elif cells // 8 <= memory_budget_bytes:
-                mode = "packed"
-            else:
-                mode = "sets"
+            mode = self._select_mode(
+                n_users, n_apps, memory_budget_bytes, capacity
+            )
         if mode not in self._MODES:
             raise ValueError(f"mode must be one of {self._MODES}, got {mode!r}")
+        if mode == "compact" and capacity is None:
+            raise ValueError("compact mode requires a per-user capacity")
         self.n_users = n_users
         self.n_apps = n_apps
         self.mode = mode
+        self.capacity = capacity
         #: Number of distinct apps each user has downloaded.
         self.counts = np.zeros(n_users, dtype=np.int64)
+        #: Total recorded downloads (drives the late-registration rebuild).
+        self._n_events = 0
         self._dense: Optional[np.ndarray] = None
         self._packed: Optional[np.ndarray] = None
+        self._owned: Optional[np.ndarray] = None
         self._sets: Optional[List[Set[int]]] = None
+        # Registered head lists (compact mode): per-head uint8 mask rows
+        # plus app -> (head row, bit) tables so adds keep masks current.
+        self._head_rows: dict = {}
+        self._grouped_rows: dict = {}
+        self._head_masks: Optional[np.ndarray] = None
+        self._head_slot_row: Optional[np.ndarray] = None
+        self._head_slot_bit: Optional[np.ndarray] = None
         if mode == "dense":
             self._dense = np.zeros((n_users, n_apps), dtype=bool)
+        elif mode == "compact":
+            assert capacity is not None
+            self._owned = np.full((n_users, capacity), -1, dtype=np.int32)
         elif mode == "packed":
-            self._packed = np.zeros((n_users, (n_apps + 7) // 8), dtype=np.uint8)
+            # Byte-column major: row ``b`` holds bit-byte ``b`` of every
+            # user.  Apps are Zipf-popular, so almost all lookups hit the
+            # first few hundred byte columns; this layout keeps that hot
+            # set contiguous (a few dozen MB at paper scale) instead of
+            # strided across the whole bitmap, and makes the head
+            # kernel's byte-0 gather a sequential read.
+            self._packed = np.zeros(((n_apps + 7) // 8, n_users), dtype=np.uint8)
         else:
             self._sets = [set() for _ in range(n_users)]
+
+    @classmethod
+    def _select_mode(
+        cls,
+        n_users: int,
+        n_apps: int,
+        memory_budget_bytes: int,
+        capacity: Optional[int],
+    ) -> str:
+        """Pick the backend from actual footprints against the budget.
+
+        Dense wins while it fits (fastest lookups).  Otherwise, of the
+        two sub-dense array backends that fit -- the packed bitmap and,
+        when a per-user ``capacity`` is known, the compact owned-apps
+        matrix -- the smaller one wins; at paper scale compact is
+        hundreds of times smaller and entirely cache-resident.  Sets are
+        the last resort.
+        """
+        if cls.backend_bytes("dense", n_users, n_apps) <= memory_budget_bytes:
+            return "dense"
+        candidates = []
+        packed_bytes = cls.backend_bytes("packed", n_users, n_apps)
+        if packed_bytes <= memory_budget_bytes:
+            candidates.append((packed_bytes, "packed"))
+        if capacity is not None:
+            compact_bytes = cls.backend_bytes(
+                "compact", n_users, n_apps, capacity
+            )
+            if compact_bytes <= memory_budget_bytes:
+                candidates.append((compact_bytes, "compact"))
+        if candidates:
+            return min(candidates)[1]
+        return "sets"
+
+    @staticmethod
+    def backend_bytes(
+        mode: str, n_users: int, n_apps: int, capacity: Optional[int] = None
+    ) -> int:
+        """Exact allocation of a membership backend, in bytes.
+
+        Mode selection used to estimate the packed bitmap as
+        ``n_users * n_apps // 8``, which undercounts the per-row byte
+        padding: the bitmap really allocates ``ceil(n_apps / 8)`` bytes
+        per user.  The ``counts`` vector is excluded -- every mode
+        carries it, so it cannot change which backend fits a budget.
+        For ``"sets"`` this is the empty-structure baseline (one empty
+        ``set`` per user); set storage grows with recorded events, which
+        :meth:`footprint_bytes` accounts for.
+        """
+        if mode == "dense":
+            return n_users * n_apps
+        if mode == "packed":
+            return n_users * ((n_apps + 7) // 8)
+        if mode == "compact":
+            if capacity is None:
+                raise ValueError("compact footprint requires a capacity")
+            return n_users * capacity * 4
+        if mode == "sets":
+            import sys
+
+            return n_users * sys.getsizeof(set())
+        raise ValueError(f"unknown ledger mode: {mode!r}")
+
+    def footprint_bytes(self) -> int:
+        """Actual current footprint of the membership structure, in bytes."""
+        if self._dense is not None:
+            return self._dense.nbytes
+        if self._packed is not None:
+            return self._packed.nbytes
+        if self._owned is not None:
+            masks = 0 if self._head_masks is None else self._head_masks.nbytes
+            return self._owned.nbytes + masks
+        sets = self._sets
+        assert sets is not None
+        import sys
+
+        return sum(sys.getsizeof(entries) for entries in sets)
 
     def contains(self, users: np.ndarray, apps: np.ndarray) -> np.ndarray:
         """Boolean mask: has ``users[i]`` already downloaded ``apps[i]``?"""
         if self._dense is not None:
             return self._dense[users, apps]
         if self._packed is not None:
-            bytes_ = self._packed[users, apps >> 3]
+            bytes_ = self._packed[apps >> 3, users]
             return ((bytes_ >> (apps & 7).astype(np.uint8)) & 1).astype(bool)
+        if self._owned is not None:
+            rows = self._owned[users]
+            # asarray is a no-copy view when callers already pass int32
+            # (the fused kernel's tail draws do).
+            return (rows == np.asarray(apps, dtype=np.int32)[:, None]).any(
+                axis=1
+            )
         sets = self._sets
         assert sets is not None
         return np.fromiter(
@@ -174,21 +297,330 @@ class DownloadLedger:
         """Record downloads.  Pairs must be new and free of duplicates."""
         if users.size == 0:
             return
+        if self._owned is not None:
+            if np.unique(users).size == users.size:
+                self.add_unique(users, apps)
+            else:
+                # Repeated users need sequential slot assignment; this is
+                # the compatibility path, the budgeted streams never
+                # repeat a user within a call.
+                owned = self._owned
+                for user, app in zip(users.tolist(), apps.tolist()):
+                    self._check_capacity_one(user)
+                    owned[user, self.counts[user]] = app
+                    self.counts[user] += 1
+                self._n_events += users.size
+                self._update_head_masks(users, apps)
+            return
+        self._n_events += users.size
         np.add.at(self.counts, users, 1)
         if self._dense is not None:
             self._dense[users, apps] = True
         elif self._packed is not None:
             bits = (np.uint8(1) << (apps & 7).astype(np.uint8)).astype(np.uint8)
-            np.bitwise_or.at(self._packed, (users, apps >> 3), bits)
+            np.bitwise_or.at(self._packed, (apps >> 3, users), bits)
         else:
             sets = self._sets
             assert sets is not None
             for user, app in zip(users.tolist(), apps.tolist()):
                 sets[user].add(app)
 
+    def add_unique(self, users: np.ndarray, apps: np.ndarray) -> None:
+        """Record downloads for *distinct* users (one pair per user).
+
+        The round-vectorized streams serve at most one download per user
+        per kernel call, so ``users`` carries no duplicates and the
+        scatter can be a direct fancy-index store instead of the
+        ``np.add.at`` / ``np.bitwise_or.at`` unbuffered loops -- the
+        difference is a few milliseconds per 65k-slot round.
+        """
+        if users.size == 0:
+            return
+        self._n_events += users.size
+        if self._owned is not None:
+            slots = self.counts[users]
+            if int(slots.max()) >= self._owned.shape[1]:
+                raise ValueError(
+                    "compact ledger capacity exceeded; construct with a "
+                    "larger per-user capacity"
+                )
+            self._owned[users, slots] = apps
+            self.counts[users] = slots + 1
+            self._update_head_masks(users, apps)
+            return
+        self.counts[users] += 1
+        if self._dense is not None:
+            self._dense[users, apps] = True
+        elif self._packed is not None:
+            columns = apps >> 3
+            bits = (np.uint8(1) << (apps & 7).astype(np.uint8)).astype(np.uint8)
+            self._packed[columns, users] |= bits
+        else:
+            sets = self._sets
+            assert sets is not None
+            for user, app in zip(users.tolist(), apps.tolist()):
+                sets[user].add(app)
+
+    def _check_capacity_one(self, user: int) -> None:
+        assert self._owned is not None
+        if self.counts[user] >= self._owned.shape[1]:
+            raise ValueError(
+                "compact ledger capacity exceeded; construct with a "
+                "larger per-user capacity"
+            )
+
+    def _register_head(self, apps: np.ndarray) -> int:
+        """Register a head app list and return its mask row index.
+
+        Each registered head gets one contiguous ``(n_users,)`` uint8
+        mask row: bit ``j`` of ``masks[row, u]`` says user ``u`` owns
+        ``apps[j]``.  Adds keep the masks current through per-app
+        ``(row, bit)`` tables; registration after downloads were already
+        recorded rebuilds the row from the owned matrix.  An app can sit
+        in at most two heads (its global top-``K`` slot and its
+        cluster's) -- a third registration of the same app raises.
+        """
+        assert self._owned is not None
+        if apps.size > 8:
+            raise ValueError("a head mask row holds at most 8 apps")
+        row = len(self._head_rows)
+        if self._head_slot_row is None:
+            self._head_slot_row = np.full((2, self.n_apps), -1, dtype=np.int16)
+            self._head_slot_bit = np.zeros((2, self.n_apps), dtype=np.uint8)
+            self._head_masks = np.zeros((8, self.n_users), dtype=np.uint8)
+        assert self._head_masks is not None
+        if row >= self._head_masks.shape[0]:
+            # Grow by doubling; per-registration concatenation would copy
+            # the whole mask block once per registered head.
+            grown = np.zeros(
+                (2 * self._head_masks.shape[0], self.n_users), dtype=np.uint8
+            )
+            grown[: self._head_masks.shape[0]] = self._head_masks
+            self._head_masks = grown
+        assert self._head_slot_bit is not None and self._head_masks is not None
+        for j, app in enumerate(apps.tolist()):
+            if self._head_slot_row[0, app] < 0:
+                level = 0
+            elif self._head_slot_row[1, app] < 0:
+                level = 1
+            else:
+                raise ValueError(
+                    f"app {app} already belongs to two registered heads"
+                )
+            self._head_slot_row[level, app] = row
+            self._head_slot_bit[level, app] = np.uint8(1 << j)
+        if self._n_events:
+            # Late registration: rebuild ownership bits from the owned
+            # matrix.  Streams register heads on an empty ledger, where
+            # this scan is skipped entirely (rows are pre-zeroed).
+            mask = np.zeros(self.n_users, dtype=np.uint8)
+            for j, app in enumerate(apps.tolist()):
+                mask |= (
+                    (self._owned == app).any(axis=1).astype(np.uint8)
+                    << np.uint8(j)
+                )
+            self._head_masks[row] = mask
+        self._head_rows[apps.tobytes()] = row
+        return row
+
+    def prepare_head(self, apps: np.ndarray) -> None:
+        """Pre-register a head app list (compact mode; no-op otherwise).
+
+        Registration is cheapest while the ledger is empty; the kernels
+        auto-register on first use, but a stream that knows its heads
+        up front should call this right after construction.
+        """
+        if self._owned is None:
+            return
+        key = apps.tobytes()
+        if key not in self._head_rows:
+            self._register_head(apps)
+
+    def _update_head_masks(self, users: np.ndarray, apps: np.ndarray) -> None:
+        if self._head_slot_row is None:
+            return
+        assert self._head_slot_bit is not None and self._head_masks is not None
+        # Level 0 hits are common (head mass dominates Zipf draws), so the
+        # unconditional scatter wins: non-head apps carry bit 0, and
+        # clamping their row to 0 makes the OR a no-op -- cheaper than
+        # materializing a hit mask and filtering three arrays.  Level 1
+        # only holds apps registered in *two* heads, so there filtering
+        # to the few hits first is cheaper.
+        rows = self._head_slot_row[0, apps]
+        self._head_masks[np.maximum(rows, 0), users] |= self._head_slot_bit[
+            0, apps
+        ]
+        rows = self._head_slot_row[1, apps]
+        hit = np.flatnonzero(rows >= 0)
+        if hit.size:
+            self._head_masks[rows[hit], users[hit]] |= self._head_slot_bit[
+                1, apps[hit]
+            ]
+
+    def head_bits(self, users: np.ndarray, apps: np.ndarray) -> np.ndarray:
+        """Ownership bits for a fixed app list: ``out[k, i]`` is 1 when
+        ``users[i]`` already downloaded ``apps[k]``.
+
+        This is the gather the masked head kernel leans on.  In packed
+        mode, when every head app falls in the same bitmap byte (true for
+        a contiguous top-``K <= 8`` head), the whole matrix comes from a
+        single byte-per-user gather plus shifts.
+        """
+        n = users.size
+        k = apps.size
+        out = np.empty((k, n), dtype=np.uint8)
+        if self._packed is not None:
+            columns = apps >> 3
+            shifts = (apps & 7).astype(np.uint8)
+            if k and np.all(columns == columns[0]):
+                chunk = self._packed[columns[0], users]
+                for j in range(k):
+                    out[j] = (chunk >> shifts[j]) & 1
+            else:
+                for j in range(k):
+                    out[j] = (self._packed[columns[j], users] >> shifts[j]) & 1
+            return out
+        if self._dense is not None:
+            for j in range(k):
+                out[j] = self._dense[users, apps[j]]
+            return out
+        if self._owned is not None:
+            row = self._head_rows.get(apps.tobytes())
+            if row is None:
+                row = self._register_head(apps)
+            assert self._head_masks is not None
+            chunk = self._head_masks[row, users]
+            for j in range(k):
+                out[j] = (chunk >> np.uint8(j)) & 1
+            return out
+        sets = self._sets
+        assert sets is not None
+        apps_list = apps.tolist()
+        for i, user in enumerate(users.tolist()):
+            owned = sets[user]
+            for j, app in enumerate(apps_list):
+                out[j, i] = app in owned
+        return out
+
+    def head_bits_grouped(
+        self,
+        users: np.ndarray,
+        head_apps: np.ndarray,
+        group_ids: np.ndarray,
+    ) -> np.ndarray:
+        """Ownership bits when each user draws from its *own* head list.
+
+        ``head_apps`` is a ``(n_groups, k)`` matrix of app ids -- one head
+        list per group -- and ``group_ids[i]`` names the group of
+        ``users[i]``.  Returns the same ``(k, n)`` layout as
+        :meth:`head_bits`.  This is the gather behind the fused clustered
+        kernel: one call covers every cluster in a round instead of one
+        :meth:`head_bits` call per cluster.  All storage modes answer
+        identically (compact reads one registered mask row per group;
+        the others gather per head slot), so output stays bit-identical
+        across modes.
+        """
+        n = users.size
+        n_groups, k = head_apps.shape
+        out = np.empty((k, n), dtype=np.uint8)
+        if self._owned is not None:
+            chunk = self.head_bytes_grouped(users, head_apps, group_ids)
+            assert chunk is not None
+            for j in range(k):
+                out[j] = (chunk >> np.uint8(j)) & 1
+            return out
+        if self._dense is not None:
+            for j in range(k):
+                out[j] = self._dense[users, head_apps[group_ids, j]]
+            return out
+        if self._packed is not None:
+            for j in range(k):
+                apps_j = head_apps[group_ids, j]
+                out[j] = (
+                    self._packed[apps_j >> 3, users]
+                    >> (apps_j & 7).astype(np.uint8)
+                ) & 1
+            return out
+        sets = self._sets
+        assert sets is not None
+        groups_list = group_ids.tolist()
+        for i, user in enumerate(users.tolist()):
+            owned = sets[user]
+            group = groups_list[i]
+            for j in range(k):
+                out[j, i] = int(head_apps[group, j]) in owned
+        return out
+
+    def head_bytes(
+        self, users: np.ndarray, apps: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Per-user ownership byte for one head list, or ``None``.
+
+        Bit ``j`` of ``out[i]`` says ``users[i]`` owns ``apps[j]`` --
+        :meth:`head_bits` packed into one ``uint8``.  Available when the
+        backend already stores the byte (compact mask rows; the packed
+        bitmap when the whole head shares a byte column); other layouts
+        return ``None`` and the caller packs :meth:`head_bits` itself,
+        which yields the same byte, so streams stay identical across
+        modes.
+        """
+        if self._owned is not None:
+            row = self._head_rows.get(apps.tobytes())
+            if row is None:
+                row = self._register_head(apps)
+            assert self._head_masks is not None
+            return self._head_masks[row, users]
+        if self._packed is not None and apps.size:
+            columns = apps >> 3
+            if np.all(columns == columns[0]) and np.array_equal(
+                apps & 7, np.arange(apps.size, dtype=apps.dtype)
+            ):
+                return self._packed[columns[0], users]
+        return None
+
+    def head_bytes_grouped(
+        self,
+        users: np.ndarray,
+        head_apps: np.ndarray,
+        group_ids: np.ndarray,
+    ) -> Optional[np.ndarray]:
+        """Per-user ownership *byte* for per-group head lists, or ``None``.
+
+        Same semantics as :meth:`head_bits_grouped` with the ``k`` bits
+        packed into one ``uint8`` per user (bit ``j`` = owns
+        ``head_apps[group_ids[i], j]``).  Only the compact backend keeps
+        head ownership pre-packed; other modes return ``None`` and the
+        caller unpacks via :meth:`head_bits_grouped` -- the resulting
+        arithmetic is identical either way, so streams stay bit-identical
+        across modes.
+        """
+        if self._owned is None:
+            return None
+        n_groups = head_apps.shape[0]
+        key = head_apps.tobytes()
+        rows = self._grouped_rows.get(key)
+        if rows is None:
+            rows = np.empty(n_groups, dtype=np.int64)
+            for g in range(n_groups):  # repro: noqa=RPL020 -- one-time registration, O(n_groups)
+                group_head = np.ascontiguousarray(head_apps[g])
+                row = self._head_rows.get(group_head.tobytes())
+                if row is None:
+                    row = self._register_head(group_head)
+                rows[g] = row
+            self._grouped_rows[key] = rows
+        assert self._head_masks is not None
+        return self._head_masks[rows[group_ids], users]
+
     def saturated(self, users: np.ndarray) -> np.ndarray:
         """Mask of users that have already downloaded every app."""
         return self.counts[users] >= self.n_apps
+
+
+def _budget_capacity(total_downloads: int, n_users: int) -> int:
+    """Largest per-user budget :func:`per_user_budgets` can assign --
+    the compact ledger's capacity, known before any randomness."""
+    base = total_downloads // n_users
+    return max(1, base + (1 if total_downloads % n_users else 0))
 
 
 def per_user_budgets(
@@ -283,7 +715,244 @@ def sample_new_apps(
             pending = pending[~ledger.saturated(users[pending])]
     if pending.size:
         metrics.counter("engine.slots_unfilled").add(int(pending.size))
+    unfilled = int(np.count_nonzero(apps < 0))
+    if unfilled:
+        # Every -1 sentinel is a download that silently never happened --
+        # rejection-cap failures *and* pre-saturated slots.  Count them
+        # all so saturation is visible in campaign stats.
+        metrics.counter("engine.events_unfilled").add(unfilled)
     return apps
+
+
+def masked_head_tail_draw(
+    sampler: HeadTailSampler,
+    users: np.ndarray,
+    ledger: DownloadLedger,
+    rng: np.random.Generator,
+    max_rejections: int,
+) -> np.ndarray:
+    """Draw one not-yet-downloaded app per user, near-rejection-free.
+
+    ``users`` must be **unique** (the round-vectorized streams guarantee
+    it: one slot per user per round), so accepted picks cannot collide
+    within a call and nothing here mutates the ledger -- the caller
+    commits accepted pairs afterwards with :meth:`DownloadLedger.add_unique`.
+
+    The draw is exact, not approximate.  Per user, the target law is the
+    input distribution renormalized over apps the user does not own.
+    The head (top-``K``) part is materialized: ownership bits from the
+    ledger zero out owned head weights, and a single uniform over
+    ``masked_head_mass + tail_mass`` both routes the draw and picks the
+    head slot (owned slots have zero width in the cumulative sum, so
+    they are skipped for free).  Draws routed to the tail sample the
+    alias table and are thinned against the ledger; a rejected tail pick
+    re-enters the *whole* mixture draw, which is classic rejection
+    sampling of the renormalized law with acceptance probability
+    ``1 - owned_tail_mass / (masked_head_mass + tail_mass)`` -- near one
+    for Zipf-shaped inputs, where ownership concentrates in the head.
+
+    Ledger storage modes consume no randomness and return identical
+    bits, so output is bit-identical across modes.  Returns ``-1`` for
+    users with nothing left to draw (or, pathologically, users that
+    exhaust ``max_rejections`` while owning almost the whole tail);
+    failures are counted under ``engine.events_unfilled`` by the stream.
+    """
+    metrics = get_registry()
+    redraw_counter = metrics.counter("engine.tail_redraws")
+    n = users.size
+    apps = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return apps
+    head = sampler.head
+    k = head.size
+    # Per-user renormalization collapses to table lookups: the masked
+    # cumulative head weights depend only on the user's 8-bit ownership
+    # byte (see HeadTailSampler.head_byte_tables).  Backends that store
+    # the byte hand it over directly; others pack it from the bit
+    # matrix -- the same byte either way, so streams stay bit-identical
+    # across ledger modes.
+    cum_table, avail_table = sampler.head_byte_tables()
+    chunk = ledger.head_bytes(users, head)
+    if chunk is None:
+        bits = ledger.head_bits(users, head)
+        chunk = bits[0].copy()
+        for j in range(1, k):
+            chunk |= bits[j] << np.uint8(j)
+    head_avail = avail_table[chunk]
+    total = head_avail + np.float32(sampler.tail_weight)
+    if sampler.has_tail:
+        # Positive tail mass keeps every total positive: all users pend.
+        pending = np.arange(n, dtype=np.int64)
+        full = True
+    else:
+        # Users with no head mass left and no tail have nothing to draw.
+        pending = np.flatnonzero(total > 0)
+        full = pending.size == n
+    for attempt in range(max_rejections):
+        if pending.size == 0:
+            break
+        if attempt:
+            redraw_counter.add(int(pending.size))
+        if full and attempt == 0:
+            total_p, avail_p = total, head_avail
+        else:
+            total_p, avail_p = total[pending], head_avail[pending]
+        r = rng.random(pending.size, dtype=np.float32) * total_p
+        in_head = r < avail_p
+        head_rows = pending[in_head]
+        if head_rows.size:
+            picks = (cum_table[chunk[head_rows]] <= r[in_head, None]).sum(
+                axis=1
+            )
+            apps[head_rows] = head[picks]
+        tail_rows = pending[~in_head]
+        if tail_rows.size == 0:
+            pending = tail_rows
+            continue
+        if not sampler.has_tail:
+            # r == head_avail exactly (only possible at head_avail == 0
+            # boundaries): nothing outside the head to fall back to.
+            pending = tail_rows
+            continue
+        draws = sampler.sample_tail(tail_rows.size, rng)
+        fresh = ~ledger.contains(users[tail_rows], draws)
+        accepted = tail_rows[fresh]
+        apps[accepted] = draws[fresh]
+        pending = tail_rows[~fresh]
+    return apps
+
+
+def masked_head_tail_draw_grouped(
+    rank_sampler: HeadTailSampler,
+    users: np.ndarray,
+    group_ids: np.ndarray,
+    tail_members: np.ndarray,
+    head_apps: np.ndarray,
+    ledger: DownloadLedger,
+    rng: np.random.Generator,
+    max_rejections: int,
+) -> np.ndarray:
+    """Fused masked draw when every group shares one rank-space law.
+
+    The paper's clustering assigns apps to equal-size clusters with a
+    common internal Zipf exponent, so every cluster's distribution is the
+    *same* distribution over local popularity ranks -- only the rank ->
+    app mapping differs.  That makes one kernel call cover all clusters
+    in a round: ``rank_sampler`` holds the shared rank-space head/tail
+    split, ``tail_members[g, i]`` maps group ``g``'s ``i``-th tail
+    outcome (alias-table order) to a global app id, and
+    ``head_apps[g, j]`` is group ``g``'s ``j``-th head app.  Compared to
+    one :func:`masked_head_tail_draw` per cluster this trades ~30 small
+    dispatches per round for one big one, which is where the clustered
+    model's throughput comes from.
+
+    Semantics are identical to grouping by cluster and calling the
+    per-cluster kernel -- same masking, same thinning -- though the
+    random-number consumption order differs (draws interleave across
+    clusters), so the two paths produce different but equally valid
+    streams.  ``users`` must be unique, as in the base kernel.
+    """
+    metrics = get_registry()
+    redraw_counter = metrics.counter("engine.tail_redraws")
+    n = users.size
+    apps = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return apps
+    k = rank_sampler.head_size
+    # Shared rank-space weights mean the masked renormalization depends
+    # only on each user's 8-bit ownership byte -- two table gathers
+    # replace the per-user cumulative loop (see
+    # HeadTailSampler.head_byte_tables).  Compact ledgers hand the byte
+    # over directly; other modes pack it from the bit matrix, producing
+    # the same byte, so streams stay bit-identical across storage modes.
+    cum_table, avail_table = rank_sampler.head_byte_tables()
+    chunk = ledger.head_bytes_grouped(users, head_apps, group_ids)
+    if chunk is None:
+        bits = ledger.head_bits_grouped(users, head_apps, group_ids)
+        chunk = bits[0].copy()
+        for j in range(1, k):
+            chunk |= bits[j] << np.uint8(j)
+    head_avail = avail_table[chunk]
+    total = head_avail + np.float32(rank_sampler.tail_weight)
+    if rank_sampler.has_tail:
+        pending = np.arange(n, dtype=np.int64)
+        full = True
+    else:
+        pending = np.flatnonzero(total > 0)
+        full = pending.size == n
+    for attempt in range(max_rejections):
+        if pending.size == 0:
+            break
+        if attempt:
+            redraw_counter.add(int(pending.size))
+        if full and attempt == 0:
+            total_p, avail_p = total, head_avail
+        else:
+            total_p, avail_p = total[pending], head_avail[pending]
+        r = rng.random(pending.size, dtype=np.float32) * total_p
+        in_head = r < avail_p
+        head_rows = pending[in_head]
+        if head_rows.size:
+            picks = (cum_table[chunk[head_rows]] <= r[in_head, None]).sum(
+                axis=1
+            )
+            apps[head_rows] = head_apps[group_ids[head_rows], picks]
+        tail_rows = pending[~in_head]
+        if tail_rows.size == 0:
+            pending = tail_rows
+            continue
+        if not rank_sampler.has_tail:
+            pending = tail_rows
+            continue
+        ranks = rank_sampler.sample_tail_indices(tail_rows.size, rng)
+        draws = tail_members[group_ids[tail_rows], ranks]
+        fresh = ~ledger.contains(users[tail_rows], draws)
+        accepted = tail_rows[fresh]
+        apps[accepted] = draws[fresh]
+        pending = tail_rows[~fresh]
+    return apps
+
+
+def _shared_cluster_structure(
+    cluster_samplers: Mapping[int, AliasSampler],
+    cluster_members: Mapping[int, np.ndarray],
+    n_clusters: int,
+):
+    """Detect when all clusters share one rank-space distribution.
+
+    Returns ``(rank_sampler, members_matrix, head_apps)`` for the fused
+    kernel, or ``None`` when clusters differ in size or weights (an
+    explicit ``cluster_of`` map can produce that), in which case the
+    stream falls back to per-cluster grouped dispatch.
+    """
+    if n_clusters == 0 or len(cluster_samplers) != n_clusters:
+        return None
+    if set(cluster_samplers) != set(range(n_clusters)):
+        return None
+    reference = cluster_samplers[0].probabilities
+    for cluster in range(n_clusters):  # repro: noqa=RPL020 -- construction-time, once per cluster
+        members = cluster_members.get(cluster)
+        if members is None or members.size != reference.size:
+            return None
+        if cluster and not np.array_equal(
+            cluster_samplers[cluster].probabilities, reference
+        ):
+            return None
+    members_matrix = np.stack(
+        [cluster_members[cluster] for cluster in range(n_clusters)]
+    )
+    rank_sampler = HeadTailSampler(reference)
+    # Head lists stay int64: their raw bytes key the ledger's head-mask
+    # registration, matching the lists the per-cluster samplers register.
+    head_apps = np.ascontiguousarray(members_matrix[:, rank_sampler.head])
+    # Tail draws only feed gathers and ledger compares -- int32 halves
+    # that traffic (app ids fit comfortably).  Pre-composing the
+    # rank -> member mapping with alias-table order lets tail draws go
+    # straight from alias indices to app ids, one gather instead of two.
+    tail_members = np.ascontiguousarray(
+        members_matrix[:, rank_sampler.tail_outcomes].astype(np.int32)
+    )
+    return rank_sampler, tail_members, head_apps
 
 
 def sample_clustered_new_apps(
@@ -340,9 +1009,22 @@ class VisitedClusters:
 
     def __init__(self, n_users: int, n_clusters: int, max_per_user: int) -> None:
         width = max(1, min(n_clusters, max_per_user))
-        self._lists = np.zeros((n_users, width), dtype=np.int64)
+        # Narrow ids keep the per-round gathers cache-light; cluster
+        # counts overflowing int16 fall back to int64.
+        dtype = np.int16 if n_clusters <= np.iinfo(np.int16).max else np.int64
+        self._lists = np.zeros((n_users, width), dtype=dtype)
         self._count = np.zeros(n_users, dtype=np.int64)
         self._width = width
+        # With <= 64 clusters, one uint64 per user answers "already
+        # visited?" with a single gather instead of a row scan.
+        self._bitmask = (
+            np.zeros(n_users, dtype=np.uint64) if n_clusters <= 64 else None
+        )
+        self._bit_of = (
+            np.uint64(1) << np.arange(n_clusters, dtype=np.uint64)
+            if self._bitmask is not None
+            else None
+        )
 
     @property
     def counts(self) -> np.ndarray:
@@ -350,15 +1032,45 @@ class VisitedClusters:
         return self._count
 
     def choose(self, users: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        """Uniformly pick one visited cluster per user (counts must be > 0)."""
+        """Uniformly pick one visited cluster per user (counts must be > 0).
+
+        Returns the lists' native narrow dtype; cluster ids index small
+        per-cluster tables downstream, where narrow indices are cheaper.
+        """
         counts = self._count[users]
         picks = (rng.random(users.size) * counts).astype(np.int64)
         np.minimum(picks, counts - 1, out=picks)  # guard the r == 1.0 edge
         return self._lists[users, picks]
 
+    def choose_fast(
+        self, users: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """:meth:`choose` with float32 uniforms -- cheaper to generate,
+        same clamp guard, but a different (equally uniform) stream; the
+        round-vectorized clustering stream uses it, while :meth:`choose`
+        keeps the historical stream for existing callers."""
+        counts = self._count[users]
+        picks = (rng.random(users.size, dtype=np.float32) * counts).astype(
+            np.int64
+        )
+        np.minimum(picks, counts - 1, out=picks)
+        return self._lists[users, picks]
+
     def record(self, users: np.ndarray, clusters: np.ndarray) -> None:
         """Append clusters not yet in each user's list (users unique)."""
         if users.size == 0:
+            return
+        clusters = clusters.astype(self._lists.dtype)
+        if self._bitmask is not None:
+            bits = self._bit_of[clusters]
+            seen = self._bitmask[users]
+            fresh = np.flatnonzero((seen & bits) == 0)
+            if fresh.size:
+                fresh_users = users[fresh]
+                self._bitmask[fresh_users] = seen[fresh] | bits[fresh]
+                fills = self._count[fresh_users]
+                self._lists[fresh_users, fills] = clusters[fresh]
+                self._count[fresh_users] = fills + 1
             return
         rows = self._lists[users]
         positions = np.arange(self._width, dtype=np.int64)[None, :]
@@ -404,33 +1116,90 @@ def zipf_amo_event_batches(
     max_rejections: int = 256,
     memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
     ledger_mode: Optional[str] = None,
+    head_tail: Optional[HeadTailSampler] = None,
 ) -> Iterator[EventBatch]:
-    """ZIPF-at-most-once downloads as a chunked batch stream.
+    """ZIPF-at-most-once downloads as a round-vectorized batch stream.
 
-    Each chunk of the interleaved slot order is resolved with the
-    vectorized rejection kernel; slots that fail ``max_rejections``
-    attempts are dropped, exactly like the legacy per-event path.
+    Round ``k`` serves the ``k``-th download of every user with budget
+    left, in ascending user order: user slots within a round are unique
+    by construction, so the masked head/tail kernel needs no intra-batch
+    dedup and ledger commits are direct fancy-index stores.  Ascending
+    order also keeps the per-round gathers and scatters sequential in
+    memory, which is where most of the throughput comes from.  The event
+    stream still interleaves users -- every user appears once per round --
+    just deterministically instead of shuffled.  Users whose draw fails
+    (``-1``) are counted under ``engine.events_unfilled`` and dropped.
     """
     metrics = get_registry()
     batch_counter = metrics.counter("engine.batches")
     event_counter = metrics.counter("engine.events")
+    unfilled_counter = metrics.counter("engine.events_unfilled")
     ledger = DownloadLedger(
-        n_users, sampler.n_outcomes, memory_budget_bytes, mode=ledger_mode
+        n_users,
+        sampler.n_outcomes,
+        memory_budget_bytes,
+        mode=ledger_mode,
+        capacity=_budget_capacity(total_downloads, n_users),
     )
+    if head_tail is None:
+        head_tail = HeadTailSampler(sampler.probabilities)
+    ledger.prepare_head(head_tail.head)
     budgets = per_user_budgets(total_downloads, n_users, rng)
-    order = interleaved_user_order(budgets, rng)
-    for chunk in _chunks(order, batch_size):
-        apps = sample_new_apps(
-            lambda size: sampler.sample(size, seed=rng),
-            chunk,
-            ledger,
-            rng,
-            max_rejections,
+    # Budgets take exactly two values (base and base + 1), so the round
+    # structure is analytic: every user holds budget for the first
+    # ``base`` rounds, then only the remainder users for one more --
+    # no per-round budget scan needed.  And when the per-user capacity
+    # cannot reach ``n_apps``, no user can ever saturate, so the
+    # saturation filter is settled once up front.
+    base = total_downloads // n_users
+    everyone = np.arange(n_users, dtype=np.int64)
+    rounds = [everyone] * base
+    if total_downloads % n_users:
+        rounds.append(np.flatnonzero(budgets > base))
+    can_saturate = (
+        _budget_capacity(total_downloads, n_users) >= sampler.n_outcomes
+    )
+    for holders in rounds:
+        if holders.size == 0:
+            continue
+        if can_saturate:
+            active = holders[~ledger.saturated(holders)]
+            # Saturated users' download slots vanish before the kernel
+            # ever sees them -- count them, same as a failed draw, so
+            # campaign stats show every slot that produced no event.
+            if active.size < holders.size:
+                unfilled_counter.add(holders.size - active.size)
+        else:
+            active = holders
+        if active.size == 0:
+            continue
+        apps = masked_head_tail_draw(
+            head_tail, active, ledger, rng, max_rejections
         )
         done = apps >= 0
-        batch_counter.add(1)
-        event_counter.add(int(np.count_nonzero(done)))
-        yield EventBatch(chunk[done], apps[done])
+        n_unfilled = active.size - int(np.count_nonzero(done))
+        if n_unfilled:
+            unfilled_counter.add(n_unfilled)
+            done_users = active[done]
+            done_apps = apps[done]
+        else:  # every slot filled: skip two full-round gathers
+            done_users, done_apps = active, apps
+        ledger.add_unique(done_users, done_apps)
+        for start in range(0, done_users.size, batch_size):
+            stop = start + batch_size
+            batch_counter.add(1)
+            event_counter.add(int(done_users[start:stop].size))
+            yield EventBatch(done_users[start:stop], done_apps[start:stop])
+
+
+def _grouping_dtype(n_clusters: int) -> np.dtype:
+    """Narrowest int dtype holding cluster ids -- NumPy's stable sort on
+    narrow integers is a radix sort, an order of magnitude faster than
+    the int64 merge sort at round sizes."""
+    for candidate in (np.int8, np.int16, np.int32):
+        if n_clusters <= np.iinfo(candidate).max:
+            return np.dtype(candidate)
+    return np.dtype(np.int64)
 
 
 def app_clustering_event_batches(
@@ -445,74 +1214,144 @@ def app_clustering_event_batches(
     max_rejections: int = 64,
     memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
     ledger_mode: Optional[str] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    global_head_tail: Optional[HeadTailSampler] = None,
+    cluster_head_tails: Optional[Mapping[int, HeadTailSampler]] = None,
 ) -> Iterator[EventBatch]:
     """APP-CLUSTERING downloads as a round-vectorized batch stream.
 
     Round ``k`` processes the ``k``-th download of every user that still
-    has budget, vectorized across the whole population: clustered slots
-    draw per visited cluster (grouped), failures and non-clustered slots
-    fall back to the global law -- the exact per-user process of
-    Section 5.1.  Users are independent, so vectorizing across them (and
-    shuffling within each round) changes only the interleaving of the
-    event stream, not its statistics.  One batch is emitted per round.
+    has budget, in ascending user order: clustered slots draw per
+    visited cluster (grouped by a radix sort on the chosen cluster),
+    cluster-saturated and non-clustered slots fall back to the global
+    law -- the exact per-user process of Section 5.1.  All draws go
+    through the masked head/tail kernel, so users within a round are
+    unique and commits are direct stores.  Users are independent, so
+    vectorizing across them changes only the interleaving of the event
+    stream, not its statistics.
     """
     metrics = get_registry()
     batch_counter = metrics.counter("engine.batches")
     event_counter = metrics.counter("engine.events")
+    unfilled_counter = metrics.counter("engine.events_unfilled")
     n_apps = cluster_of.size
     ledger = DownloadLedger(
-        n_users, n_apps, memory_budget_bytes, mode=ledger_mode
+        n_users,
+        n_apps,
+        memory_budget_bytes,
+        mode=ledger_mode,
+        capacity=_budget_capacity(total_downloads, n_users),
     )
     budgets = per_user_budgets(total_downloads, n_users, rng)
     n_clusters = int(cluster_of.max()) + 1 if n_apps else 1
     max_budget = int(budgets.max()) if budgets.size else 0
     visited = VisitedClusters(n_users, n_clusters, max_budget)
-    remaining = budgets.copy()
+    # Same analytic round structure as the AMO stream: all users for the
+    # first ``base`` rounds, remainder users once more, saturation
+    # impossible while per-user capacity stays below ``n_apps``.
+    base = total_downloads // n_users
+    everyone = np.arange(n_users, dtype=np.int64)
+    rounds = [everyone] * base
+    if total_downloads % n_users:
+        rounds.append(np.flatnonzero(budgets > base))
+    can_saturate = _budget_capacity(total_downloads, n_users) >= n_apps
+    if global_head_tail is None:
+        global_head_tail = HeadTailSampler(global_sampler.probabilities)
+    if cluster_head_tails is None:
+        cluster_head_tails = {
+            cluster: HeadTailSampler(
+                sampler.probabilities, outcomes=cluster_members[cluster]
+            )
+            for cluster, sampler in cluster_samplers.items()
+        }
+    group_dtype = _grouping_dtype(n_clusters)
+    ledger.prepare_head(global_head_tail.head)
+    for head_tail in cluster_head_tails.values():  # repro: noqa=RPL020 -- O(n_clusters) one-time registration
+        ledger.prepare_head(head_tail.head)
+    fused = _shared_cluster_structure(
+        cluster_samplers, cluster_members, n_clusters
+    )
 
-    while True:
-        holders = np.flatnonzero(remaining > 0)
+    for holders in rounds:
         if holders.size == 0:
-            break
-        remaining[holders] -= 1
-        active = holders[~ledger.saturated(holders)]
+            continue
+        if can_saturate:
+            active = holders[~ledger.saturated(holders)]
+            # As in the AMO stream: slots lost to saturation are counted
+            # next to failed draws, never silently dropped.
+            if active.size < holders.size:
+                unfilled_counter.add(holders.size - active.size)
+        else:
+            active = holders
         if active.size == 0:
             continue
-        rng.shuffle(active)
 
         apps = np.full(active.size, -1, dtype=np.int64)
-        clustered = (visited.counts[active] > 0) & (rng.random(active.size) < p)
+        clustered = (visited.counts[active] > 0) & (
+            rng.random(active.size, dtype=np.float32) < np.float32(p)
+        )
         slots = np.flatnonzero(clustered)
-        if slots.size:
-            chosen = visited.choose(active[slots], rng)
-            sample_clustered_new_apps(
-                slots,
+        if slots.size and fused is not None:
+            rank_sampler, tail_members, head_apps = fused
+            chosen = visited.choose_fast(active[slots], rng)
+            apps[slots] = masked_head_tail_draw_grouped(
+                rank_sampler,
                 active[slots],
                 chosen,
-                cluster_samplers,
-                cluster_members,
+                tail_members,
+                head_apps,
                 ledger,
                 rng,
                 max_rejections,
-                out=apps,
             )
+        elif slots.size:
+            chosen = visited.choose_fast(active[slots], rng)
+            order = np.argsort(chosen.astype(group_dtype), kind="stable")
+            grouped_slots = slots[order]
+            grouped_users = active[grouped_slots]
+            grouped_clusters = chosen[order]
+            bounds = np.searchsorted(
+                grouped_clusters, np.arange(n_clusters + 1)
+            )
+            occupied = np.flatnonzero(np.diff(bounds) > 0)
+            for cluster in occupied:  # repro: noqa=RPL020 -- grouped dispatch, O(n_clusters) not O(n_events)
+                head_tail = cluster_head_tails.get(int(cluster))
+                if head_tail is None:  # empty cluster: nothing to draw
+                    continue
+                segment = slice(bounds[cluster], bounds[cluster + 1])
+                apps[grouped_slots[segment]] = masked_head_tail_draw(
+                    head_tail,
+                    grouped_users[segment],
+                    ledger,
+                    rng,
+                    max_rejections,
+                )
         fallback = np.flatnonzero(apps < 0)
         if fallback.size:
-            apps[fallback] = sample_new_apps(
-                lambda size: global_sampler.sample(size, seed=rng),
+            apps[fallback] = masked_head_tail_draw(
+                global_head_tail,
                 active[fallback],
                 ledger,
                 rng,
                 max_rejections,
             )
-        done = np.flatnonzero(apps >= 0)
-        if done.size == 0:
+        done = apps >= 0
+        n_unfilled = active.size - int(np.count_nonzero(done))
+        if n_unfilled:
+            unfilled_counter.add(n_unfilled)
+            done_users = active[done]
+            done_apps = apps[done]
+        else:  # every slot filled: skip two full-round gathers
+            done_users, done_apps = active, apps
+        if done_users.size == 0:
             continue
-        done_users = active[done]
-        done_apps = apps[done]
+        ledger.add_unique(done_users, done_apps)
         visited.record(done_users, cluster_of[done_apps])
-        batch_counter.add(1)
-        event_counter.add(int(done.size))
-        yield EventBatch(done_users, done_apps)
+        for start in range(0, done_users.size, batch_size):
+            stop = start + batch_size
+            batch_counter.add(1)
+            event_counter.add(int(done_users[start:stop].size))
+            yield EventBatch(done_users[start:stop], done_apps[start:stop])
 
 
 def counts_from_batches(

@@ -46,7 +46,7 @@ from repro.core.engine import (
     zipf_event_batches,
 )
 from repro.stats.rng import SeedLike, make_rng
-from repro.stats.sampling import AliasSampler
+from repro.stats.sampling import AliasSampler, HeadTailSampler
 from repro.stats.zipf import zipf_weights
 
 __all__ = [
@@ -207,7 +207,12 @@ class ZipfAtMostOnceModel:
         self.n_apps = n_apps
         self.zr = zr
         self.max_rejections = max_rejections
-        self._sampler = AliasSampler(zipf_weights(n_apps, zr))
+        weights = zipf_weights(n_apps, zr)
+        self._sampler = AliasSampler(weights)
+        # Built once so block-sharded campaigns that stream many small
+        # populations through one model instance skip the per-stream
+        # argsort + alias construction.
+        self._head_tail = HeadTailSampler(weights)
 
     def simulate(
         self, n_users: int, total_downloads: int, seed: SeedLike = None
@@ -237,6 +242,7 @@ class ZipfAtMostOnceModel:
             max_rejections=self.max_rejections,
             memory_budget_bytes=memory_budget_bytes,
             ledger_mode=ledger_mode,
+            head_tail=self._head_tail,
         )
 
     def iter_events(
@@ -291,12 +297,18 @@ class AppClusteringModel:
         # only becomes "visited" through a download of one of its apps.
         self._members: Dict[int, np.ndarray] = {}
         self._cluster_samplers: Dict[int, AliasSampler] = {}
+        self._cluster_head_tails: Dict[int, HeadTailSampler] = {}
         for cluster_index in np.unique(self._clusters):  # repro: noqa=RPL020 -- construction-time, once per cluster
             members = np.flatnonzero(self._clusters == cluster_index)
+            weights = zipf_weights(members.size, params.zc)
             self._members[int(cluster_index)] = members
-            self._cluster_samplers[int(cluster_index)] = AliasSampler(
-                zipf_weights(members.size, params.zc)
+            self._cluster_samplers[int(cluster_index)] = AliasSampler(weights)
+            self._cluster_head_tails[int(cluster_index)] = HeadTailSampler(
+                weights, outcomes=members
             )
+        self._global_head_tail = HeadTailSampler(
+            zipf_weights(params.n_apps, params.zr)
+        )
 
     @property
     def n_apps(self) -> int:
@@ -307,22 +319,39 @@ class AppClusteringModel:
         """Cluster index of an app."""
         return int(self._clusters[app_index])
 
-    def simulate(self, seed: SeedLike = None) -> np.ndarray:
-        """Per-app download counts for the configured population."""
-        return counts_from_batches(self.iter_batches(seed=seed), self.n_apps)
+    def simulate(
+        self,
+        seed: SeedLike = None,
+        n_users: Optional[int] = None,
+        total_downloads: Optional[int] = None,
+    ) -> np.ndarray:
+        """Per-app download counts for the configured population.
+
+        ``n_users`` / ``total_downloads`` optionally override the baked
+        parameters: the sharded campaign runner streams many user blocks
+        through a single model instance, reusing its alias tables.
+        """
+        return counts_from_batches(
+            self.iter_batches(
+                seed=seed, n_users=n_users, total_downloads=total_downloads
+            ),
+            self.n_apps,
+        )
 
     def iter_batches(
         self,
         seed: SeedLike = None,
         memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
         ledger_mode: Optional[str] = None,
+        n_users: Optional[int] = None,
+        total_downloads: Optional[int] = None,
     ) -> Iterator[EventBatch]:
         """The event stream as vectorized chunks (one batch per round)."""
         params = self.params
         rng = make_rng(seed)
         return app_clustering_event_batches(
-            params.n_users,
-            params.total_downloads,
+            params.n_users if n_users is None else n_users,
+            params.total_downloads if total_downloads is None else total_downloads,
             params.p,
             self._global_sampler,
             self._cluster_samplers,
@@ -332,6 +361,8 @@ class AppClusteringModel:
             max_rejections=self.max_rejections,
             memory_budget_bytes=memory_budget_bytes,
             ledger_mode=ledger_mode,
+            global_head_tail=self._global_head_tail,
+            cluster_head_tails=self._cluster_head_tails,
         )
 
     def iter_events(self, seed: SeedLike = None) -> Iterator[DownloadEvent]:

@@ -230,6 +230,102 @@ class GeneratorInLoopRule(Rule):
         self.generic_visit(node)
 
 
+class GeneratorAcrossProcessRule(Rule):
+    """RPL005: no Generator objects shipped across process boundaries.
+
+    A ``np.random.Generator`` submitted to a process pool is pickled,
+    so parent and child each advance a *copy* of the same stream: the
+    worker's draws silently duplicate draws the parent (or a sibling
+    worker) will also make.  Ship seeds (or ``SeedSequence`` children)
+    and construct the Generator on the worker side -- the pattern both
+    replication and the sharded campaign runner use.
+    """
+
+    code = "RPL005"
+    name = "generator-across-process"
+    summary = (
+        "np.random.Generator passed into a process-pool dispatch "
+        "(submit/map/apply_async); pass a seed and build the Generator "
+        "in the worker instead"
+    )
+
+    _DISPATCH_METHODS = frozenset(
+        {
+            "submit",
+            "map",
+            "map_async",
+            "starmap",
+            "starmap_async",
+            "apply",
+            "apply_async",
+            "imap",
+            "imap_unordered",
+        }
+    )
+
+    _RNG_FACTORIES = frozenset(
+        {
+            "numpy.random.default_rng",
+            "numpy.random.Generator",
+            "repro.stats.rng.make_rng",
+            "repro.stats.rng.spawn_rngs",
+        }
+    )
+
+    def __init__(self, module) -> None:
+        super().__init__(module)
+        self._rng_names: set = set()
+
+    def _is_rng_value(self, value: ast.AST) -> bool:
+        if isinstance(value, ast.Call):
+            return self.module.resolve_dotted(value.func) in self._RNG_FACTORIES
+        return False
+
+    def _is_rng_argument(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            name = node.id
+            return (
+                name in self._rng_names
+                or name == "rng"
+                or name.endswith("_rng")
+                or name.endswith("rngs")
+            )
+        if isinstance(node, ast.Starred):
+            return self._is_rng_argument(node.value)
+        return self._is_rng_value(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_rng_value(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._rng_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._DISPATCH_METHODS
+        ):
+            offenders = [
+                arg for arg in node.args if self._is_rng_argument(arg)
+            ]
+            offenders += [
+                keyword.value
+                for keyword in node.keywords
+                if self._is_rng_argument(keyword.value)
+            ]
+            for offender in offenders:
+                self.report(
+                    offender,
+                    f"Generator shipped through .{func.attr}() is pickled "
+                    "into the worker, duplicating the parent's stream; "
+                    "pass a seed (SeedSequence child) and make_rng in the "
+                    "worker",
+                )
+        self.generic_visit(node)
+
+
 class NondeterministicSeedSourceRule(Rule):
     """RPL010: wall clocks and randomized hashes must not feed seeds."""
 
@@ -582,6 +678,7 @@ RULES: Tuple[Type[Rule], ...] = (
     StdlibRandomRule,
     UncoercedSeedRule,
     GeneratorInLoopRule,
+    GeneratorAcrossProcessRule,
     NondeterministicSeedSourceRule,
     SetIterationRule,
     NdarrayElementLoopRule,

@@ -9,6 +9,11 @@ generators with trace save/replay support.
   for the three models.
 - :mod:`repro.workload.trace` -- write an event stream to disk (JSONL)
   and replay it later.
+- :mod:`repro.workload.replication` -- multi-seed replication sweeps,
+  one process per seed.
+- :mod:`repro.workload.sharding` -- one campaign partitioned into
+  seeded user blocks across worker processes, with byte-identical
+  outputs for any shard count.
 """
 
 from repro.workload.generators import (
@@ -21,15 +26,27 @@ from repro.workload.replication import (
     replicate_counts,
     replicate_distances,
 )
+from repro.workload.sharding import (
+    DEFAULT_BLOCK_SIZE,
+    ShardedCampaignResult,
+    ShardPlan,
+    plan_shards,
+    run_sharded_campaign,
+)
 from repro.workload.trace import read_trace, write_trace
 
 __all__ = [
+    "DEFAULT_BLOCK_SIZE",
     "ReplicationResult",
+    "ShardPlan",
+    "ShardedCampaignResult",
     "WorkloadSpec",
     "make_workload",
     "make_workload_batches",
+    "plan_shards",
     "read_trace",
     "replicate_counts",
     "replicate_distances",
+    "run_sharded_campaign",
     "write_trace",
 ]

@@ -1,0 +1,338 @@
+"""Sharded multi-process campaign runner for the download models.
+
+The rejection-free kernels push a single process to millions of events
+per second, but the paper-scale ambition ("Mining Behavioral Patterns
+from Millions of Android Users") is tens of millions of *users* -- and a
+fetch-at-most-once ledger over 10M users wants both more memory and more
+cores than one process should hold.  Users are independent in every
+model, so the population is the natural parallel axis.
+
+The unit of work is a **block**: a fixed-size contiguous range of users
+with its own child seed (spawned from the spec seed via
+``SeedSequence``, exactly like multi-seed replication) and its own slice
+of the download budget (cumulative proportional split, telescoping to
+the exact total).  Blocks, not shards, define the campaign:
+
+- a block's event stream depends only on the spec and the block's
+  (index, size, budget, seed) -- never on which shard ran it or on how
+  many shards exist;
+- shard ``s`` of ``n`` owns blocks ``s, s + n, s + 2n, ...`` (round-
+  robin by block index), each worker process simulating its blocks in
+  ascending index order with a per-block private
+  :class:`~repro.obs.metrics.MetricsRegistry`;
+- the parent merges per-block counts and metrics snapshots in **global
+  block-index order**, regardless of completion order.
+
+Together these make the exactness contract structural: for a fixed
+``(spec, block_size)``, every shard count -- including ``n_shards=1``
+run serially in-process -- produces byte-identical per-app counts,
+event streams, and merged metrics.  The result carries a sha256
+fingerprint of the counts so campaigns can assert it cheaply.
+
+Within a block the engine is the ordinary round-vectorized stream; the
+only statistical difference from an unblocked run is that the random
+split of downloads over users happens per block instead of globally --
+the same user-independence argument that justifies round vectorization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine import EventBatch
+from repro.core.models import ModelKind
+from repro.obs.metrics import MetricsRegistry, get_registry, use_registry
+from repro.stats.rng import make_seed_sequence
+from repro.workload.generators import WorkloadSpec
+
+#: Default number of users per block.  Matches the engine's event-batch
+#: chunk: big enough that per-block setup (ledger, budgets) amortizes,
+#: small enough that a 10M-user campaign still yields ~150 blocks to
+#: spread over workers.
+DEFAULT_BLOCK_SIZE = 65_536
+
+
+@dataclass(frozen=True)
+class BlockTask:
+    """One block of users: the atomic, shard-independent unit of work."""
+
+    index: int
+    user_start: int
+    n_users: int
+    n_downloads: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of a campaign into blocks and shards.
+
+    Frozen and picklable, so the whole plan travels to worker processes
+    as-is; workers look up their own blocks with :meth:`shard_blocks`.
+    """
+
+    spec: WorkloadSpec
+    n_shards: int
+    block_size: int
+    blocks: Tuple[BlockTask, ...]
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of user blocks in the campaign."""
+        return len(self.blocks)
+
+    def shard_blocks(self, shard: int) -> Tuple[BlockTask, ...]:
+        """The blocks shard ``shard`` owns, in ascending block index."""
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(
+                f"shard must be in [0, {self.n_shards}), got {shard}"
+            )
+        return self.blocks[shard :: self.n_shards]
+
+
+def plan_shards(
+    spec: WorkloadSpec,
+    n_shards: int,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> ShardPlan:
+    """Partition a spec's population into seeded blocks.
+
+    Downloads are split across blocks by the cumulative-floor rule
+    ``bound(u) = total * u // n_users`` evaluated at block edges, which
+    keeps each block's budget proportional to its size and telescopes to
+    exactly ``total_downloads``.  Block seeds come from spawning the
+    spec seed's ``SeedSequence`` once per block -- the same derivation
+    replication uses per replication seed -- so block streams are
+    statistically independent and reproducible from the spec alone.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    n_users = spec.n_users
+    total = spec.total_downloads
+    n_blocks = -(-n_users // block_size)
+    children = make_seed_sequence(spec.seed).spawn(n_blocks)
+    blocks = []
+    for index in range(n_blocks):  # repro: noqa=RPL020 -- plan construction, once per block
+        start = index * block_size
+        stop = min(start + block_size, n_users)
+        blocks.append(
+            BlockTask(
+                index=index,
+                user_start=start,
+                n_users=stop - start,
+                n_downloads=(total * stop // n_users)
+                - (total * start // n_users),
+                seed=int(
+                    children[index].generate_state(1, dtype=np.uint64)[0]
+                    % (2**31)
+                ),
+            )
+        )
+    return ShardPlan(
+        spec=spec,
+        n_shards=n_shards,
+        block_size=block_size,
+        blocks=tuple(blocks),
+    )
+
+
+#: Per-block worker outcome: (counts, metrics snapshot, n_events,
+#: optional (user_ids, app_indices) event arrays).
+_BlockOutcome = Tuple[
+    np.ndarray,
+    Dict[str, dict],
+    int,
+    Optional[Tuple[np.ndarray, np.ndarray]],
+]
+
+
+def _block_batches(model, kind: ModelKind, block: BlockTask):
+    """The model's batch stream for one block's sub-population."""
+    if kind == ModelKind.APP_CLUSTERING:
+        return model.iter_batches(
+            seed=block.seed,
+            n_users=block.n_users,
+            total_downloads=block.n_downloads,
+        )
+    return model.iter_batches(
+        block.n_users, block.n_downloads, seed=block.seed
+    )
+
+
+def _simulate_block(
+    model, spec: WorkloadSpec, block: BlockTask, collect_events: bool
+) -> _BlockOutcome:
+    """Run one block under a private registry; ids back in global space.
+
+    The private registry is what makes metrics mergeable in block order:
+    each block's counters are captured in isolation, so the parent can
+    fold them in deterministically no matter which process or shard ran
+    the block.
+    """
+    registry = MetricsRegistry()
+    counts = np.zeros(spec.n_apps, dtype=np.int64)
+    n_events = 0
+    collected: List[Tuple[np.ndarray, np.ndarray]] = []
+    with use_registry(registry):
+        for batch in _block_batches(model, spec.kind, block):
+            counts += np.bincount(batch.app_indices, minlength=spec.n_apps)
+            n_events += len(batch)
+            if collect_events:
+                collected.append(
+                    (batch.user_ids + block.user_start, batch.app_indices)
+                )
+    events = None
+    if collect_events:
+        events = (
+            np.concatenate([users for users, _ in collected])
+            if collected
+            else np.empty(0, dtype=np.int64),
+            np.concatenate([apps for _, apps in collected])
+            if collected
+            else np.empty(0, dtype=np.int64),
+        )
+    return counts, registry.snapshot(), n_events, events
+
+
+def _run_shard(
+    plan: ShardPlan, shard: int, collect_events: bool
+) -> List[Tuple[int, _BlockOutcome]]:
+    """Worker: simulate every block a shard owns, in block-index order.
+
+    One model instance serves all of the shard's blocks -- alias tables
+    and head/tail splits depend only on the spec, so building them once
+    per process instead of once per block is free speedup, and block
+    streams stay independent because each block brings its own seed.
+    """
+    model = plan.spec.build_model()
+    return [
+        (block.index, _simulate_block(model, plan.spec, block, collect_events))
+        for block in plan.shard_blocks(shard)
+    ]
+
+
+@dataclass(frozen=True)
+class ShardedCampaignResult:
+    """Merged output of a sharded campaign.
+
+    ``fingerprint`` is the sha256 of the per-app counts bytes -- equal
+    across shard counts by the exactness contract, so two runs can be
+    compared without shipping the vectors.  ``events_unfilled`` surfaces
+    the engine's dropped-slot counter (saturated users, exhausted
+    redraws) so silent saturation is visible in campaign stats.
+    """
+
+    counts: np.ndarray
+    n_events: int
+    events_unfilled: int
+    n_shards: int
+    n_blocks: int
+    block_size: int
+    fingerprint: str
+    events: Optional[EventBatch] = field(default=None, repr=False)
+
+    def describe(self) -> str:
+        """Deterministic one-paragraph campaign summary."""
+        return "\n".join(
+            [
+                f"sharded campaign: {self.n_events:,} events over "
+                f"{self.n_blocks} blocks x {self.block_size:,} users "
+                f"({self.n_shards} shards)",
+                f"events unfilled: {self.events_unfilled:,}",
+                f"counts fingerprint: sha256:{self.fingerprint}",
+            ]
+        )
+
+
+def run_sharded_campaign(
+    spec: WorkloadSpec,
+    n_shards: int = 1,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    use_processes: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+    collect_events: bool = False,
+) -> ShardedCampaignResult:
+    """Run a spec's campaign partitioned over ``n_shards`` workers.
+
+    ``use_processes`` defaults to ``n_shards > 1``; pass ``False`` to
+    run every shard in-process (identical results -- the process pool
+    only changes *where* blocks run, never what they compute).  Merged
+    counts, metrics, and (with ``collect_events=True``) the concatenated
+    event stream are byte-identical across shard counts for a fixed
+    ``(spec, block_size)``; see the module docstring for why.
+
+    ``collect_events`` materializes every event in memory -- meant for
+    exactness tests and small campaigns, not for 100M-download runs.
+    """
+    plan = plan_shards(spec, n_shards, block_size)
+    if use_processes is None:
+        use_processes = n_shards > 1
+    outcomes: Dict[int, _BlockOutcome] = {}
+    if use_processes and n_shards > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(max_workers or n_shards, n_shards)
+        ) as pool:
+            futures = [
+                pool.submit(_run_shard, plan, shard, collect_events)
+                for shard in range(n_shards)
+            ]
+            for future in futures:
+                for index, outcome in future.result():
+                    outcomes[index] = outcome
+    else:
+        for shard in range(n_shards):  # repro: noqa=RPL020 -- shard fan-out, not per-event
+            for index, outcome in _run_shard(plan, shard, collect_events):
+                outcomes[index] = outcome
+
+    # Merge in global block-index order -- NOT completion or shard order
+    # -- so float metric accumulation is identical run to run and
+    # identical across shard counts.  Only block-derived metrics are
+    # recorded here; anything keyed on the shard count would break the
+    # "merged metrics equal across shard counts" contract.
+    metrics = get_registry()
+    metrics.counter("sharding.blocks").add(plan.n_blocks)
+    counts = np.zeros(spec.n_apps, dtype=np.int64)
+    n_events = 0
+    events_unfilled = 0
+    event_parts: List[Tuple[np.ndarray, np.ndarray]] = []
+    for index in range(plan.n_blocks):  # repro: noqa=RPL020 -- merge loop, once per block
+        block_counts, snapshot, block_events, events = outcomes[index]
+        counts += block_counts
+        n_events += block_events
+        events_unfilled += int(
+            snapshot.get("counters", {}).get("engine.events_unfilled", 0)
+        )
+        metrics.merge_snapshot(snapshot)
+        if collect_events and events is not None:
+            event_parts.append(events)
+    metrics.counter("sharding.events").add(n_events)
+
+    merged_events = None
+    if collect_events:
+        merged_events = EventBatch(
+            np.concatenate([users for users, _ in event_parts])
+            if event_parts
+            else np.empty(0, dtype=np.int64),
+            np.concatenate([apps for _, apps in event_parts])
+            if event_parts
+            else np.empty(0, dtype=np.int64),
+        )
+    return ShardedCampaignResult(
+        counts=counts,
+        n_events=n_events,
+        events_unfilled=events_unfilled,
+        n_shards=n_shards,
+        n_blocks=plan.n_blocks,
+        block_size=block_size,
+        fingerprint=hashlib.sha256(
+            np.ascontiguousarray(counts).tobytes()
+        ).hexdigest(),
+        events=merged_events,
+    )

@@ -77,9 +77,9 @@ class TestDownloadLedger:
         with pytest.raises(ValueError):
             DownloadLedger(10, 10, mode="bitmap")
 
-    @pytest.mark.parametrize("mode", ["dense", "packed", "sets"])
+    @pytest.mark.parametrize("mode", ["dense", "packed", "compact", "sets"])
     def test_contains_add_roundtrip(self, mode):
-        ledger = DownloadLedger(7, 13, mode=mode)
+        ledger = DownloadLedger(7, 13, mode=mode, capacity=4)
         users = np.array([0, 3, 3, 6], dtype=np.int64)
         apps = np.array([12, 0, 7, 5], dtype=np.int64)
         assert not ledger.contains(users, apps).any()
@@ -92,12 +92,56 @@ class TestDownloadLedger:
         assert not ledger.contains(other, other_apps).any()
         assert ledger.counts.tolist() == [1, 0, 0, 2, 0, 0, 1]
 
-    @pytest.mark.parametrize("mode", ["dense", "packed", "sets"])
+    @pytest.mark.parametrize("mode", ["dense", "packed", "compact", "sets"])
     def test_saturated(self, mode):
-        ledger = DownloadLedger(2, 3, mode=mode)
+        ledger = DownloadLedger(2, 3, mode=mode, capacity=3)
         ledger.add(np.array([0, 0, 0]), np.array([0, 1, 2]))
         mask = ledger.saturated(np.array([0, 1]))
         assert mask.tolist() == [True, False]
+
+    def test_backend_bytes_boundaries(self):
+        """Mode selection compares *actual* allocations to the budget.
+
+        81 apps pack into 11 bytes per user (ceil, not floor: the old
+        ``n_apps // 8`` heuristic said 10 and over-admitted the bitmap),
+        so the packed/sets boundary for 100 users sits at exactly 1100
+        bytes.  The compact matrix is ``capacity * 4`` bytes per user.
+        """
+        assert DownloadLedger.backend_bytes("dense", 100, 81) == 8100
+        assert DownloadLedger.backend_bytes("packed", 100, 81) == 1100
+        assert (
+            DownloadLedger.backend_bytes("compact", 100, 81, capacity=5)
+            == 2000
+        )
+        # One byte below each backend's exact footprint must not pick it.
+        assert DownloadLedger(100, 81, memory_budget_bytes=8100).mode == "dense"
+        assert (
+            DownloadLedger(100, 81, memory_budget_bytes=8099).mode == "packed"
+        )
+        assert DownloadLedger(100, 81, memory_budget_bytes=1100).mode == "packed"
+        assert DownloadLedger(100, 81, memory_budget_bytes=1099).mode == "sets"
+
+    def test_compact_picked_when_smaller_than_packed(self):
+        # 10 users x 10_000 apps: packed needs 12_500 bytes, a compact
+        # matrix with capacity 5 only 200 -- given a capacity, the
+        # smaller fitting backend wins, and below it sets remain.
+        assert (
+            DownloadLedger(
+                10, 10_000, memory_budget_bytes=12_500, capacity=5
+            ).mode
+            == "compact"
+        )
+        assert (
+            DownloadLedger(10, 10_000, memory_budget_bytes=199, capacity=5).mode
+            == "sets"
+        )
+
+    @pytest.mark.parametrize("mode", ["dense", "packed", "compact", "sets"])
+    def test_footprint_matches_backend_bytes_at_construction(self, mode):
+        ledger = DownloadLedger(50, 40, mode=mode, capacity=6)
+        assert ledger.footprint_bytes() == DownloadLedger.backend_bytes(
+            mode, 50, 40, capacity=6
+        )
 
 
 class TestBudgetsAndOrder:
@@ -351,7 +395,7 @@ class TestBatchedInvariants:
     def test_ledger_modes_bit_identical(self, model_name):
         """Storage modes consume no randomness: outputs match exactly."""
         streams = []
-        for mode in ("dense", "packed", "sets"):
+        for mode in ("dense", "packed", "compact", "sets"):
             if model_name == "amo":
                 model = ZipfAtMostOnceModel(90, zr=1.6)
                 batches = model.iter_batches(30, 600, seed=9, ledger_mode=mode)
@@ -373,6 +417,53 @@ class TestBatchedInvariants:
         events = list(model.iter_events(20, 300, seed=10))
         assert [e.user_id for e in events] == users.tolist()
         assert [e.app_index for e in events] == apps.tolist()
+
+
+class TestEventsUnfilledMetric:
+    """Dropped download slots must be counted, never silently skipped."""
+
+    def test_saturation_counts_unfilled_events(self):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        # 4 users owe 10 downloads each but the store only has 3 apps:
+        # each user saturates after 3 events, so 40 - 12 slots go unfilled.
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            model = ZipfAtMostOnceModel(3, zr=1.5)
+            users, _ = TestBatchedInvariants()._collect(
+                model.iter_batches(4, 40, seed=3)
+            )
+        assert users.size == 12
+        counters = registry.snapshot()["counters"]
+        assert counters["engine.events_unfilled"] == 40 - 12
+
+    def test_clustering_counts_unfilled_events(self):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            model = _clustering_model(
+                n_apps=5, n_users=3, total_downloads=30, n_clusters=2
+            )
+            users, _ = TestBatchedInvariants()._collect(
+                model.iter_batches(seed=5)
+            )
+        assert users.size == 15  # 3 users x 5 apps
+        counters = registry.snapshot()["counters"]
+        assert counters["engine.events_unfilled"] == 30 - 15
+
+    def test_full_run_reports_zero_unfilled(self):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            model = ZipfAtMostOnceModel(200, zr=1.5)
+            users, _ = TestBatchedInvariants()._collect(
+                model.iter_batches(50, 500, seed=3)
+            )
+        assert users.size == 500
+        counters = registry.snapshot()["counters"]
+        assert counters.get("engine.events_unfilled", 0) == 0
 
 
 class TestDifferentialConsistency:

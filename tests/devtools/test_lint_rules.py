@@ -126,6 +126,36 @@ FIXTURES: Tuple[RuleFixture, ...] = (
         ),
     ),
     RuleFixture(
+        code="RPL005",
+        flagged=(
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from repro.stats.rng import make_rng\n"
+            "def fan_out(work, seed):\n"
+            "    rng = make_rng(seed)\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(work, rng) for _ in range(4)]\n"
+        ),
+        quiet=(
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from repro.stats.rng import make_seed_sequence\n"
+            "def fan_out(work, seed, count):\n"
+            "    seeds = make_seed_sequence(seed).spawn(count)\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(work, child) for child in seeds]\n"
+        ),
+    ),
+    RuleFixture(
+        code="RPL005",
+        flagged=(
+            "def sweep(pool, simulate, shard_rngs):\n"
+            "    return pool.map(simulate, shard_rngs)\n"
+        ),
+        quiet=(
+            "def sweep(pool, simulate, shard_seeds):\n"
+            "    return pool.map(simulate, shard_seeds)\n"
+        ),
+    ),
+    RuleFixture(
         code="RPL010",
         flagged=(
             "import time\n"

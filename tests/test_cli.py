@@ -321,3 +321,92 @@ class TestRunAliasAndMetrics:
         assert '"record":"wall_clock"' not in stripped
         assert '"record":"metrics"' in stripped
         assert '"cache.LRU.hits"' in stripped
+
+
+class TestShardedCampaignCli:
+    """`repro run --shards N` drives the sharded workload runner."""
+
+    @staticmethod
+    def _run(out, metrics=None, shards="2", extra=()):
+        argv = [
+            "run",
+            "--shards",
+            shards,
+            "--kind",
+            "APP-CLUSTERING",
+            "--apps",
+            "300",
+            "--users",
+            "2000",
+            "--downloads",
+            "12000",
+            "--clusters",
+            "10",
+            "--block-size",
+            "512",
+            "--seed",
+            "11",
+            "--out",
+            str(out),
+        ]
+        if metrics is not None:
+            argv += ["--emit-metrics", str(metrics)]
+        argv += list(extra)
+        return main(argv)
+
+    def test_writes_json_summary(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "campaign.json"
+        assert self._run(out) == 0
+        printed = capsys.readouterr().out
+        assert "counts fingerprint: sha256:" in printed
+        summary = json.loads(out.read_text(encoding="utf-8"))
+        assert summary["kind"] == "APP-CLUSTERING"
+        assert summary["n_shards"] == 2
+        assert summary["n_users"] == 2000
+        assert summary["n_events"] > 0
+        assert summary["counts_fingerprint"].startswith("sha256:")
+        assert summary["events_unfilled"] == 0
+
+    def test_sharded_matches_serial_fingerprint(self, tmp_path):
+        """The CLI-level exactness check: --shards 4 == --shards 1."""
+        import json
+
+        serial_out = tmp_path / "serial.json"
+        sharded_out = tmp_path / "sharded.json"
+        assert self._run(serial_out, shards="1") == 0
+        assert self._run(sharded_out, shards="4") == 0
+        serial = json.loads(serial_out.read_text(encoding="utf-8"))
+        sharded = json.loads(sharded_out.read_text(encoding="utf-8"))
+        assert serial["counts_fingerprint"] == sharded["counts_fingerprint"]
+        assert serial["n_events"] == sharded["n_events"]
+        assert serial["n_shards"] == 1
+        assert sharded["n_shards"] == 4
+
+    def test_emit_metrics_with_shards(self, tmp_path):
+        from repro.obs.manifest import strip_wall_clock
+
+        def run(tag, shards):
+            metrics = tmp_path / f"{tag}.metrics.jsonl"
+            assert self._run(tmp_path / f"{tag}.json", metrics, shards) == 0
+            stripped = strip_wall_clock(metrics.read_text(encoding="utf-8"))
+            # The manifest records the invocation args (--shards, --out),
+            # which legitimately differ; the metrics body must not.
+            return [
+                line
+                for line in stripped.splitlines()
+                if '"record":"manifest"' not in line
+            ]
+
+        first = run("first", "1")
+        second = run("second", "3")
+        assert first == second
+        body = "\n".join(first)
+        assert '"sharding.blocks"' in body
+        assert '"engine.events_unfilled"' in body
+
+    def test_rejects_nonpositive_shards(self, tmp_path, capsys):
+        out = tmp_path / "campaign.json"
+        assert self._run(out, shards="0") == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err

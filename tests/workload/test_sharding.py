@@ -1,0 +1,258 @@
+"""Tests for repro.workload.sharding (sharded campaign runner).
+
+The load-bearing property is the exactness contract: for a fixed
+``(spec, block_size)``, every shard count -- serial in-process or a real
+process pool -- produces byte-identical per-app counts, event streams,
+and merged metrics.  The acceptance criterion ("a sharded run with
+``--shards >= 4`` is byte-identical to the serial run") is exercised
+here with an actual ``ProcessPoolExecutor``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.models import ModelKind
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.workload.generators import WorkloadSpec
+from repro.workload.sharding import (
+    BlockTask,
+    ShardPlan,
+    plan_shards,
+    run_sharded_campaign,
+)
+
+
+def tiny_spec(
+    kind: ModelKind = ModelKind.APP_CLUSTERING,
+    n_users: int = 3_000,
+    total_downloads: int = 20_000,
+    seed: int = 7,
+) -> WorkloadSpec:
+    return WorkloadSpec(
+        kind=kind,
+        n_apps=500,
+        n_users=n_users,
+        total_downloads=total_downloads,
+        zr=1.7,
+        zc=1.4,
+        p=0.9,
+        n_clusters=10,
+        seed=seed,
+    )
+
+
+def run_campaign(spec, **kwargs):
+    """Run a campaign under a throwaway registry; return (result, snapshot)."""
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        result = run_sharded_campaign(spec, **kwargs)
+    return result, registry.snapshot()
+
+
+class TestPlanShards:
+    def test_blocks_cover_population_exactly(self):
+        spec = tiny_spec(n_users=1_000)
+        plan = plan_shards(spec, n_shards=3, block_size=128)
+        assert plan.n_blocks == 8  # ceil(1000 / 128)
+        edges = [(b.user_start, b.user_start + b.n_users) for b in plan.blocks]
+        assert edges[0][0] == 0
+        assert edges[-1][1] == spec.n_users
+        for (_, stop), (start, _) in zip(edges, edges[1:]):
+            assert stop == start  # contiguous, no gap or overlap
+
+    def test_budgets_telescope_to_total(self):
+        spec = tiny_spec(n_users=997, total_downloads=12_345)
+        plan = plan_shards(spec, n_shards=4, block_size=100)
+        assert sum(b.n_downloads for b in plan.blocks) == spec.total_downloads
+        # Proportional split: every full block gets ~total/n_blocks.
+        full = [b for b in plan.blocks if b.n_users == 100]
+        share = spec.total_downloads * 100 / spec.n_users
+        for block in full:
+            assert abs(block.n_downloads - share) <= 1
+
+    def test_shards_round_robin_partition_blocks(self):
+        plan = plan_shards(tiny_spec(n_users=1_000), n_shards=3, block_size=64)
+        owned = [plan.shard_blocks(s) for s in range(3)]
+        indices = sorted(b.index for shard in owned for b in shard)
+        assert indices == list(range(plan.n_blocks))
+        for shard, blocks in enumerate(owned):
+            assert [b.index % 3 for b in blocks] == [shard] * len(blocks)
+            # Ascending within a shard (merge-order precondition).
+            assert list(b.index for b in blocks) == sorted(
+                b.index for b in blocks
+            )
+
+    def test_seeds_deterministic_and_distinct(self):
+        spec = tiny_spec()
+        first = plan_shards(spec, n_shards=2, block_size=256)
+        second = plan_shards(spec, n_shards=5, block_size=256)
+        assert [b.seed for b in first.blocks] == [b.seed for b in second.blocks]
+        assert len({b.seed for b in first.blocks}) == first.n_blocks
+        other = plan_shards(
+            tiny_spec(seed=8), n_shards=2, block_size=256
+        )
+        assert [b.seed for b in other.blocks] != [b.seed for b in first.blocks]
+
+    def test_rejects_bad_arguments(self):
+        spec = tiny_spec()
+        with pytest.raises(ValueError):
+            plan_shards(spec, n_shards=0)
+        with pytest.raises(ValueError):
+            plan_shards(spec, n_shards=1, block_size=0)
+        plan = plan_shards(spec, n_shards=2)
+        with pytest.raises(ValueError):
+            plan.shard_blocks(2)
+
+
+class TestExactnessContract:
+    """Serial and sharded runs are byte-identical (the acceptance bar)."""
+
+    @pytest.mark.parametrize(
+        "kind",
+        [ModelKind.ZIPF, ModelKind.ZIPF_AT_MOST_ONCE, ModelKind.APP_CLUSTERING],
+    )
+    def test_in_process_shard_counts_equivalent(self, kind):
+        spec = tiny_spec(kind)
+        serial, serial_metrics = run_campaign(
+            spec,
+            n_shards=1,
+            block_size=1_024,
+            use_processes=False,
+            collect_events=True,
+        )
+        sharded, sharded_metrics = run_campaign(
+            spec,
+            n_shards=5,
+            block_size=1_024,
+            use_processes=False,
+            collect_events=True,
+        )
+        assert serial.fingerprint == sharded.fingerprint
+        assert np.array_equal(serial.counts, sharded.counts)
+        assert serial.n_events == sharded.n_events
+        assert np.array_equal(serial.events.user_ids, sharded.events.user_ids)
+        assert np.array_equal(
+            serial.events.app_indices, sharded.events.app_indices
+        )
+        assert serial_metrics == sharded_metrics
+
+    def test_process_pool_matches_serial_at_four_shards(self):
+        spec = tiny_spec()
+        serial, serial_metrics = run_campaign(
+            spec,
+            n_shards=1,
+            block_size=1_024,
+            use_processes=False,
+            collect_events=True,
+        )
+        pooled, pooled_metrics = run_campaign(
+            spec,
+            n_shards=4,
+            block_size=1_024,
+            use_processes=True,
+            max_workers=2,
+            collect_events=True,
+        )
+        assert pooled.n_shards == 4
+        assert serial.fingerprint == pooled.fingerprint
+        assert np.array_equal(serial.counts, pooled.counts)
+        assert np.array_equal(serial.events.user_ids, pooled.events.user_ids)
+        assert np.array_equal(
+            serial.events.app_indices, pooled.events.app_indices
+        )
+        assert serial_metrics == pooled_metrics
+
+    def test_counts_match_total_budget(self):
+        spec = tiny_spec(ModelKind.ZIPF)
+        result, _ = run_campaign(
+            spec, n_shards=3, block_size=512, use_processes=False
+        )
+        # The plain Zipf model spends the whole budget.
+        assert result.counts.sum() == spec.total_downloads
+        assert result.n_events == spec.total_downloads
+
+
+class TestShardedCampaignResult:
+    def test_events_unfilled_surfaces_saturation(self):
+        # 3 apps x 4 users can absorb at most 12 at-most-once downloads;
+        # a 40-download budget must report 28 unfilled slots.
+        spec = WorkloadSpec(
+            kind=ModelKind.ZIPF_AT_MOST_ONCE,
+            n_apps=3,
+            n_users=4,
+            total_downloads=40,
+            seed=0,
+        )
+        result, snapshot = run_campaign(
+            spec, n_shards=2, block_size=2, use_processes=False
+        )
+        assert result.n_events == 12
+        assert result.events_unfilled == 28
+        assert (
+            snapshot["counters"]["engine.events_unfilled"]
+            == result.events_unfilled
+        )
+
+    def test_describe_reports_fingerprint_and_unfilled(self):
+        result, _ = run_campaign(
+            tiny_spec(), n_shards=2, block_size=1_024, use_processes=False
+        )
+        text = result.describe()
+        assert f"counts fingerprint: sha256:{result.fingerprint}" in text
+        assert "events unfilled:" in text
+        assert f"{result.n_blocks} blocks" in text
+
+    def test_merge_records_block_metrics(self):
+        result, snapshot = run_campaign(
+            tiny_spec(), n_shards=2, block_size=1_024, use_processes=False
+        )
+        counters = snapshot["counters"]
+        assert counters["sharding.blocks"] == result.n_blocks
+        assert counters["sharding.events"] == result.n_events
+
+
+class TestEdgeCases:
+    def test_more_shards_than_blocks(self):
+        spec = tiny_spec(n_users=100)
+        result, _ = run_campaign(
+            spec, n_shards=8, block_size=64, use_processes=False
+        )
+        serial, _ = run_campaign(
+            spec, n_shards=1, block_size=64, use_processes=False
+        )
+        assert result.n_blocks == 2
+        assert result.fingerprint == serial.fingerprint
+
+    def test_single_block_campaign(self):
+        spec = tiny_spec(n_users=50, total_downloads=500)
+        result, _ = run_campaign(
+            spec, n_shards=1, block_size=4_096, use_processes=False
+        )
+        assert result.n_blocks == 1
+        assert result.counts.sum() > 0
+
+    def test_zero_downloads(self):
+        spec = tiny_spec(
+            kind=ModelKind.ZIPF, n_users=100, total_downloads=0
+        )
+        result, _ = run_campaign(
+            spec, n_shards=2, block_size=32, use_processes=False
+        )
+        assert result.n_events == 0
+        assert result.counts.sum() == 0
+        assert result.events_unfilled == 0
+
+    def test_block_task_is_frozen(self):
+        block = BlockTask(
+            index=0, user_start=0, n_users=10, n_downloads=5, seed=1
+        )
+        with pytest.raises(AttributeError):
+            block.seed = 2
+
+    def test_plan_is_picklable(self):
+        import pickle
+
+        plan = plan_shards(tiny_spec(), n_shards=3, block_size=512)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert isinstance(clone, ShardPlan)
+        assert clone.blocks == plan.blocks
