@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-slow coverage lint lint-repro lint-ruff lint-mypy bench-smoke bench
+.PHONY: test test-slow coverage lint lint-repro lint-ruff lint-mypy bench-smoke bench bench-store-smoke bench-store
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -57,3 +57,13 @@ bench-smoke:
 # a record to BENCH_models.json.
 bench:
 	$(PYTHON) benchmarks/bench_perf_models.py
+
+# Columnar store smoke: chunk-indexed day queries beat the flat-dict
+# scan, and a cold subprocess reproduces the packed dataset's answers.
+bench-store-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_store.py -q -m bench_smoke -s
+
+# Paper-scale store benchmark (100k apps x 150 days day queries; 4-store
+# packed dataset RSS probe); appends a record to BENCH_store.json.
+bench-store:
+	$(PYTHON) benchmarks/bench_store.py

@@ -11,7 +11,7 @@ These series feed capacity-planning uses of the library (the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -57,38 +57,30 @@ class GrowthSeries:
 
 
 def growth_series(database: SnapshotDatabase, store: str) -> GrowthSeries:
-    """Build the growth time series of one store."""
+    """Build the growth time series of one store.
+
+    One pass over the store's download matrix: per-day app counts are
+    presence-mask row sums, arrivals are ``present & ~previous`` (an app
+    is "new" relative to the previous crawled day, matching the paper's
+    day-over-day accounting), and deltas are total differences.
+    """
     days = database.days(store)
     if len(days) < 2:
         raise ValueError(f"store {store!r} needs at least two crawled days")
 
-    total_apps: List[int] = []
-    total_downloads: List[int] = []
-    new_apps: List[int] = []
-    download_deltas: List[int] = []
-    previous_ids: Optional[set] = None
-    previous_total = 0
-    for day in days:
-        snapshots = database.snapshots_on(store, day)
-        ids = {s.app_id for s in snapshots}
-        downloads = sum(s.total_downloads for s in snapshots)
-        total_apps.append(len(ids))
-        total_downloads.append(downloads)
-        if previous_ids is None:
-            new_apps.append(0)
-            download_deltas.append(0)
-        else:
-            new_apps.append(len(ids - previous_ids))
-            download_deltas.append(downloads - previous_total)
-        previous_ids = ids
-        previous_total = downloads
+    dm = database.download_matrix(store)
+    total_apps = dm.present.sum(axis=1)
+    total_downloads = dm.matrix.sum(axis=1)
+    arrivals = (dm.present[1:] & ~dm.present[:-1]).sum(axis=1)
+    new_apps = np.concatenate([[0], arrivals])
+    download_deltas = np.concatenate([[0], np.diff(total_downloads)])
     return GrowthSeries(
         store=store,
         days=tuple(days),
-        total_apps=tuple(total_apps),
-        total_downloads=tuple(total_downloads),
-        new_apps=tuple(new_apps),
-        download_deltas=tuple(download_deltas),
+        total_apps=tuple(total_apps.tolist()),
+        total_downloads=tuple(total_downloads.tolist()),
+        new_apps=tuple(new_apps.tolist()),
+        download_deltas=tuple(download_deltas.tolist()),
     )
 
 
@@ -126,28 +118,31 @@ def new_app_adoption(
     if len(days) < 2:
         raise ValueError(f"store {store!r} needs at least two crawled days")
 
-    first_day_ids = {s.app_id for s in database.snapshots_on(store, days[0])}
-    first_seen: Dict[int, int] = {}
-    downloads_at: Dict[Tuple[int, int], int] = {}
-    for day in days:
-        for snapshot in database.snapshots_on(store, day):
-            if snapshot.app_id in first_day_ids:
-                continue
-            first_seen.setdefault(snapshot.app_id, day)
-            downloads_at[(snapshot.app_id, day)] = snapshot.total_downloads
+    dm = database.download_matrix(store)
+    day_values = np.asarray(dm.days, dtype=np.int64)
+    observed = dm.present.any(axis=0)
+    # Apps present on the first crawled day have unknown listing dates.
+    new_columns = np.flatnonzero(observed & ~dm.present[0])
+    if new_columns.size == 0:
+        return NewAppAdoption(
+            store=store, n_new_apps=0, mean_downloads_by_age=()
+        )
+    first_seen_row = dm.present[:, new_columns].argmax(axis=0)
 
-    by_age: Dict[int, List[int]] = {}
-    for (app_id, day), downloads in downloads_at.items():
-        age = day - first_seen[app_id]
-        if 0 <= age <= max_age:
-            by_age.setdefault(age, []).append(downloads)
+    rows, cells = np.nonzero(dm.present[:, new_columns])
+    ages = day_values[rows] - day_values[first_seen_row[cells]]
+    downloads = dm.matrix[rows, new_columns[cells]]
+    keep = ages <= max_age
+    ages = ages[keep]
+    downloads = downloads[keep].astype(np.float64)
 
-    ages = sorted(by_age)
-    means = tuple(float(np.mean(by_age[age])) for age in ages)
+    unique_ages, age_index = np.unique(ages, return_inverse=True)
+    sums = np.bincount(age_index, weights=downloads)
+    counts = np.bincount(age_index)
     return NewAppAdoption(
         store=store,
-        n_new_apps=len(first_seen),
-        mean_downloads_by_age=means,
+        n_new_apps=int(new_columns.size),
+        mean_downloads_by_age=tuple((sums / counts).tolist()),
     )
 
 
@@ -164,10 +159,13 @@ def new_vs_catalog_share(
     days = database.days(store)
     if len(days) < 2:
         raise ValueError(f"store {store!r} needs at least two crawled days")
-    first_day_ids = {s.app_id for s in database.snapshots_on(store, days[0])}
-    deltas = database.download_deltas(store, days[0], days[-1])
-    catalog = sum(d for app_id, d in deltas.items() if app_id in first_day_ids)
-    fresh = sum(d for app_id, d in deltas.items() if app_id not in first_day_ids)
+    app_ids, deltas = database.columnar.download_deltas_arrays(
+        store, days[0], days[-1]
+    )
+    first_day_ids = database.columnar.chunk(store, days[0]).app_ids()
+    in_catalog = np.isin(app_ids, first_day_ids, assume_unique=True)
+    catalog = int(deltas[in_catalog].sum())
+    fresh = int(deltas[~in_catalog].sum())
     total = catalog + fresh
     if total <= 0:
         raise ValueError(f"store {store!r} shows no download growth")

@@ -81,20 +81,30 @@ def paid_app_records(
     if not days:
         raise KeyError(f"no crawled days for store {store!r}")
     day = days[-1] if day is None else day
-    average_price = _average_prices(database, store)
-    records: List[PaidAppRecord] = []
-    for snapshot in database.snapshots_on(store, day):
-        price = average_price.get(snapshot.app_id, snapshot.price)
-        if price > 0:
-            records.append(
-                PaidAppRecord(
-                    app_id=snapshot.app_id,
-                    developer_id=snapshot.developer_id,
-                    category=snapshot.category,
-                    price=price,
-                    downloads=snapshot.total_downloads,
-                )
-            )
+    columns = database.snapshot_columns(store, day)
+    if columns is None:
+        raise ValueError(f"store {store!r} has no paid apps")
+    all_app_ids, averages = _average_prices(database, store)
+    positions = np.searchsorted(all_app_ids, columns.app_ids)
+    day_prices = averages[positions]
+    paid_rows = np.flatnonzero(day_prices > 0)
+    categories = columns.category_names
+    records = [
+        PaidAppRecord(
+            app_id=app_id,
+            developer_id=developer_id,
+            category=categories[category_id],
+            price=price,
+            downloads=downloads,
+        )
+        for app_id, developer_id, category_id, price, downloads in zip(
+            columns.app_ids[paid_rows].tolist(),
+            columns.column("developer_id")[paid_rows].tolist(),
+            columns.column("category_id")[paid_rows].tolist(),
+            day_prices[paid_rows].tolist(),
+            columns.column("total_downloads")[paid_rows].tolist(),
+        )
+    ]
     if not records:
         raise ValueError(f"store {store!r} has no paid apps")
     return records

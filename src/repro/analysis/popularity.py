@@ -80,9 +80,19 @@ def downloads_by_category(
     if not days:
         raise KeyError(f"no crawled days for store {store!r}")
     day = days[-1] if day is None else day
-    totals: Dict[str, int] = {}
-    for snapshot in database.snapshots_on(store, day):
-        totals[snapshot.category] = (
-            totals.get(snapshot.category, 0) + snapshot.total_downloads
-        )
-    return totals
+    columns = database.snapshot_columns(store, day)
+    if columns is None:
+        return {}
+    category_ids = columns.column("category_id")
+    downloads = columns.column("total_downloads")
+    sums = np.zeros(len(columns.category_names), dtype=np.int64)
+    np.add.at(sums, category_ids, downloads)
+    # Report categories in order of first appearance on the day, like the
+    # row-at-a-time accumulation did.
+    observed, first_rows = np.unique(category_ids, return_index=True)
+    order = np.argsort(first_rows, kind="stable")
+    names = columns.category_names
+    return {
+        names[category_id]: int(sums[category_id])
+        for category_id in observed[order].tolist()
+    }

@@ -11,7 +11,7 @@ price (negative Pearson correlations around -0.23 / -0.24).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -74,15 +74,22 @@ class PriceCorrelations:
 
 def _average_prices(
     database: SnapshotDatabase, store: str
-) -> Dict[int, float]:
-    """Average observed price per app over the crawl (prices may change)."""
-    sums: Dict[int, float] = {}
-    counts: Dict[int, int] = {}
-    for day in database.days(store):
-        for snapshot in database.snapshots_on(store, day):
-            sums[snapshot.app_id] = sums.get(snapshot.app_id, 0.0) + snapshot.price
-            counts[snapshot.app_id] = counts.get(snapshot.app_id, 0) + 1
-    return {app_id: sums[app_id] / counts[app_id] for app_id in sums}
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Average observed price per app over the crawl (prices may change).
+
+    Returns ``(app_ids, averages)`` sorted by app id, accumulated one
+    chunk at a time -- prices of an app sum in day order, exactly like
+    the per-snapshot accumulation this replaced.
+    """
+    columnar = database.columnar
+    app_ids = columnar.app_ids(store)
+    sums = np.zeros(app_ids.size, dtype=np.float64)
+    counts = np.zeros(app_ids.size, dtype=np.int64)
+    for chunk in columnar.chunks(store):
+        positions = np.searchsorted(app_ids, chunk.app_ids())
+        sums[positions] += chunk.column("price")
+        counts[positions] += 1
+    return app_ids, sums / np.maximum(counts, 1)
 
 
 def free_paid_split(
@@ -93,21 +100,21 @@ def free_paid_split(
     if not days:
         raise KeyError(f"no crawled days for store {store!r}")
     day = days[-1] if day is None else day
-    free: List[int] = []
-    paid: List[int] = []
-    for snapshot in database.snapshots_on(store, day):
-        if snapshot.total_downloads <= 0:
-            continue
-        if snapshot.price > 0:
-            paid.append(snapshot.total_downloads)
-        else:
-            free.append(snapshot.total_downloads)
-    if not free or not paid:
+    columns = database.snapshot_columns(store, day)
+    if columns is not None:
+        downloads = columns.column("total_downloads")
+        prices = columns.column("price")
+        positive = downloads > 0
+        paid_mask = positive & (prices > 0)
+        free_mask = positive & ~(prices > 0)
+        free_array = downloads[free_mask].astype(np.float64)
+        paid_array = downloads[paid_mask].astype(np.float64)
+    else:
+        free_array = paid_array = np.empty(0, dtype=np.float64)
+    if free_array.size == 0 or paid_array.size == 0:
         raise ValueError(
             f"store {store!r} needs both free and paid downloads for the split"
         )
-    free_array = np.array(free, dtype=np.float64)
-    paid_array = np.array(paid, dtype=np.float64)
 
     def full_range_fit(downloads: np.ndarray) -> LogLogFit:
         ranked = np.sort(downloads)[::-1]
@@ -145,19 +152,21 @@ def price_correlations(
         raise KeyError(f"no crawled days for store {store!r}")
     day = days[-1] if day is None else day
 
-    average_price = _average_prices(database, store)
-    prices: List[float] = []
-    downloads: List[int] = []
-    for snapshot in database.snapshots_on(store, day):
-        price = average_price.get(snapshot.app_id, snapshot.price)
-        if price > 0:
-            prices.append(price)
-            downloads.append(snapshot.total_downloads)
-    if len(prices) < 3:
+    all_app_ids, averages = _average_prices(database, store)
+    columns = database.snapshot_columns(store, day)
+    if columns is None:
+        raise ValueError(f"store {store!r} has too few paid apps")
+    # Every app crawled on `day` appears in the all-days average table.
+    positions = np.searchsorted(all_app_ids, columns.app_ids)
+    day_prices = averages[positions]
+    paid_mask = day_prices > 0
+    if int(paid_mask.sum()) < 3:
         raise ValueError(f"store {store!r} has too few paid apps")
 
-    prices_array = np.array(prices, dtype=np.float64)
-    downloads_array = np.array(downloads, dtype=np.float64)
+    prices_array = day_prices[paid_mask]
+    downloads_array = (
+        columns.column("total_downloads")[paid_mask].astype(np.float64)
+    )
     max_price = float(prices_array.max())
     edges = np.arange(0.0, max_price + bin_width, bin_width)
     if edges[-1] <= max_price:

@@ -67,23 +67,30 @@ def update_distribution(
     if first_day >= last_day:
         raise ValueError("first_day must precede last_day")
 
-    counts = database.update_counts(store, first_day, last_day)
+    app_ids, count_values = database.columnar.update_counts_arrays(
+        store, first_day, last_day
+    )
     if top_fraction is not None:
         if not 0.0 < top_fraction <= 1.0:
             raise ValueError("top_fraction must be in (0, 1]")
-        final = {
-            s.app_id: s.total_downloads
-            for s in database.snapshots_on(store, last_day)
-        }
-        ranked = sorted(final, key=lambda app_id: final[app_id], reverse=True)
-        keep = set(ranked[: max(1, int(top_fraction * len(ranked)))])
-        counts = {app_id: n for app_id, n in counts.items() if app_id in keep}
-    if not counts:
+        final = database.columnar.chunk(store, last_day)
+        if final is None:
+            raise ValueError("no apps in the selected window")
+        final_ids = final.app_ids()
+        # Rank by downloads descending, ties broken by ascending app id
+        # (the stable-sort order of the dict-based ranking).
+        order = np.lexsort((final_ids, -final.column("total_downloads")))
+        top = max(1, int(top_fraction * final_ids.size))
+        keep_ids = final_ids[order[:top]]
+        mask = np.isin(app_ids, keep_ids, assume_unique=True)
+        app_ids = app_ids[mask]
+        count_values = count_values[mask]
+    if app_ids.size == 0:
         raise ValueError("no apps in the selected window")
     return UpdateDistribution(
         store=store,
         first_day=first_day,
         last_day=last_day,
-        updates_per_app=counts,
-        ecdf=Ecdf.from_samples(np.array(list(counts.values()), dtype=np.float64)),
+        updates_per_app=dict(zip(app_ids.tolist(), count_values.tolist())),
+        ecdf=Ecdf.from_samples(count_values.astype(np.float64)),
     )

@@ -9,6 +9,8 @@ Usage (also via ``python -m repro``):
     repro workload --kind APP-CLUSTERING --out trace.jsonl
     repro cache    --scale 0.02                          # Figure 19
     repro chaos    --plan aggressive --seed 7            # fault injection
+    repro store    pack --db crawl.jsonl --out crawl.cstore  # columnar pack
+    repro store    stat crawl.cstore                     # dataset summary
     repro metrics  run.metrics.jsonl                     # inspect a metrics file
     repro lint     src/                                  # RPL static analysis
 
@@ -527,6 +529,94 @@ def _run_report(args) -> int:
     return 0
 
 
+def _add_store_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "store",
+        help="pack, inspect, and fingerprint columnar snapshot datasets",
+    )
+    verbs = parser.add_subparsers(dest="store_verb", required=True)
+
+    pack = verbs.add_parser(
+        "pack",
+        help="pack a database into the columnar .npy-per-column layout",
+    )
+    pack.add_argument(
+        "--db", required=True, help="input database (JSONL or packed dataset)"
+    )
+    pack.add_argument("--out", required=True, help="output dataset directory")
+    pack.set_defaults(handler=_run_store_pack)
+
+    stat = verbs.add_parser(
+        "stat", help="summarize a database or packed dataset"
+    )
+    stat.add_argument("path", help="JSONL database or packed dataset")
+    stat.set_defaults(handler=_run_store_stat)
+
+    fingerprint = verbs.add_parser(
+        "fingerprint",
+        help="print the order-independent dataset fingerprint",
+    )
+    fingerprint.add_argument("path", help="JSONL database or packed dataset")
+    fingerprint.set_defaults(handler=_run_store_fingerprint)
+
+
+def _run_store_pack(args) -> int:
+    database = SnapshotDatabase.load(args.db)
+    total = database.pack(args.out)
+    columnar = database.columnar
+    n_chunks = sum(1 for _ in columnar.chunks())
+    print(
+        f"packed {args.out}: {n_chunks} chunks, "
+        f"{columnar.n_snapshot_rows():,} snapshot rows, "
+        f"{total:,} bytes on disk"
+    )
+    return 0
+
+
+def _run_store_stat(args) -> int:
+    from repro.reporting.tables import render_table
+    from repro.store import bytes_on_disk, is_packed_dataset
+
+    database = SnapshotDatabase.load(args.path)
+    columnar = database.columnar
+    rows = []
+    for store in columnar.stores():
+        comment_log = columnar.comment_log(store)
+        apk_log = columnar.apk_log(store)
+        rows.append(
+            [
+                store,
+                len(columnar.days(store)),
+                columnar.n_snapshot_rows(store),
+                len(comment_log) if comment_log is not None else 0,
+                len(apk_log) if apk_log is not None else 0,
+            ]
+        )
+    print(
+        render_table(
+            ["store", "days", "snapshots", "comments", "apks"],
+            rows,
+            title=f"contents of {args.path}",
+        )
+    )
+    print(
+        f"dictionaries: {len(columnar.names)} names, "
+        f"{len(columnar.categories)} categories, "
+        f"{len(columnar.versions)} versions, "
+        f"{len(columnar.packages)} packages, "
+        f"{len(columnar.libsets)} library sets"
+    )
+    if is_packed_dataset(args.path):
+        print(f"packed dataset: {bytes_on_disk(args.path):,} bytes on disk")
+    return 0
+
+
+def _run_store_fingerprint(args) -> int:
+    database = SnapshotDatabase.load(args.path)
+    print(f"sha256:{database.fingerprint()}")
+    return 0
+
+
 def _add_metrics_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "metrics",
@@ -633,6 +723,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_parser(subparsers)
     _add_chaos_parser(subparsers)
     _add_export_parser(subparsers)
+    _add_store_parser(subparsers)
     _add_report_parser(subparsers)
     _add_metrics_parser(subparsers)
     _add_lint_parser(subparsers)

@@ -2,21 +2,45 @@
 
 The paper's crawlers write every observation to a local database: per-app
 daily statistics, all user comments, and every APK version.  This module
-is that database, kept in memory with optional JSONL persistence so a
-multi-day crawl can be saved and reloaded without re-simulating.
+is that database's **row-shaped façade**: the same dataclass-in,
+dataclass-out API the analysis layer has always consumed, now backed by
+the out-of-core columnar engine in :mod:`repro.store`.  Snapshots live
+in per-(store, day) chunks sorted by app id, so day queries are O(chunk)
+slices instead of full-database scans; comments and APK index entries
+live in per-store insertion-ordered logs.
+
+Two persistence formats round-trip losslessly:
+
+- **JSONL** (``save``/``load`` on a file): one record per line, the
+  interchange format;
+- **packed columnar** (``pack``/``load`` on a directory): one ``.npy``
+  per column, read back zero-copy via ``np.load(mmap_mode="r")`` so a
+  paper-scale crawl streams from disk instead of materializing.
+
+Exactness contract: for the same observations, ``fingerprint()`` returns
+the same hex no matter which path the data travelled (in-memory, JSONL
+round trip, packed + mmap) -- the chaos suite depends on it.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.marketplace.entities import Comment, is_free_price
+from repro.store import (
+    ColumnarStore,
+    DownloadMatrix,
+    SnapshotChunk,
+    is_packed_dataset,
+    open_store,
+    pack_store,
+)
+from repro.store.schema import SNAPSHOT_COLUMNS
 
 
 @dataclass(frozen=True)
@@ -60,20 +84,82 @@ class ApkRecord:
     embedded_libraries: Tuple[str, ...]
 
 
+class SnapshotColumns:
+    """Zero-copy columnar view of one (store, day) snapshot chunk.
+
+    The vectorized counterpart of :meth:`SnapshotDatabase.snapshots_on`:
+    ``column(name)`` returns the raw frozen array (string-valued fields
+    as intern-table ids), ``decoded(name)`` a per-row string list, and
+    the string tables themselves are exposed for bincount-style group
+    work (``category_names`` et al., index == id).
+    """
+
+    def __init__(self, chunk: SnapshotChunk, store: ColumnarStore) -> None:
+        self._chunk = chunk
+        self._store = store
+
+    @property
+    def store(self) -> str:
+        return self._chunk.store
+
+    @property
+    def day(self) -> int:
+        return self._chunk.day
+
+    @property
+    def n_rows(self) -> int:
+        return self._chunk.n_rows
+
+    def column(self, name: str) -> np.ndarray:
+        """One raw column array (``name_id`` etc. for string fields)."""
+        return self._chunk.column(name)
+
+    @property
+    def app_ids(self) -> np.ndarray:
+        return self._chunk.app_ids()
+
+    @property
+    def name_tables(self) -> Tuple[str, ...]:
+        return self._store.names.values()
+
+    @property
+    def category_names(self) -> Tuple[str, ...]:
+        return self._store.categories.values()
+
+    @property
+    def version_names(self) -> Tuple[str, ...]:
+        return self._store.versions.values()
+
+    def decoded(self, name: str) -> List[str]:
+        """A string-valued column decoded to one string per row."""
+        tables = {
+            "name_id": self._store.names,
+            "category_id": self._store.categories,
+            "version_id": self._store.versions,
+        }
+        if name not in tables:
+            raise KeyError(f"{name!r} is not a string-valued column")
+        return tables[name].decode(self.column(name).tolist())
+
+
 class SnapshotDatabase:
-    """In-memory crawl database with JSONL import/export.
+    """Crawl database façade over the columnar store.
 
     Snapshots are indexed by (store, day, app_id); comments and APKs are
     appended.  Query helpers return the shapes the analysis layer wants:
     per-app download vectors on a day, per-app deltas between days, and
-    per-user comment streams.
+    per-user comment streams -- plus columnar accessors
+    (:meth:`snapshot_columns`, :meth:`download_matrix`) for analyses
+    that want arrays instead of dataclasses.
     """
 
-    def __init__(self) -> None:
-        self._snapshots: Dict[Tuple[str, int, int], AppSnapshot] = {}
-        self._comments: Dict[str, List[Comment]] = {}
-        self._comment_keys: Dict[str, set] = {}
-        self._apks: Dict[Tuple[str, int, str], ApkRecord] = {}
+    def __init__(self, columnar: Optional[ColumnarStore] = None) -> None:
+        self._store = columnar if columnar is not None else ColumnarStore()
+
+    @property
+    def columnar(self) -> ColumnarStore:
+        """The backing columnar engine (column-shaped access)."""
+        return self._store
 
     # ------------------------------------------------------------------
     # Writes
@@ -81,8 +167,21 @@ class SnapshotDatabase:
 
     def add_snapshot(self, snapshot: AppSnapshot) -> None:
         """Insert or overwrite one (store, day, app) observation."""
-        key = (snapshot.store, snapshot.day, snapshot.app_id)
-        self._snapshots[key] = snapshot
+        self._store.add_snapshot_row(
+            snapshot.store,
+            snapshot.day,
+            snapshot.app_id,
+            snapshot.name,
+            snapshot.category,
+            snapshot.developer_id,
+            snapshot.price,
+            snapshot.declares_ads,
+            snapshot.total_downloads,
+            snapshot.rating_count,
+            snapshot.average_rating,
+            snapshot.comment_count,
+            snapshot.version_name,
+        )
 
     def add_comments(self, store: str, comments: Iterable[Comment]) -> None:
         """Append comments, de-duplicating observations across daily crawls.
@@ -90,24 +189,24 @@ class SnapshotDatabase:
         The crawler re-fetches every comment page daily; only comments not
         yet recorded are added (identity = user, app, day, rating).
         """
-        existing = self._comments.setdefault(store, [])
-        seen = self._comment_keys.setdefault(store, set())
         for comment in comments:
-            key = (comment.user_id, comment.app_id, comment.day, comment.rating)
-            if key not in seen:
-                existing.append(comment)
-                seen.add(key)
+            self._store.add_comment_row(
+                store, comment.user_id, comment.app_id, comment.day, comment.rating
+            )
 
     def add_apk(self, apk: ApkRecord) -> bool:
         """Archive an APK version; returns False when already stored.
 
         The paper downloads each app version exactly once.
         """
-        key = (apk.store, apk.app_id, apk.version_name)
-        if key in self._apks:
-            return False
-        self._apks[key] = apk
-        return True
+        return self._store.add_apk_row(
+            apk.store,
+            apk.app_id,
+            apk.version_name,
+            apk.package_name,
+            apk.size_mb,
+            tuple(apk.embedded_libraries),
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -115,35 +214,94 @@ class SnapshotDatabase:
 
     def stores(self) -> List[str]:
         """Store names present in the database."""
-        return sorted({key[0] for key in self._snapshots})
+        return self._store.snapshot_stores()
 
     def days(self, store: str) -> List[int]:
         """Crawled days for a store, ascending."""
-        return sorted({key[1] for key in self._snapshots if key[0] == store})
+        return self._store.days(store)
+
+    def _materialize(self, chunk: SnapshotChunk, rows=None) -> List[AppSnapshot]:
+        """Dataclass rows of one chunk (all rows, or a row selection)."""
+        columns = {}
+        for name in SNAPSHOT_COLUMNS:
+            array = chunk.column(name)
+            columns[name] = (array if rows is None else array[rows]).tolist()
+        names = self._store.names.values()
+        categories = self._store.categories.values()
+        versions = self._store.versions.values()
+        store, day = chunk.store, chunk.day
+        return [
+            AppSnapshot(
+                store=store,
+                day=day,
+                app_id=app_id,
+                name=names[name_id],
+                category=categories[category_id],
+                developer_id=developer_id,
+                price=price,
+                declares_ads=declares_ads,
+                total_downloads=total_downloads,
+                rating_count=rating_count,
+                average_rating=average_rating,
+                comment_count=comment_count,
+                version_name=versions[version_id],
+            )
+            for (
+                app_id,
+                name_id,
+                category_id,
+                developer_id,
+                price,
+                declares_ads,
+                total_downloads,
+                rating_count,
+                average_rating,
+                comment_count,
+                version_id,
+            ) in zip(*(columns[name] for name in SNAPSHOT_COLUMNS))
+        ]
 
     def snapshots_on(self, store: str, day: int) -> List[AppSnapshot]:
-        """All app snapshots of a store on one day."""
-        return [
-            snapshot
-            for (s, d, _), snapshot in self._snapshots.items()
-            if s == store and d == day
-        ]
+        """All app snapshots of a store on one day, ascending app id."""
+        chunk = self._store.chunk(store, day)
+        if chunk is None:
+            return []
+        return self._materialize(chunk)
 
     def snapshot(self, store: str, day: int, app_id: int) -> Optional[AppSnapshot]:
         """One observation, or None when the app was not crawled that day."""
-        return self._snapshots.get((store, day, app_id))
+        chunk = self._store.chunk(store, day)
+        if chunk is None:
+            return None
+        row = chunk.row_index(app_id)
+        if row is None:
+            return None
+        return self._materialize(chunk, rows=np.array([row]))[0]
 
     def app_ids(self, store: str) -> List[int]:
         """Every app ever observed in a store."""
-        return sorted({key[2] for key in self._snapshots if key[0] == store})
+        return self._store.app_ids(store).tolist()
+
+    def snapshot_columns(
+        self, store: str, day: int
+    ) -> Optional[SnapshotColumns]:
+        """Columnar view of one (store, day), or None when not crawled."""
+        chunk = self._store.chunk(store, day)
+        if chunk is None:
+            return None
+        return SnapshotColumns(chunk, self._store)
 
     def download_vector(self, store: str, day: int) -> np.ndarray:
-        """Per-app total downloads on a day (order: ascending app id)."""
-        snapshots = self.snapshots_on(store, day)
-        if not snapshots:
-            raise KeyError(f"no snapshots for store {store!r} on day {day}")
-        snapshots.sort(key=lambda s: s.app_id)
-        return np.array([s.total_downloads for s in snapshots], dtype=np.int64)
+        """Per-app total downloads on a day (order: ascending app id).
+
+        A zero-copy, read-only view of the chunk's column; ``.astype``
+        or ``np.array(...)`` it before mutating.
+        """
+        return self._store.download_vector(store, day)
+
+    def download_matrix(self, store: str) -> DownloadMatrix:
+        """Dense days x apps download matrix of one store (vectorized)."""
+        return self._store.download_matrix(store)
 
     def download_deltas(
         self, store: str, first_day: int, last_day: int
@@ -152,58 +310,116 @@ class SnapshotDatabase:
 
         Apps that appeared after ``first_day`` are counted from zero.
         """
-        start = {s.app_id: s.total_downloads for s in self.snapshots_on(store, first_day)}
-        end = {s.app_id: s.total_downloads for s in self.snapshots_on(store, last_day)}
-        if not end:
-            raise KeyError(f"no snapshots for store {store!r} on day {last_day}")
-        return {
-            app_id: downloads - start.get(app_id, 0)
-            for app_id, downloads in end.items()
-        }
+        app_ids, deltas = self._store.download_deltas_arrays(
+            store, first_day, last_day
+        )
+        return dict(zip(app_ids.tolist(), deltas.tolist()))
 
     def update_counts(
         self, store: str, first_day: int, last_day: int
     ) -> Dict[int, int]:
-        """Per-app number of version changes observed between two days."""
-        first = {
-            s.app_id: s.version_name for s in self.snapshots_on(store, first_day)
-        }
-        versions_seen: Dict[int, set] = {}
-        for day in self.days(store):
-            if day < first_day or day > last_day:
-                continue
-            for snapshot in self.snapshots_on(store, day):
-                versions_seen.setdefault(snapshot.app_id, set()).add(
-                    snapshot.version_name
-                )
-        return {
-            app_id: max(0, len(versions) - 1)
-            for app_id, versions in versions_seen.items()
-        }
+        """Per-app number of version changes observed between two days.
+
+        One grouped pass over the window's chunks (the legacy
+        implementation re-scanned the whole database once per day).
+        """
+        app_ids, counts = self._store.update_counts_arrays(
+            store, first_day, last_day
+        )
+        return dict(zip(app_ids.tolist(), counts.tolist()))
 
     def comments(self, store: str) -> List[Comment]:
         """All comments of a store in insertion order."""
-        return list(self._comments.get(store, []))
+        log = self._store.comment_log(store)
+        if log is None or len(log) == 0:
+            return []
+        columns = log.arrays()
+        return [
+            Comment(user_id=user_id, app_id=app_id, day=day, rating=rating)
+            for user_id, app_id, day, rating in zip(
+                columns["user_id"].tolist(),
+                columns["app_id"].tolist(),
+                columns["day"].tolist(),
+                columns["rating"].tolist(),
+            )
+        ]
 
     def comment_streams(self, store: str) -> Dict[int, List[Comment]]:
         """Per-user comment streams in chronological order."""
         streams: Dict[int, List[Comment]] = {}
-        for comment in self._comments.get(store, []):
+        for comment in self.comments(store):
             streams.setdefault(comment.user_id, []).append(comment)
         for stream in streams.values():
             stream.sort(key=lambda c: c.day)
         return streams
 
     def apks(self, store: str) -> List[ApkRecord]:
-        """All archived APK versions for a store."""
-        return [apk for key, apk in self._apks.items() if key[0] == store]
+        """All archived APK versions for a store, archive order."""
+        log = self._store.apk_log(store)
+        if log is None or len(log) == 0:
+            return []
+        columns = log.arrays()
+        versions = self._store.versions.values()
+        packages = self._store.packages.values()
+        libsets = self._store.libsets.values()
+        order = np.argsort(columns["seq"], kind="stable")
+        return [
+            ApkRecord(
+                store=store,
+                app_id=app_id,
+                version_name=versions[version_id],
+                package_name=packages[package_id],
+                size_mb=size_mb,
+                embedded_libraries=libsets[libset_id],
+            )
+            for app_id, version_id, package_id, size_mb, libset_id in zip(
+                columns["app_id"][order].tolist(),
+                columns["version_id"][order].tolist(),
+                columns["package_id"][order].tolist(),
+                columns["size_mb"][order].tolist(),
+                columns["libset_id"][order].tolist(),
+            )
+        ]
 
     def latest_apk_per_app(self, store: str) -> Dict[int, ApkRecord]:
-        """The most recently archived APK version of every app."""
-        latest: Dict[int, ApkRecord] = {}
-        for record in self.apks(store):
-            latest[record.app_id] = record
-        return latest
+        """The most recently archived APK version of every app.
+
+        "Latest" is defined by the explicit archive sequence number each
+        entry carries, not by container order -- a save/load round trip
+        or chunk-sorted storage can never silently reorder it.
+        """
+        log = self._store.apk_log(store)
+        if log is None or len(log) == 0:
+            return {}
+        columns = log.arrays()
+        # Sort by (app_id, seq); the last row of each app run is the
+        # highest sequence number, i.e. the most recent archive.
+        order = np.lexsort((columns["seq"], columns["app_id"]))
+        app_ids = columns["app_id"][order]
+        keep = np.empty(app_ids.size, dtype=np.bool_)
+        keep[:-1] = app_ids[1:] != app_ids[:-1]
+        keep[-1] = True
+        rows = order[keep]
+        versions = self._store.versions.values()
+        packages = self._store.packages.values()
+        libsets = self._store.libsets.values()
+        return {
+            app_id: ApkRecord(
+                store=store,
+                app_id=app_id,
+                version_name=versions[version_id],
+                package_name=packages[package_id],
+                size_mb=size_mb,
+                embedded_libraries=libsets[libset_id],
+            )
+            for app_id, version_id, package_id, size_mb, libset_id in zip(
+                columns["app_id"][rows].tolist(),
+                columns["version_id"][rows].tolist(),
+                columns["package_id"][rows].tolist(),
+                columns["size_mb"][rows].tolist(),
+                columns["libset_id"][rows].tolist(),
+            )
+        }
 
     def fingerprint(self) -> str:
         """Order-independent SHA-256 over the full database contents.
@@ -211,55 +427,104 @@ class SnapshotDatabase:
         Two databases holding the same observations hash identically no
         matter what order the crawler recorded them in -- which is what
         lets chaos tests assert that a crawl under an aggressive fault
-        plan recovered the *exact* dataset of the fault-free run.
+        plan recovered the *exact* dataset of the fault-free run.  The
+        hex is byte-identical across the in-memory, JSONL, and packed
+        columnar representations of the same observations.
         """
-        digest = hashlib.sha256()
-        for key in sorted(self._snapshots):
-            record = {"kind": "snapshot", **asdict(self._snapshots[key])}
-            digest.update(json.dumps(record, sort_keys=True).encode("utf-8"))
-        for store in sorted(self._comments):
-            ordered = sorted(
-                self._comments[store],
-                key=lambda c: (c.user_id, c.app_id, c.day, c.rating),
-            )
-            for comment in ordered:
-                record = {"kind": "comment", "store": store, **asdict(comment)}
-                digest.update(json.dumps(record, sort_keys=True).encode("utf-8"))
-        for key in sorted(self._apks):
-            record = {"kind": "apk", **asdict(self._apks[key])}
-            record["embedded_libraries"] = list(self._apks[key].embedded_libraries)
-            digest.update(json.dumps(record, sort_keys=True).encode("utf-8"))
-        return digest.hexdigest()
+        return self._store.fingerprint()
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
 
+    def dump_jsonl(self, handle) -> int:
+        """Stream the database as JSONL to a text handle; returns lines.
+
+        Snapshots stream in canonical chunk order, comments in insertion
+        order, APKs in archive order.  APK records carry their archive
+        sequence number (``seq``) so the "latest version" ordering
+        survives any re-serialization; readers that predate the field
+        simply ignore it.
+        """
+        lines = 0
+        for chunk in self._store.chunks():
+            for snapshot in self._materialize(chunk):
+                record = {
+                    "kind": "snapshot",
+                    "store": snapshot.store,
+                    "day": snapshot.day,
+                    "app_id": snapshot.app_id,
+                    "name": snapshot.name,
+                    "category": snapshot.category,
+                    "developer_id": snapshot.developer_id,
+                    "price": snapshot.price,
+                    "declares_ads": snapshot.declares_ads,
+                    "total_downloads": snapshot.total_downloads,
+                    "rating_count": snapshot.rating_count,
+                    "average_rating": snapshot.average_rating,
+                    "comment_count": snapshot.comment_count,
+                    "version_name": snapshot.version_name,
+                }
+                handle.write(json.dumps(record) + "\n")
+                lines += 1
+        for store in self._store.comment_stores():
+            for comment in self.comments(store):
+                handle.write(
+                    json.dumps(
+                        {
+                            "kind": "comment",
+                            "store": store,
+                            "user_id": comment.user_id,
+                            "app_id": comment.app_id,
+                            "day": comment.day,
+                            "rating": comment.rating,
+                        }
+                    )
+                    + "\n"
+                )
+                lines += 1
+        for store in self._store.apk_stores():
+            for sequence, apk in enumerate(self.apks(store)):
+                handle.write(
+                    json.dumps(
+                        {
+                            "kind": "apk",
+                            "store": apk.store,
+                            "app_id": apk.app_id,
+                            "version_name": apk.version_name,
+                            "package_name": apk.package_name,
+                            "size_mb": apk.size_mb,
+                            "embedded_libraries": list(apk.embedded_libraries),
+                            "seq": sequence,
+                        }
+                    )
+                    + "\n"
+                )
+                lines += 1
+        return lines
+
     def save(self, path) -> None:
         """Write the database to a JSONL file."""
         path = Path(path)
         with path.open("w", encoding="utf-8") as handle:
-            for snapshot in self._snapshots.values():
-                handle.write(
-                    json.dumps({"kind": "snapshot", **asdict(snapshot)}) + "\n"
-                )
-            for store, comments in self._comments.items():
-                for comment in comments:
-                    handle.write(
-                        json.dumps(
-                            {"kind": "comment", "store": store, **asdict(comment)}
-                        )
-                        + "\n"
-                    )
-            for apk in self._apks.values():
-                record = asdict(apk)
-                record["embedded_libraries"] = list(apk.embedded_libraries)
-                handle.write(json.dumps({"kind": "apk", **record}) + "\n")
+            self.dump_jsonl(handle)
+
+    def pack(self, path) -> int:
+        """Write the packed columnar form; returns bytes on disk."""
+        return pack_store(self._store, path)
 
     @classmethod
     def load(cls, path) -> "SnapshotDatabase":
-        """Read a database previously written by :meth:`save`."""
+        """Read a database saved as JSONL, or open a packed directory.
+
+        A packed directory opens lazily: columns are mmap-loaded on
+        first touch, so the resident set stays a small fraction of the
+        dataset (see docs/architecture.md, "Out-of-core columnar
+        snapshot store").
+        """
         path = Path(path)
+        if is_packed_dataset(path):
+            return cls(columnar=open_store(path))
         database = cls()
         with path.open("r", encoding="utf-8") as handle:
             for line in handle:
@@ -274,6 +539,7 @@ class SnapshotDatabase:
                     store = record.pop("store")
                     database.add_comments(store, [Comment(**record)])
                 elif kind == "apk":
+                    record.pop("seq", None)
                     record["embedded_libraries"] = tuple(
                         record["embedded_libraries"]
                     )

@@ -4,6 +4,12 @@ The snapshot database's native format is JSONL (lossless round trip);
 these exporters flatten the three record kinds into CSVs that load
 directly into pandas/R/spreadsheets, which is how a measurement group
 would actually hand the dataset to collaborators.
+
+Rows are produced a columnar batch at a time: each (store, day) chunk is
+decoded once per column (string ids through the intern tables, numerics
+via ``.tolist()``) and handed to ``csv.writer.writerows`` zipped, so the
+export never materializes per-row dataclasses.  The output is
+byte-identical to the row-at-a-time formatting it replaced.
 """
 
 from __future__ import annotations
@@ -12,7 +18,36 @@ import csv
 from pathlib import Path
 from typing import Optional
 
+import numpy as np
+
 from repro.crawler.database import SnapshotDatabase
+
+SNAPSHOT_CSV_HEADER = [
+    "store",
+    "day",
+    "app_id",
+    "name",
+    "category",
+    "developer_id",
+    "price",
+    "declares_ads",
+    "total_downloads",
+    "rating_count",
+    "average_rating",
+    "comment_count",
+    "version_name",
+]
+
+COMMENT_CSV_HEADER = ["store", "user_id", "app_id", "day", "rating"]
+
+APK_CSV_HEADER = [
+    "store",
+    "app_id",
+    "version_name",
+    "package_name",
+    "size_mb",
+    "embedded_libraries",
+]
 
 
 def export_snapshots_csv(
@@ -24,44 +59,38 @@ def export_snapshots_csv(
     rows = 0
     with path.open("w", encoding="utf-8", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(
-            [
-                "store",
-                "day",
-                "app_id",
-                "name",
-                "category",
-                "developer_id",
-                "price",
-                "declares_ads",
-                "total_downloads",
-                "rating_count",
-                "average_rating",
-                "comment_count",
-                "version_name",
-            ]
-        )
+        writer.writerow(SNAPSHOT_CSV_HEADER)
         for store_name in stores:
             for day in database.days(store_name):
-                for snapshot in database.snapshots_on(store_name, day):
-                    writer.writerow(
+                columns = database.snapshot_columns(store_name, day)
+                if columns is None:
+                    continue
+                n_rows = columns.n_rows
+                writer.writerows(
+                    zip(
+                        [store_name] * n_rows,
+                        [day] * n_rows,
+                        columns.app_ids.tolist(),
+                        columns.decoded("name_id"),
+                        columns.decoded("category_id"),
+                        columns.column("developer_id").tolist(),
+                        columns.column("price").tolist(),
+                        columns.column("declares_ads")
+                        .astype(np.int64)
+                        .tolist(),
+                        columns.column("total_downloads").tolist(),
+                        columns.column("rating_count").tolist(),
                         [
-                            snapshot.store,
-                            snapshot.day,
-                            snapshot.app_id,
-                            snapshot.name,
-                            snapshot.category,
-                            snapshot.developer_id,
-                            snapshot.price,
-                            int(snapshot.declares_ads),
-                            snapshot.total_downloads,
-                            snapshot.rating_count,
-                            f"{snapshot.average_rating:.4f}",
-                            snapshot.comment_count,
-                            snapshot.version_name,
-                        ]
+                            f"{rating:.4f}"
+                            for rating in columns.column(
+                                "average_rating"
+                            ).tolist()
+                        ],
+                        columns.column("comment_count").tolist(),
+                        columns.decoded("version_id"),
                     )
-                    rows += 1
+                )
+                rows += n_rows
     return rows
 
 
@@ -74,14 +103,23 @@ def export_comments_csv(
     rows = 0
     with path.open("w", encoding="utf-8", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(["store", "user_id", "app_id", "day", "rating"])
+        writer.writerow(COMMENT_CSV_HEADER)
         for store_name in stores:
-            for comment in database.comments(store_name):
-                writer.writerow(
-                    [store_name, comment.user_id, comment.app_id, comment.day,
-                     comment.rating]
+            log = database.columnar.comment_log(store_name)
+            if log is None or len(log) == 0:
+                continue
+            columns = log.arrays()
+            n_rows = int(columns["user_id"].size)
+            writer.writerows(
+                zip(
+                    [store_name] * n_rows,
+                    columns["user_id"].tolist(),
+                    columns["app_id"].tolist(),
+                    columns["day"].tolist(),
+                    columns["rating"].tolist(),
                 )
-                rows += 1
+            )
+            rows += n_rows
     return rows
 
 
@@ -94,24 +132,42 @@ def export_apks_csv(
     """
     path = Path(path)
     stores = [store] if store is not None else database.stores()
+    columnar = database.columnar
+    versions = columnar.versions.values()
+    packages = columnar.packages.values()
+    libsets = columnar.libsets.values()
     rows = 0
     with path.open("w", encoding="utf-8", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(
-            ["store", "app_id", "version_name", "package_name", "size_mb",
-             "embedded_libraries"]
-        )
+        writer.writerow(APK_CSV_HEADER)
         for store_name in stores:
-            for apk in database.apks(store_name):
-                writer.writerow(
+            log = columnar.apk_log(store_name)
+            if log is None or len(log) == 0:
+                continue
+            columns = log.arrays()
+            order = np.argsort(columns["seq"], kind="stable")
+            n_rows = int(order.size)
+            writer.writerows(
+                zip(
+                    [store_name] * n_rows,
+                    columns["app_id"][order].tolist(),
                     [
-                        apk.store,
-                        apk.app_id,
-                        apk.version_name,
-                        apk.package_name,
-                        f"{apk.size_mb:.2f}",
-                        ";".join(apk.embedded_libraries),
-                    ]
+                        versions[version_id]
+                        for version_id in columns["version_id"][order].tolist()
+                    ],
+                    [
+                        packages[package_id]
+                        for package_id in columns["package_id"][order].tolist()
+                    ],
+                    [
+                        f"{size:.2f}"
+                        for size in columns["size_mb"][order].tolist()
+                    ],
+                    [
+                        ";".join(libsets[libset_id])
+                        for libset_id in columns["libset_id"][order].tolist()
+                    ],
                 )
-                rows += 1
+            )
+            rows += n_rows
     return rows

@@ -8,7 +8,8 @@ Codes are grouped by decade:
 - ``RPL010-019`` -- determinism hazards: wall clocks, randomized hashes,
   and unordered-set iteration must not shape stochastic output.
 - ``RPL020-029`` -- vectorization guards for the modules the batched
-  engine declares hot (:data:`BATCHED_MODULE_SUFFIXES`).
+  engine declares hot (:data:`BATCHED_MODULE_SUFFIXES`) and the
+  columnar store's array paths (:data:`STORE_MODULE_PATH_PARTS`).
 - ``RPL030-039`` -- API hygiene: mutable defaults, float equality,
   ``__all__`` drift.
 
@@ -39,6 +40,10 @@ BATCHED_MODULE_SUFFIXES = (
 #: The designated seed-coercion implementation; exempt from the RNG
 #: discipline rules because it is the layer they force everyone through.
 RNG_HELPER_MODULE_SUFFIXES = ("repro/stats/rng.py",)
+
+#: Path fragments identifying the columnar store, whose row loops are
+#: expected to stay batched (the RPL022 guard fires inside these).
+STORE_MODULE_PATH_PARTS = ("repro/store/",)
 
 #: (module suffix, function qualname) pairs whose float equality is the
 #: definition of a domain predicate rather than a numerical accident.
@@ -90,6 +95,11 @@ def _normalized(path: str) -> str:
 def _path_matches(path: str, suffixes: Sequence[str]) -> bool:
     normalized = _normalized(path)
     return any(normalized.endswith(suffix) for suffix in suffixes)
+
+
+def _path_within(path: str, parts: Sequence[str]) -> bool:
+    normalized = _normalized(path)
+    return any(part in normalized for part in parts)
 
 
 def _has_seed_parameter(node: ast.FunctionDef) -> bool:
@@ -506,6 +516,56 @@ class ArrayGrowthInLoopRule(Rule):
         self.generic_visit(node)
 
 
+class ColumnAppendLoopRule(Rule):
+    """RPL022: per-row append loops over column arrays in repro.store.
+
+    The store's whole point is that data moves as columns: a loop that
+    walks an ndarray column and ``.append``-s values one row at a time
+    re-introduces the O(rows) Python-interpreter cost the chunk layout
+    removed.  Batch the transfer (``list.extend(column.tolist())``) or
+    express the transform as array operations.
+    """
+
+    code = "RPL022"
+    name = "column-append-loop"
+    summary = (
+        "no per-row list.append loop over ndarray columns inside "
+        "repro.store modules; batch the rows with "
+        ".extend(column.tolist()) or a vectorized transform"
+    )
+
+    _WRAPPERS = frozenset({"zip", "enumerate", "reversed"})
+
+    def _iterates_ndarray(self, iterable: ast.AST) -> bool:
+        if self.module.expression_kind(iterable) == "ndarray":
+            return True
+        if isinstance(iterable, ast.Call):
+            dotted = self.module.resolve_dotted(iterable.func)
+            if dotted in self._WRAPPERS:
+                return any(
+                    self.module.expression_kind(argument) == "ndarray"
+                    for argument in iterable.args
+                )
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _path_within(self.module.path, STORE_MODULE_PATH_PARTS):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "append":
+                for ancestor in self.module.ancestors(node):
+                    if isinstance(
+                        ancestor, (ast.For, ast.AsyncFor)
+                    ) and self._iterates_ndarray(ancestor.iter):
+                        self.report(
+                            node,
+                            "per-row .append over an ndarray column; batch "
+                            "the rows with .extend(column.tolist()) or a "
+                            "vectorized transform instead",
+                        )
+                        break
+        self.generic_visit(node)
+
+
 class MutableDefaultRule(Rule):
     """RPL030: mutable default arguments."""
 
@@ -683,6 +743,7 @@ RULES: Tuple[Type[Rule], ...] = (
     SetIterationRule,
     NdarrayElementLoopRule,
     ArrayGrowthInLoopRule,
+    ColumnAppendLoopRule,
     MutableDefaultRule,
     FloatEqualityRule,
     DunderAllDriftRule,

@@ -1,0 +1,461 @@
+"""The append-only columnar snapshot store.
+
+:class:`ColumnarStore` is the engine behind
+:class:`repro.crawler.database.SnapshotDatabase`: snapshots live in
+per-(store, day) chunks sorted by app id, comments and APK index entries
+in per-store insertion-ordered logs, and every string routes through
+four intern tables.  All query helpers work directly on column arrays --
+the façade only materializes dataclasses at its own edge.
+
+Design invariants:
+
+- **Append-only with overwrite-by-key semantics**: re-crawling a
+  (store, day, app) replaces the row at seal time (stable last-write
+  selection), never in place.
+- **Zero-copy reads**: sealed columns are frozen; queries return views.
+- **Exactness**: :meth:`fingerprint` reproduces the legacy JSON-per-row
+  SHA-256 byte for byte, which is what lets the chaos suite compare a
+  packed, mmap-backed dataset against an in-memory crawl.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+from repro.store.chunks import ApkLog, CommentLog, SnapshotChunk
+from repro.store.dictionary import StringInterner, TupleInterner
+from repro.store.schema import SNAPSHOT_COLUMNS
+
+__all__ = ["ColumnarStore", "DownloadMatrix"]
+
+
+class DownloadMatrix:
+    """Dense days x apps download matrix of one store.
+
+    ``matrix[i, j]`` is the total download count of app ``app_ids[j]``
+    on crawl day ``days[i]``; ``present[i, j]`` records whether the app
+    was actually observed that day (absent cells hold 0 downloads).
+    """
+
+    __slots__ = ("store", "days", "app_ids", "matrix", "present")
+
+    def __init__(
+        self,
+        store: str,
+        days: Tuple[int, ...],
+        app_ids: np.ndarray,
+        matrix: np.ndarray,
+        present: np.ndarray,
+    ) -> None:
+        self.store = store
+        self.days = days
+        self.app_ids = app_ids
+        self.matrix = matrix
+        self.present = present
+
+
+class ColumnarStore:
+    """Columnar chunks + intern tables + per-store logs."""
+
+    def __init__(self) -> None:
+        self.names = StringInterner()
+        self.categories = StringInterner()
+        self.versions = StringInterner()
+        self.packages = StringInterner()
+        self.libsets = TupleInterner()
+        self._chunks: Dict[Tuple[str, int], SnapshotChunk] = {}
+        self._buffers: Dict[Tuple[str, int], Dict[str, List]] = {}
+        self._comments: Dict[str, CommentLog] = {}
+        self._apks: Dict[str, ApkLog] = {}
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def add_snapshot_row(
+        self,
+        store: str,
+        day: int,
+        app_id: int,
+        name: str,
+        category: str,
+        developer_id: int,
+        price: float,
+        declares_ads: bool,
+        total_downloads: int,
+        rating_count: int,
+        average_rating: float,
+        comment_count: int,
+        version_name: str,
+    ) -> None:
+        """Buffer one (store, day, app) observation."""
+        buffers = self._buffers.get((store, day))
+        if buffers is None:
+            buffers = {column: [] for column in SNAPSHOT_COLUMNS}
+            self._buffers[(store, day)] = buffers
+        buffers["app_id"].append(app_id)
+        buffers["name_id"].append(self.names.intern(name))
+        buffers["category_id"].append(self.categories.intern(category))
+        buffers["developer_id"].append(developer_id)
+        buffers["price"].append(price)
+        buffers["declares_ads"].append(declares_ads)
+        buffers["total_downloads"].append(total_downloads)
+        buffers["rating_count"].append(rating_count)
+        buffers["average_rating"].append(average_rating)
+        buffers["comment_count"].append(comment_count)
+        buffers["version_id"].append(self.versions.intern(version_name))
+        get_registry().counter("store.rows_ingested.snapshots").add(1)
+
+    def extend_snapshots(
+        self, store: str, day: int, columns: Dict[str, np.ndarray]
+    ) -> None:
+        """Bulk-buffer one day of snapshot rows from column arrays.
+
+        The fast ingest path: callers provide already-encoded columns
+        (``name_id``/``category_id``/``version_id`` ids from this
+        store's intern tables) and pay no per-row Python cost.
+        """
+        missing = [name for name in SNAPSHOT_COLUMNS if name not in columns]
+        if missing:
+            raise KeyError(f"missing snapshot columns: {missing}")
+        buffers = self._buffers.get((store, day))
+        if buffers is None:
+            buffers = {column: [] for column in SNAPSHOT_COLUMNS}
+            self._buffers[(store, day)] = buffers
+        n_rows = int(np.asarray(columns["app_id"]).size)
+        for name in SNAPSHOT_COLUMNS:
+            buffers[name].extend(np.asarray(columns[name]).tolist())
+        get_registry().counter("store.rows_ingested.snapshots").add(n_rows)
+
+    def add_comment_row(
+        self, store: str, user_id: int, app_id: int, day: int, rating: int
+    ) -> bool:
+        """Append one comment; False when the identity key was seen."""
+        log = self._comments.get(store)
+        if log is None:
+            log = CommentLog(store)
+            self._comments[store] = log
+        added = log.add(user_id, app_id, day, rating)
+        if added:
+            get_registry().counter("store.rows_ingested.comments").add(1)
+        return added
+
+    def add_apk_row(
+        self,
+        store: str,
+        app_id: int,
+        version_name: str,
+        package_name: str,
+        size_mb: float,
+        embedded_libraries: Tuple[str, ...],
+    ) -> bool:
+        """Archive one APK version; False when already archived."""
+        log = self._apks.get(store)
+        if log is None:
+            log = ApkLog(store)
+            self._apks[store] = log
+        added = log.add(
+            app_id,
+            self.versions.intern(version_name),
+            self.packages.intern(package_name),
+            size_mb,
+            self.libsets.intern(tuple(embedded_libraries)),
+        )
+        if added:
+            get_registry().counter("store.rows_ingested.apks").add(1)
+        return added
+
+    # ------------------------------------------------------------------
+    # Sealing
+    # ------------------------------------------------------------------
+
+    def seal_chunk(self, store: str, day: int) -> None:
+        """Seal (or merge) the append buffer of one (store, day)."""
+        buffers = self._buffers.pop((store, day), None)
+        if buffers is None:
+            return
+        existing = self._chunks.get((store, day))
+        if existing is None:
+            self._chunks[(store, day)] = SnapshotChunk.seal(store, day, buffers)
+        else:
+            self._chunks[(store, day)] = existing.merge_with(buffers)
+
+    def seal(self) -> None:
+        """Seal every dirty snapshot buffer."""
+        for store, day in sorted(self._buffers):
+            self.seal_chunk(store, day)
+
+    def _register_chunk(self, chunk: SnapshotChunk) -> None:
+        """Attach an already-sealed (typically disk-backed) chunk."""
+        self._chunks[(chunk.store, chunk.day)] = chunk
+
+    def _register_comment_log(self, log: CommentLog) -> None:
+        self._comments[log.store] = log
+
+    def _register_apk_log(self, log: ApkLog) -> None:
+        self._apks[log.store] = log
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+
+    def stores(self) -> List[str]:
+        """Store names with any snapshots, comments, or APKs."""
+        present = {key[0] for key in self._chunks}
+        present.update(key[0] for key in self._buffers)
+        present.update(self._comments)
+        present.update(self._apks)
+        return sorted(present)
+
+    def snapshot_stores(self) -> List[str]:
+        """Store names present in the snapshot chunks (legacy contract)."""
+        present = {key[0] for key in self._chunks}
+        present.update(key[0] for key in self._buffers)
+        return sorted(present)
+
+    def days(self, store: str) -> List[int]:
+        """Crawled days of one store, ascending."""
+        present = {day for (s, day) in self._chunks if s == store}
+        present.update(day for (s, day) in self._buffers if s == store)
+        return sorted(present)
+
+    def has_chunk(self, store: str, day: int) -> bool:
+        """Whether any snapshot rows exist for (store, day)."""
+        return (store, day) in self._chunks or (store, day) in self._buffers
+
+    def chunk(self, store: str, day: int) -> Optional[SnapshotChunk]:
+        """The sealed chunk of (store, day), sealing buffers on demand."""
+        if (store, day) in self._buffers:
+            self.seal_chunk(store, day)
+        return self._chunks.get((store, day))
+
+    def chunks(self, store: Optional[str] = None) -> Iterator[SnapshotChunk]:
+        """Sealed chunks in (store, day) order, sealing dirty buffers."""
+        self.seal()
+        for key in sorted(self._chunks):
+            if store is None or key[0] == store:
+                yield self._chunks[key]
+
+    def app_ids(self, store: str) -> np.ndarray:
+        """Every app id ever observed in a store, sorted, as int64."""
+        arrays = [chunk.app_ids() for chunk in self.chunks(store)]
+        if not arrays:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(arrays))
+
+    def n_snapshot_rows(self, store: Optional[str] = None) -> int:
+        """Total sealed + buffered snapshot rows (before de-duplication)."""
+        self.seal()
+        return sum(
+            chunk.n_rows
+            for key, chunk in sorted(self._chunks.items())
+            if store is None or key[0] == store
+        )
+
+    def comment_log(self, store: str) -> Optional[CommentLog]:
+        """The comment log of one store, if any."""
+        return self._comments.get(store)
+
+    def apk_log(self, store: str) -> Optional[ApkLog]:
+        """The APK log of one store, if any."""
+        return self._apks.get(store)
+
+    def comment_stores(self) -> List[str]:
+        """Stores holding comments, sorted."""
+        return sorted(self._comments)
+
+    def apk_stores(self) -> List[str]:
+        """Stores holding APK entries, sorted."""
+        return sorted(self._apks)
+
+    # ------------------------------------------------------------------
+    # Vectorized queries
+    # ------------------------------------------------------------------
+
+    def download_vector(self, store: str, day: int) -> np.ndarray:
+        """Per-app downloads on one day, app-id order, zero-copy."""
+        chunk = self.chunk(store, day)
+        if chunk is None or chunk.n_rows == 0:
+            raise KeyError(f"no snapshots for store {store!r} on day {day}")
+        return chunk.column("total_downloads")
+
+    def download_matrix(self, store: str) -> DownloadMatrix:
+        """The dense days x apps download matrix of one store."""
+        chunk_list = list(self.chunks(store))
+        if not chunk_list:
+            raise KeyError(f"no snapshots for store {store!r}")
+        app_ids = np.unique(
+            np.concatenate([chunk.app_ids() for chunk in chunk_list])
+        )
+        days = tuple(chunk.day for chunk in chunk_list)
+        matrix = np.zeros((len(chunk_list), app_ids.size), dtype=np.int64)
+        present = np.zeros((len(chunk_list), app_ids.size), dtype=np.bool_)
+        for row, chunk in enumerate(chunk_list):
+            positions = np.searchsorted(app_ids, chunk.app_ids())
+            matrix[row, positions] = chunk.column("total_downloads")
+            present[row, positions] = True
+        return DownloadMatrix(store, days, app_ids, matrix, present)
+
+    def download_deltas_arrays(
+        self, store: str, first_day: int, last_day: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(app_ids, deltas) of download growth between two crawled days.
+
+        Apps absent on ``first_day`` are counted from zero, matching the
+        legacy dict query.  Ordered by app id.
+        """
+        end = self.chunk(store, last_day)
+        if end is None or end.n_rows == 0:
+            raise KeyError(f"no snapshots for store {store!r} on day {last_day}")
+        end_ids = end.app_ids()
+        deltas = end.column("total_downloads").astype(np.int64, copy=True)
+        start = self.chunk(store, first_day)
+        if start is not None and start.n_rows:
+            start_ids = start.app_ids()
+            positions = np.searchsorted(start_ids, end_ids)
+            positions = np.minimum(positions, start_ids.size - 1)
+            found = start_ids[positions] == end_ids
+            deltas -= np.where(
+                found, start.column("total_downloads")[positions], 0
+            )
+        return end_ids, deltas
+
+    def update_counts_arrays(
+        self, store: str, first_day: int, last_day: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(app_ids, update counts) over a window, one grouped pass.
+
+        Counts distinct version strings per app across every crawled day
+        in ``[first_day, last_day]`` minus one, never negative -- the
+        legacy semantics, without the O(days x total-rows) rescan.
+        """
+        id_parts: List[np.ndarray] = []
+        version_parts: List[np.ndarray] = []
+        for chunk in self.chunks(store):
+            if first_day <= chunk.day <= last_day:
+                id_parts.append(chunk.app_ids())
+                version_parts.append(chunk.column("version_id"))
+        if not id_parts:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        app_ids = np.concatenate(id_parts)
+        version_ids = np.concatenate(version_parts).astype(np.int64)
+        # Pair-encode (app, version) so one np.unique pass groups both.
+        n_versions = max(len(self.versions), 1)
+        pairs = app_ids * np.int64(n_versions) + version_ids
+        unique_apps, version_counts = np.unique(
+            np.unique(pairs) // np.int64(n_versions), return_counts=True
+        )
+        return unique_apps, np.maximum(version_counts - 1, 0)
+
+    # ------------------------------------------------------------------
+    # Fingerprint
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Order-independent SHA-256, byte-identical to the legacy DB.
+
+        Streams rows straight out of the columns in the legacy sort
+        order -- snapshots by (store, day, app_id), comments by store
+        then (user, app, day, rating), APKs by (store, app_id,
+        version_name) -- and feeds the digest the exact JSON encoding
+        the flat-dict implementation used.
+        """
+        digest = hashlib.sha256()
+        for record in self.iter_fingerprint_records():
+            digest.update(json.dumps(record, sort_keys=True).encode("utf-8"))
+        return digest.hexdigest()
+
+    def iter_fingerprint_records(self) -> Iterator[dict]:
+        """The fingerprint's record stream (also reused by JSONL export)."""
+        names = self.names.values()
+        categories = self.categories.values()
+        versions = self.versions.values()
+        packages = self.packages.values()
+        libsets = self.libsets.values()
+        for chunk in self.chunks():
+            columns = {
+                name: chunk.column(name).tolist() for name in SNAPSHOT_COLUMNS
+            }
+            for (
+                app_id,
+                name_id,
+                category_id,
+                developer_id,
+                price,
+                declares_ads,
+                total_downloads,
+                rating_count,
+                average_rating,
+                comment_count,
+                version_id,
+            ) in zip(*(columns[name] for name in SNAPSHOT_COLUMNS)):
+                yield {
+                    "kind": "snapshot",
+                    "store": chunk.store,
+                    "day": chunk.day,
+                    "app_id": app_id,
+                    "name": names[name_id],
+                    "category": categories[category_id],
+                    "developer_id": developer_id,
+                    "price": price,
+                    "declares_ads": declares_ads,
+                    "total_downloads": total_downloads,
+                    "rating_count": rating_count,
+                    "average_rating": average_rating,
+                    "comment_count": comment_count,
+                    "version_name": versions[version_id],
+                }
+        for store in self.comment_stores():
+            columns = self._comments[store].arrays()
+            rows = np.lexsort(
+                (
+                    columns["rating"],
+                    columns["day"],
+                    columns["app_id"],
+                    columns["user_id"],
+                )
+            )
+            for user_id, app_id, day, rating in zip(
+                columns["user_id"][rows].tolist(),
+                columns["app_id"][rows].tolist(),
+                columns["day"][rows].tolist(),
+                columns["rating"][rows].tolist(),
+            ):
+                yield {
+                    "kind": "comment",
+                    "store": store,
+                    "user_id": user_id,
+                    "app_id": app_id,
+                    "day": day,
+                    "rating": rating,
+                }
+        for store in self.apk_stores():
+            columns = self._apks[store].arrays()
+            app_column = columns["app_id"].tolist()
+            version_column = columns["version_id"].tolist()
+            # Legacy order: sorted (store, app_id, version_name) keys.
+            rows = sorted(
+                range(len(app_column)),
+                key=lambda row: (app_column[row], versions[version_column[row]]),
+            )
+            for app_id, version_id, package_id, size_mb, libset_id in zip(
+                columns["app_id"][rows].tolist(),
+                columns["version_id"][rows].tolist(),
+                columns["package_id"][rows].tolist(),
+                columns["size_mb"][rows].tolist(),
+                columns["libset_id"][rows].tolist(),
+            ):
+                yield {
+                    "kind": "apk",
+                    "store": store,
+                    "app_id": app_id,
+                    "version_name": versions[version_id],
+                    "package_name": packages[package_id],
+                    "size_mb": size_mb,
+                    "embedded_libraries": list(libsets[libset_id]),
+                }

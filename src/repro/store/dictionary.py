@@ -1,0 +1,90 @@
+"""Intern tables: dictionary-encoded string (and string-tuple) columns.
+
+Columnar storage keeps variable-length values out of the hot arrays by
+replacing every string with a small integer id.  The id assignment is
+purely append-order (first occurrence wins), which makes the encoding
+deterministic for a deterministic writer and lets the table serialize as
+a plain JSON list whose index *is* the id.
+
+Two value shapes are needed by the snapshot store:
+
+- plain strings (app names, categories, version names, package names);
+- tuples of strings (the ``embedded_libraries`` of an APK record), which
+  intern as one id per distinct tuple so an APK row stays fixed-width.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, List, Sequence, Tuple, TypeVar
+
+ValueT = TypeVar("ValueT", bound=Hashable)
+
+__all__ = ["Interner", "StringInterner", "TupleInterner"]
+
+
+class Interner(Generic[ValueT]):
+    """Append-only value <-> id table (first occurrence assigns the id)."""
+
+    __slots__ = ("_values", "_ids")
+
+    def __init__(self) -> None:
+        self._values: List[ValueT] = []
+        self._ids: Dict[ValueT, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def intern(self, value: ValueT) -> int:
+        """The value's id, assigning the next free id on first sight."""
+        existing = self._ids.get(value)
+        if existing is not None:
+            return existing
+        next_id = len(self._values)
+        self._values.append(value)
+        self._ids[value] = next_id
+        return next_id
+
+    def value(self, value_id: int) -> ValueT:
+        """The value behind one id (raises IndexError for unknown ids)."""
+        return self._values[value_id]
+
+    def values(self) -> Tuple[ValueT, ...]:
+        """All interned values, id order (index == id)."""
+        return tuple(self._values)
+
+    def decode(self, value_ids: Sequence[int]) -> List[ValueT]:
+        """Decode a whole id column back into values (one list pass)."""
+        values = self._values
+        return [values[value_id] for value_id in value_ids]
+
+
+class StringInterner(Interner[str]):
+    """Interner for plain strings; serializes as a JSON string list."""
+
+    def to_json(self) -> List[str]:
+        """The table as a JSON-ready list (index == id)."""
+        return list(self._values)
+
+    @classmethod
+    def from_json(cls, values: Sequence[str]) -> "StringInterner":
+        """Rebuild a table from :meth:`to_json` output."""
+        table = cls()
+        for value in values:
+            table.intern(str(value))
+        return table
+
+
+class TupleInterner(Interner[Tuple[str, ...]]):
+    """Interner for string tuples; serializes as a JSON list of lists."""
+
+    def to_json(self) -> List[List[str]]:
+        """The table as a JSON-ready list of lists (index == id)."""
+        return [list(value) for value in self._values]
+
+    @classmethod
+    def from_json(cls, values: Sequence[Sequence[str]]) -> "TupleInterner":
+        """Rebuild a table from :meth:`to_json` output."""
+        table = cls()
+        for value in values:
+            table.intern(tuple(str(part) for part in value))
+        return table

@@ -1,5 +1,7 @@
 """Tests for repro.crawler.database."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -84,6 +86,39 @@ class TestSnapshots:
         assert counts[1] == 2
         assert counts[2] == 0
 
+    def test_update_counts_matches_per_day_rescan(self):
+        """The single grouped pass equals the legacy day-by-day rescan."""
+        rng = np.random.default_rng(7)
+        database = SnapshotDatabase()
+        versions = [f"{major}.{minor}" for major in range(3) for minor in range(4)]
+        for day in range(12):
+            observed = rng.choice(60, size=rng.integers(10, 40), replace=False)
+            for app_id in observed.tolist():
+                database.add_snapshot(
+                    snapshot(
+                        day=day,
+                        app_id=app_id,
+                        downloads=int(rng.integers(0, 10**6)),
+                        version=versions[int(rng.integers(len(versions)))],
+                    )
+                )
+
+        def rescan(first_day, last_day):
+            seen = {}
+            for day in database.days("s"):
+                if first_day <= day <= last_day:
+                    for row in database.snapshots_on("s", day):
+                        seen.setdefault(row.app_id, set()).add(row.version_name)
+            return {
+                app_id: max(len(names) - 1, 0)
+                for app_id, names in seen.items()
+            }
+
+        for first_day, last_day in [(0, 11), (3, 8), (5, 5), (9, 2)]:
+            assert database.update_counts("s", first_day, last_day) == rescan(
+                first_day, last_day
+            )
+
 
 class TestComments:
     def test_deduplication(self):
@@ -122,6 +157,45 @@ class TestApks:
         database.add_apk(apk(app_id=1, version="1.1"))
         latest = database.latest_apk_per_app("s")
         assert latest[1].version_name == "1.1"
+
+    def test_latest_apk_survives_round_trips(self, tmp_path):
+        """"Latest" means most recently *archived*, and the explicit seq
+        number keeps that true across JSONL and packed round trips even
+        when archive order disagrees with version-string order."""
+        database = SnapshotDatabase()
+        database.add_apk(apk(app_id=1, version="2.0"))
+        database.add_apk(apk(app_id=1, version="1.5"))  # archived later
+        database.add_apk(apk(app_id=2, version="0.9"))
+        database.add_apk(apk(app_id=2, version="0.10"))
+        expected = {1: "1.5", 2: "0.10"}
+
+        def latest_versions(db):
+            return {
+                app_id: record.version_name
+                for app_id, record in db.latest_apk_per_app("s").items()
+            }
+
+        assert latest_versions(database) == expected
+        jsonl = tmp_path / "crawl.jsonl"
+        database.save(jsonl)
+        loaded = SnapshotDatabase.load(jsonl)
+        assert latest_versions(loaded) == expected
+        packed = tmp_path / "crawl.cstore"
+        loaded.pack(packed)
+        assert latest_versions(SnapshotDatabase.load(packed)) == expected
+
+    def test_apk_seq_written_to_jsonl_but_not_fingerprint(self, tmp_path):
+        database = SnapshotDatabase()
+        database.add_apk(apk(app_id=3, version="1.0"))
+        database.add_apk(apk(app_id=3, version="1.1"))
+        path = tmp_path / "crawl.jsonl"
+        database.save(path)
+        records = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert [record["seq"] for record in records] == [0, 1]
+        assert SnapshotDatabase.load(path).fingerprint() == database.fingerprint()
 
 
 class TestPersistence:

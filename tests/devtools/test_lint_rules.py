@@ -16,6 +16,8 @@ from repro.devtools.lint import RULES, lint_source
 
 #: A path inside the declared-batched set, for the RPL02x fixtures.
 BATCHED_PATH = "src/repro/core/engine.py"
+#: A path inside the columnar store, for the RPL022 fixtures.
+STORE_PATH = "src/repro/store/columnar.py"
 #: A path outside every structural allowlist.
 PLAIN_PATH = "src/repro/analysis/example.py"
 
@@ -286,6 +288,55 @@ FIXTURES: Tuple[RuleFixture, ...] = (
             "    return np.concatenate([chunk for chunk in chunks])\n"
         ),
         path=BATCHED_PATH,
+    ),
+    RuleFixture(
+        code="RPL022",
+        flagged=(
+            "import numpy as np\n"
+            "def materialize(values):\n"
+            "    column = np.asarray(values)\n"
+            "    out = []\n"
+            "    for value in column:\n"
+            "        out.append(value)\n"
+            "    return out\n"
+        ),
+        quiet=(
+            "import numpy as np\n"
+            "def materialize(values):\n"
+            "    column = np.asarray(values)\n"
+            "    out = []\n"
+            "    out.extend(column.tolist())\n"
+            "    return out\n"
+        ),
+        path=STORE_PATH,
+    ),
+    RuleFixture(
+        code="RPL022",
+        # Per-row appends over zipped columns are the classic way a chunk
+        # gets rebuilt one row at a time; outside repro.store the same
+        # loop is not this rule's business.
+        flagged=(
+            "import numpy as np\n"
+            "def pair_rows(ids, downloads):\n"
+            "    ids = np.asarray(ids)\n"
+            "    downloads = np.asarray(downloads)\n"
+            "    rows = []\n"
+            "    for app_id, count in zip(ids, downloads):\n"
+            "        rows.append((app_id, count))\n"
+            "    return rows\n"
+        ),
+        quiet=(
+            "import numpy as np\n"
+            "def pair_rows(ids, downloads):\n"
+            "    ids = np.asarray(ids)\n"
+            "    downloads = np.asarray(downloads)\n"
+            "    rows = []\n"
+            "    for app_id, count in zip(ids, downloads):\n"
+            "        rows.append((app_id, count))\n"
+            "    return rows\n"
+        ),
+        path=STORE_PATH,
+        quiet_path=PLAIN_PATH,
     ),
     RuleFixture(
         code="RPL030",

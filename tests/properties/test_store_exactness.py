@@ -1,0 +1,262 @@
+"""Property-based exactness tests for the columnar snapshot database.
+
+The columnar engine replaced a flat-dict database, and its contract is
+that no interleaving of writes, no placement of seal points, and no
+persistence cycle may change what the database *means*.  A miniature
+reference implementation of the legacy flat-dict database lives in this
+test; hypothesis drives arbitrary operation sequences against both and
+demands identical fingerprints and identical query answers -- including
+after a save -> load -> pack -> load trip through both on-disk formats.
+"""
+
+import hashlib
+import json
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crawler.database import ApkRecord, AppSnapshot, SnapshotDatabase
+from repro.marketplace.entities import Comment
+
+STORES = ("alpha", "beta")
+VERSIONS = ("1.0", "1.1", "2.0-rc", "0.9")
+PRICES = (0.0, 0.99, 2.5)
+
+
+class LegacyReference:
+    """The seed's flat-dict database, kept only to define exactness."""
+
+    def __init__(self):
+        self.snapshots = {}  # (store, day, app_id) -> record dict
+        self.comments = {}  # store -> insertion-ordered record list
+        self.apks = {}  # store -> {(app_id, version): record}, archive order
+        self._comment_seen = set()
+
+    def add_snapshot(self, record):
+        key = (record["store"], record["day"], record["app_id"])
+        self.snapshots[key] = record
+
+    def add_comment(self, record):
+        key = tuple(sorted(record.items()))
+        if key in self._comment_seen:
+            return
+        self._comment_seen.add(key)
+        self.comments.setdefault(record["store"], []).append(record)
+
+    def add_apk(self, record):
+        table = self.apks.setdefault(record["store"], {})
+        table.setdefault((record["app_id"], record["version_name"]), record)
+
+    def fingerprint(self):
+        digest = hashlib.sha256()
+        for key in sorted(self.snapshots):
+            record = {"kind": "snapshot", **self.snapshots[key]}
+            digest.update(json.dumps(record, sort_keys=True).encode("utf-8"))
+        for store in sorted(self.comments):
+            ordered = sorted(
+                self.comments[store],
+                key=lambda r: (r["user_id"], r["app_id"], r["day"], r["rating"]),
+            )
+            for record in ordered:
+                digest.update(
+                    json.dumps(
+                        {"kind": "comment", **record}, sort_keys=True
+                    ).encode("utf-8")
+                )
+        for store in sorted(self.apks):
+            for key in sorted(self.apks[store]):
+                record = {"kind": "apk", **self.apks[store][key]}
+                digest.update(
+                    json.dumps(record, sort_keys=True).encode("utf-8")
+                )
+        return digest.hexdigest()
+
+    def days(self, store):
+        return sorted({day for (s, day, _) in self.snapshots if s == store})
+
+    def snapshots_on(self, store, day):
+        rows = [
+            AppSnapshot(**record)
+            for (s, d, _), record in self.snapshots.items()
+            if s == store and d == day
+        ]
+        return sorted(rows, key=lambda row: row.app_id)
+
+    def comment_rows(self, store):
+        return [
+            Comment(
+                user_id=record["user_id"],
+                app_id=record["app_id"],
+                day=record["day"],
+                rating=record["rating"],
+            )
+            for record in self.comments.get(store, [])
+        ]
+
+    def latest_apk_per_app(self, store):
+        latest = {}
+        for record in self.apks.get(store, {}).values():  # archive order
+            latest[record["app_id"]] = ApkRecord(
+                store=record["store"],
+                app_id=record["app_id"],
+                version_name=record["version_name"],
+                package_name=record["package_name"],
+                size_mb=record["size_mb"],
+                embedded_libraries=tuple(record["embedded_libraries"]),
+            )
+        return latest
+
+
+# One operation per tuple; the first element tags the kind.
+
+snapshot_ops = st.tuples(
+    st.just("snapshot"),
+    st.sampled_from(STORES),
+    st.integers(min_value=0, max_value=3),  # day
+    st.integers(min_value=0, max_value=5),  # app_id
+    st.integers(min_value=0, max_value=10**6),  # downloads
+    st.sampled_from(PRICES),
+    st.sampled_from(VERSIONS),
+    st.booleans(),  # declares_ads
+)
+
+comment_ops = st.tuples(
+    st.just("comment"),
+    st.sampled_from(STORES),
+    st.integers(min_value=0, max_value=3),  # user_id
+    st.integers(min_value=0, max_value=5),  # app_id
+    st.integers(min_value=0, max_value=3),  # day
+    st.integers(min_value=1, max_value=5),  # rating
+)
+
+apk_ops = st.tuples(
+    st.just("apk"),
+    st.sampled_from(STORES),
+    st.integers(min_value=0, max_value=5),  # app_id
+    st.sampled_from(VERSIONS),
+)
+
+seal_ops = st.tuples(
+    st.just("seal"),
+    st.sampled_from(STORES),
+    st.integers(min_value=0, max_value=3),  # day
+)
+
+operations = st.lists(
+    st.one_of(snapshot_ops, comment_ops, apk_ops, seal_ops), max_size=40
+)
+
+
+def apply_operations(ops):
+    """Replay one operation sequence into both implementations."""
+    database = SnapshotDatabase()
+    legacy = LegacyReference()
+    for op in ops:
+        if op[0] == "snapshot":
+            _, store, day, app_id, downloads, price, version, ads = op
+            record = {
+                "store": store,
+                "day": day,
+                "app_id": app_id,
+                "name": f"app-{app_id}",
+                "category": f"cat-{app_id % 3}",
+                "developer_id": app_id + 100,
+                "price": price,
+                "declares_ads": ads,
+                "total_downloads": downloads,
+                "rating_count": downloads % 50,
+                "average_rating": 2.5,
+                "comment_count": downloads % 7,
+                "version_name": version,
+            }
+            database.add_snapshot(AppSnapshot(**record))
+            legacy.add_snapshot(record)
+        elif op[0] == "comment":
+            _, store, user_id, app_id, day, rating = op
+            database.add_comments(
+                store,
+                [Comment(user_id=user_id, app_id=app_id, day=day, rating=rating)],
+            )
+            legacy.add_comment(
+                {
+                    "store": store,
+                    "user_id": user_id,
+                    "app_id": app_id,
+                    "day": day,
+                    "rating": rating,
+                }
+            )
+        elif op[0] == "apk":
+            _, store, app_id, version = op
+            record = {
+                "store": store,
+                "app_id": app_id,
+                "version_name": version,
+                "package_name": f"com.{store}.app{app_id}",
+                "size_mb": 1.5 + app_id,
+                "embedded_libraries": ["com.ads.sdk"] if app_id % 2 else [],
+            }
+            database.add_apk(
+                ApkRecord(
+                    store=store,
+                    app_id=app_id,
+                    version_name=version,
+                    package_name=record["package_name"],
+                    size_mb=record["size_mb"],
+                    embedded_libraries=tuple(record["embedded_libraries"]),
+                )
+            )
+            legacy.add_apk(record)
+        else:  # a seal point: freeze whatever is buffered for (store, day)
+            _, store, day = op
+            database.columnar.seal_chunk(store, day)
+    return database, legacy
+
+
+def assert_same_answers(database, legacy):
+    for store in STORES:
+        assert database.days(store) == legacy.days(store)
+        for day in legacy.days(store):
+            assert database.snapshots_on(store, day) == legacy.snapshots_on(
+                store, day
+            )
+        assert database.comments(store) == legacy.comment_rows(store)
+        assert database.latest_apk_per_app(store) == legacy.latest_apk_per_app(
+            store
+        )
+
+
+class TestExactness:
+    @given(ops=operations)
+    @settings(max_examples=60, deadline=None)
+    def test_fingerprint_matches_legacy_reference(self, ops):
+        database, legacy = apply_operations(ops)
+        assert database.fingerprint() == legacy.fingerprint()
+
+    @given(ops=operations)
+    @settings(max_examples=60, deadline=None)
+    def test_queries_match_legacy_reference(self, ops):
+        database, legacy = apply_operations(ops)
+        assert_same_answers(database, legacy)
+
+    @given(ops=operations)
+    @settings(max_examples=20, deadline=None)
+    def test_save_load_pack_load_cycle_is_lossless(self, ops):
+        database, legacy = apply_operations(ops)
+        expected = legacy.fingerprint()
+        with tempfile.TemporaryDirectory() as tmp:
+            jsonl = Path(tmp) / "crawl.jsonl"
+            database.save(jsonl)
+            loaded = SnapshotDatabase.load(jsonl)
+            packed_path = Path(tmp) / "crawl.cstore"
+            loaded.pack(packed_path)
+            packed = SnapshotDatabase.load(packed_path)
+            for replica in (loaded, packed):
+                assert replica.fingerprint() == expected
+                assert_same_answers(replica, legacy)
+                for store in STORES:
+                    assert replica.update_counts(store, 0, 3) == (
+                        database.update_counts(store, 0, 3)
+                    )

@@ -1,0 +1,159 @@
+"""Tests for the packed columnar disk format (pack/open, mmap, gating).
+
+The disk layer's promises: a packed dataset answers every query exactly
+like the store that wrote it, opening is lazy (no column touched until a
+query needs it), columns stream back as read-only memory maps, and a
+dataset from a different format version is refused loudly.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.store import (
+    ColumnarStore,
+    bytes_on_disk,
+    is_packed_dataset,
+    open_store,
+    pack_store,
+)
+
+
+def build_store():
+    """Two stores with snapshots, comments, and APK entries."""
+    store = ColumnarStore()
+    for name, day, app_id, downloads in [
+        ("alpha", 0, 1, 10),
+        ("alpha", 0, 2, 20),
+        ("alpha", 3, 1, 15),
+        ("beta", 1, 7, 70),
+    ]:
+        store.add_snapshot_row(
+            name,
+            day,
+            app_id,
+            f"app-{app_id}",
+            "games",
+            app_id + 100,
+            0.99 if app_id % 2 else 0.0,
+            bool(app_id % 2),
+            downloads,
+            downloads // 2,
+            3.5,
+            downloads // 3,
+            f"{day}.0",
+        )
+    store.add_comment_row("alpha", 1, 2, 0, 5)
+    store.add_comment_row("alpha", 2, 2, 1, 3)
+    store.add_apk_row("alpha", 1, "0.0", "com.a.app1", 3.5, ("com.ads",))
+    store.add_apk_row("alpha", 1, "3.0", "com.a.app1", 3.6, ())
+    return store
+
+
+class TestPack:
+    def test_pack_reports_bytes_and_marks_dataset(self, tmp_path):
+        path = tmp_path / "crawl.cstore"
+        written = pack_store(build_store(), path)
+        assert written == bytes_on_disk(path) > 0
+        assert is_packed_dataset(path)
+        assert not is_packed_dataset(tmp_path / "missing")
+        plain = tmp_path / "plain.jsonl"
+        plain.write_text("{}\n", encoding="utf-8")
+        assert not is_packed_dataset(plain)
+
+    def test_pack_bumps_counters(self, tmp_path):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            total = pack_store(build_store(), tmp_path / "crawl.cstore")
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["store.datasets_packed"] == 1
+        assert snapshot["gauges"]["store.bytes_on_disk"] == total
+
+
+class TestOpen:
+    def test_round_trip_fingerprint_and_queries(self, tmp_path):
+        original = build_store()
+        path = tmp_path / "crawl.cstore"
+        pack_store(original, path)
+        opened = open_store(path)
+        assert opened.fingerprint() == original.fingerprint()
+        assert opened.stores() == original.stores()
+        assert opened.days("alpha") == [0, 3]
+        assert (
+            opened.download_vector("alpha", 0).tolist()
+            == original.download_vector("alpha", 0).tolist()
+        )
+        assert len(opened.comment_log("alpha")) == 2
+        assert opened.apk_log("alpha").arrays()["seq"].tolist() == [0, 1]
+
+    def test_columns_stream_back_as_readonly_memmaps(self, tmp_path):
+        path = tmp_path / "crawl.cstore"
+        pack_store(build_store(), path)
+        chunk = open_store(path).chunk("alpha", 0)
+        assert chunk.source == "mmap"
+        column = chunk.column("total_downloads")
+        assert isinstance(column, np.memmap)
+        assert not column.flags.writeable
+
+    def test_open_is_lazy_until_a_column_is_touched(self, tmp_path):
+        path = tmp_path / "crawl.cstore"
+        pack_store(build_store(), path)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            opened = open_store(path)
+            opened.stores()
+            opened.days("alpha")
+            opened.n_snapshot_rows()
+            assert registry.counter("store.column_reads.mmap").value == 0
+            opened.download_vector("alpha", 0)
+            assert registry.counter("store.column_reads.mmap").value > 0
+
+    def test_unknown_format_version_refused(self, tmp_path):
+        path = tmp_path / "crawl.cstore"
+        pack_store(build_store(), path)
+        manifest_path = path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["format"] = "repro-columnar/999"
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(ValueError, match="unsupported columnar format"):
+            open_store(path)
+
+    def test_empty_store_round_trips(self, tmp_path):
+        path = tmp_path / "empty.cstore"
+        pack_store(ColumnarStore(), path)
+        opened = open_store(path)
+        assert opened.stores() == []
+        assert opened.fingerprint() == ColumnarStore().fingerprint()
+
+
+class TestWritesAfterOpen:
+    def test_comment_dedupe_survives_pack_boundary(self, tmp_path):
+        path = tmp_path / "crawl.cstore"
+        pack_store(build_store(), path)
+        opened = open_store(path)
+        assert not opened.add_comment_row("alpha", 1, 2, 0, 5)  # already packed
+        assert opened.add_comment_row("alpha", 3, 2, 2, 4)
+        assert len(opened.comment_log("alpha")) == 3
+
+    def test_apk_seq_continues_after_open(self, tmp_path):
+        path = tmp_path / "crawl.cstore"
+        pack_store(build_store(), path)
+        opened = open_store(path)
+        assert not opened.add_apk_row(
+            "alpha", 1, "0.0", "com.a.app1", 3.5, ("com.ads",)
+        )
+        assert opened.add_apk_row("alpha", 1, "4.0", "com.a.app1", 3.7, ())
+        assert opened.apk_log("alpha").arrays()["seq"].tolist() == [0, 1, 2]
+
+    def test_snapshot_overwrite_merges_into_mmap_chunk(self, tmp_path):
+        original = build_store()
+        path = tmp_path / "crawl.cstore"
+        pack_store(original, path)
+        opened = open_store(path)
+        opened.add_snapshot_row(
+            "alpha", 0, 2, "app-2", "games", 102, 0.0, False, 99, 0, 0.0, 0, "0.0"
+        )
+        assert opened.download_vector("alpha", 0).tolist() == [10, 99]
+        assert original.download_vector("alpha", 0).tolist() == [10, 20]
