@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-slow coverage lint lint-repro lint-ruff lint-mypy bench-smoke bench bench-store-smoke bench-store
+.PHONY: test test-slow coverage lint lint-repro lint-ruff lint-mypy flow bench-smoke bench bench-store-smoke bench-store
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,6 +33,13 @@ lint-repro:
 	$(PYTHON) -m repro.devtools.lint src benchmarks examples
 	$(PYTHON) -m repro.devtools.lint tests --ignore RPL031
 	@echo "repro lint: clean"
+
+# Whole-program dataflow analyzer (RNG provenance, process-boundary
+# escape, purity contracts).  Gated on the committed baseline: only NEW
+# findings fail the build.
+flow:
+	$(PYTHON) -m repro.devtools.flow src/repro --baseline flow-baseline.json
+	@echo "repro flow: clean"
 
 lint-ruff:
 	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \

@@ -43,6 +43,7 @@ from typing import Callable, Iterator, List, Mapping, Optional, Set
 
 import numpy as np
 
+from repro.devtools.flow import pure
 from repro.obs.metrics import get_registry
 from repro.stats.sampling import AliasSampler, HeadTailSampler
 
@@ -616,6 +617,7 @@ class DownloadLedger:
         return self.counts[users] >= self.n_apps
 
 
+@pure
 def _budget_capacity(total_downloads: int, n_users: int) -> int:
     """Largest per-user budget :func:`per_user_budgets` can assign --
     the compact ledger's capacity, known before any randomness."""
@@ -623,6 +625,7 @@ def _budget_capacity(total_downloads: int, n_users: int) -> int:
     return max(1, base + (1 if total_downloads % n_users else 0))
 
 
+@pure
 def per_user_budgets(
     total_downloads: int, n_users: int, rng: np.random.Generator
 ) -> np.ndarray:
@@ -641,6 +644,7 @@ def per_user_budgets(
     return budgets
 
 
+@pure
 def interleaved_user_order(
     budgets: np.ndarray, rng: np.random.Generator
 ) -> np.ndarray:
@@ -1083,6 +1087,7 @@ class VisitedClusters:
             self._count[fresh_users] += 1
 
 
+@pure
 def _chunks(order: np.ndarray, batch_size: int) -> Iterator[np.ndarray]:
     for start in range(0, order.size, batch_size):
         yield order[start : start + batch_size]
@@ -1192,6 +1197,7 @@ def zipf_amo_event_batches(
             yield EventBatch(done_users[start:stop], done_apps[start:stop])
 
 
+@pure
 def _grouping_dtype(n_clusters: int) -> np.dtype:
     """Narrowest int dtype holding cluster ids -- NumPy's stable sort on
     narrow integers is a radix sort, an order of magnitude faster than

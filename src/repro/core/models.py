@@ -45,6 +45,7 @@ from repro.core.engine import (
     zipf_amo_event_batches,
     zipf_event_batches,
 )
+from repro.devtools.flow import pure
 from repro.stats.rng import SeedLike, make_rng
 from repro.stats.sampling import AliasSampler, HeadTailSampler
 from repro.stats.zipf import zipf_weights
@@ -134,6 +135,7 @@ class AppClusteringParams:
         """The paper's ``d``: average downloads per user."""
         return self.total_downloads / self.n_users
 
+    @pure
     def cluster_assignment(self) -> np.ndarray:
         """Cluster index of each app (0-based ranks)."""
         if self.cluster_of is not None:

@@ -1,0 +1,10 @@
+"""Allow ``python -m repro.devtools.flow <paths>``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.devtools.flow.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,298 @@
+"""``repro flow`` runner: whole-program analysis, baseline, reporting.
+
+Mirrors the lint CLI's contract -- exit 0 clean, 1 findings, 2 usage
+errors; ``--format json`` for machines -- and adds what a whole-program
+gate needs: ``--format sarif`` (``--sarif`` for short) for GitHub code
+scanning, and a committed-baseline mode (``--baseline`` /
+``--write-baseline``) so a new cross-cutting rule can land before every
+legacy violation is fixed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.devtools.lint.engine import _apply_noqa
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.sarif import render_sarif
+from repro.devtools.flow.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.flow.escape import run_escape
+from repro.devtools.flow.program import Program
+from repro.devtools.flow.provenance import run_provenance
+from repro.devtools.flow.purity import run_purity
+
+#: Rule metadata for ``--list-rules`` and SARIF; the passes themselves
+#: construct findings directly, so this table is the single registry.
+FLOW_RULES: Tuple[Dict[str, str], ...] = (
+    {
+        "code": "RPL100",
+        "name": "flow-parse-error",
+        "summary": "file could not be parsed by the whole-program analyzer",
+    },
+    {
+        "code": "RPL101",
+        "name": "unsanctioned-rng-construction",
+        "summary": (
+            "modern numpy RNG constructors (default_rng, Generator, "
+            "SeedSequence, bit generators) called outside repro.stats.rng; "
+            "Generator provenance must reach the central coercers"
+        ),
+    },
+    {
+        "code": "RPL102",
+        "name": "nondeterministic-seed-flow",
+        "summary": (
+            "wall-clock or builtin-hash value reaches a seed sink through "
+            "any chain of assignments, returns, and calls"
+        ),
+    },
+    {
+        "code": "RPL110",
+        "name": "generator-escapes-to-worker",
+        "summary": (
+            "np.random.Generator reachable from a process-pool dispatch "
+            "payload; pickling duplicates the stream in the worker"
+        ),
+    },
+    {
+        "code": "RPL111",
+        "name": "mmap-escapes-to-worker",
+        "summary": (
+            "mmap-backed store handle or array reachable from a "
+            "process-pool dispatch payload; mappings cannot cross processes"
+        ),
+    },
+    {
+        "code": "RPL112",
+        "name": "file-handle-escapes-to-worker",
+        "summary": (
+            "open file handle reachable from a process-pool dispatch "
+            "payload; pass the path and open in the worker"
+        ),
+    },
+    {
+        "code": "RPL113",
+        "name": "metrics-registry-escapes-to-worker",
+        "summary": (
+            "MetricsRegistry reachable from a process-pool dispatch "
+            "payload; workers keep private registries merged after join"
+        ),
+    },
+    {
+        "code": "RPL120",
+        "name": "pure-kernel-writes-shared-state",
+        "summary": (
+            "@pure kernel writes globals/closures/self/arguments or "
+            "through values it does not own"
+        ),
+    },
+    {
+        "code": "RPL121",
+        "name": "pure-kernel-does-io",
+        "summary": "@pure kernel performs I/O",
+    },
+    {
+        "code": "RPL122",
+        "name": "pure-kernel-reads-clock",
+        "summary": "@pure kernel reads the wall clock",
+    },
+    {
+        "code": "RPL123",
+        "name": "pure-kernel-unverified-callee",
+        "summary": (
+            "@pure kernel calls something the analyzer cannot verify; "
+            "callees must be @pure or allowlisted numpy/builtin ops"
+        ),
+    },
+)
+
+_FLOW_CODES = frozenset(rule["code"] for rule in FLOW_RULES)
+
+
+def analyze_paths(paths: Sequence[str]) -> Tuple[List[Finding], int]:
+    """Run all three passes over a tree; returns (findings, modules)."""
+    program = Program.load(paths)
+    findings: List[Finding] = list(program.errors)
+    findings.extend(run_provenance(program))
+    findings.extend(run_escape(program))
+    findings.extend(run_purity(program))
+    kept: List[Finding] = []
+    noqa_by_path = {
+        module.path: module.noqa for module in program.modules.values()
+    }
+    for finding in findings:
+        noqa = noqa_by_path.get(finding.path)
+        if noqa:
+            if _apply_noqa([finding], noqa):
+                kept.append(finding)
+        else:
+            kept.append(finding)
+    kept.sort(key=Finding.sort_key)
+    return kept, len(program.modules) + len(program.errors)
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Add the flow arguments to a parser (shared by both entry points)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=["text", "json", "sarif"],
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--sarif",
+        action="store_const",
+        const="sarif",
+        dest="output_format",
+        help="shorthand for --format sarif",
+    )
+    parser.add_argument(
+        "--select", default=None, help="comma-separated codes to enable"
+    )
+    parser.add_argument(
+        "--ignore", default=None, help="comma-separated codes to disable"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="committed baseline JSON; matching findings do not fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="write the current findings as a new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every flow rule code with its summary and exit",
+    )
+    parser.set_defaults(handler=run_flow)
+
+
+def add_flow_parser(subparsers) -> None:
+    """Register the ``flow`` subcommand on the top-level ``repro`` CLI."""
+    parser = subparsers.add_parser(
+        "flow",
+        help="run the whole-program dataflow analyzer (RPL1xx rules)",
+        description=(
+            "Interprocedural static analysis over the full tree: RNG "
+            "provenance, process-boundary escape, and @pure kernel "
+            "contracts. Suppress one line with "
+            "`# repro: noqa=RPL1xx -- reason`."
+        ),
+    )
+    configure_parser(parser)
+
+
+def _parse_code_list(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    codes = [part.strip() for part in raw.split(",") if part.strip()]
+    unknown = sorted(set(codes) - _FLOW_CODES)
+    if unknown:
+        raise ValueError(f"unknown flow rule codes: {', '.join(unknown)}")
+    return codes
+
+
+def _list_rules(output_format: str) -> int:
+    if output_format == "json":
+        print(json.dumps(list(FLOW_RULES), indent=2))
+    else:
+        for rule in FLOW_RULES:
+            print(f"{rule['code']} [{rule['name']}] {rule['summary']}")
+    return 0
+
+
+def run_flow(args) -> int:
+    """Handler behind ``repro flow``."""
+    if args.list_rules:
+        return _list_rules(args.output_format)
+    try:
+        selected = _parse_code_list(args.select)
+        ignored = _parse_code_list(args.ignore)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    missing = [raw for raw in args.paths if not Path(raw).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    findings, modules_checked = analyze_paths(args.paths)
+    if selected is not None:
+        findings = [f for f in findings if f.code in selected]
+    if ignored is not None:
+        findings = [f for f in findings if f.code not in ignored]
+
+    if args.write_baseline is not None:
+        count = write_baseline(findings, args.write_baseline)
+        print(
+            f"repro flow: wrote baseline with {count} findings to "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    baselined = 0
+    if args.baseline is not None:
+        try:
+            budget = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as error:
+            print(f"error: cannot load baseline: {error}", file=sys.stderr)
+            return 2
+        findings, baselined = apply_baseline(findings, budget)
+
+    if args.output_format == "sarif":
+        print(render_sarif(findings, FLOW_RULES, tool_name="repro-flow"))
+    elif args.output_format == "json":
+        print(
+            json.dumps(
+                {
+                    "modules_checked": modules_checked,
+                    "baselined": baselined,
+                    "findings": [finding.to_dict() for finding in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        noun = "finding" if len(findings) == 1 else "findings"
+        suffix = f" ({baselined} baselined)" if baselined else ""
+        print(
+            f"repro flow: {len(findings)} new {noun}{suffix} in "
+            f"{modules_checked} modules"
+        )
+    return 1 if findings else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.devtools.flow``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-flow",
+        description=(
+            "whole-program dataflow analyzer: RNG provenance, "
+            "process-boundary escape, purity contracts (RPL1xx rules)"
+        ),
+    )
+    configure_parser(parser)
+    args = parser.parse_args(argv)
+    return args.handler(args)

@@ -302,10 +302,46 @@ class GeneratorAcrossProcessRule(Rule):
             )
         if isinstance(node, ast.Starred):
             return self._is_rng_argument(node.value)
+        # Generators smuggled inside container displays or constructor
+        # arguments (tuples, lists, dicts, dataclass calls) are pickled
+        # all the same -- recurse one syntactic level at a time.
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any(self._is_rng_argument(elt) for elt in node.elts)
+        if isinstance(node, ast.Dict):
+            return any(
+                value is not None and self._is_rng_argument(value)
+                for value in node.values
+            )
+        if isinstance(node, ast.Call) and not self._is_rng_value(node):
+            operands = list(node.args)
+            operands += [keyword.value for keyword in node.keywords]
+            return any(self._is_rng_argument(operand) for operand in operands)
         return self._is_rng_value(node)
 
+    def _is_rng_bundle(self, value: ast.AST) -> bool:
+        """Whether an assigned value visibly *carries* a Generator.
+
+        Container displays and constructor-style calls (a capitalized
+        callable, i.e. a dataclass/class) propagate their rng contents to
+        the assigned name; a plain function call does not -- ``simulate
+        (rng)`` returns results, not the Generator.  The flow analyzer
+        (RPL110) handles those interprocedural cases.
+        """
+        if self._is_rng_value(value):
+            return True
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set, ast.Dict)):
+            return self._is_rng_argument(value)
+        if isinstance(value, ast.Call):
+            callee = value.func
+            name = callee.attr if isinstance(callee, ast.Attribute) else (
+                callee.id if isinstance(callee, ast.Name) else ""
+            )
+            if name[:1].isupper():
+                return self._is_rng_argument(value)
+        return False
+
     def visit_Assign(self, node: ast.Assign) -> None:
-        if self._is_rng_value(node.value):
+        if self._is_rng_bundle(node.value):
             for target in node.targets:
                 if isinstance(target, ast.Name):
                     self._rng_names.add(target.id)

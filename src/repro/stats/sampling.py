@@ -13,9 +13,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.devtools.flow import pure
 from repro.stats.rng import SeedLike, make_rng
 
 
+@pure
 def _build_alias_table(weights: np.ndarray, total: float):
     """Vectorized Vose construction of the (prob, alias) tables.
 

@@ -26,12 +26,55 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.devtools.flow import pure
 from repro.obs.metrics import get_registry
 from repro.store.chunks import ApkLog, CommentLog, SnapshotChunk
 from repro.store.dictionary import StringInterner, TupleInterner
 from repro.store.schema import SNAPSHOT_COLUMNS
 
-__all__ = ["ColumnarStore", "DownloadMatrix"]
+__all__ = [
+    "ColumnarStore",
+    "DownloadMatrix",
+    "align_download_deltas",
+    "grouped_update_counts",
+]
+
+
+@pure
+def align_download_deltas(
+    end_ids: np.ndarray,
+    end_downloads: np.ndarray,
+    start_ids: np.ndarray,
+    start_downloads: np.ndarray,
+) -> np.ndarray:
+    """Download growth per end-day app, aligned against the start day.
+
+    Apps absent on the start day count from zero.  A pure kernel: it
+    copies ``end_downloads`` once and only mutates that copy.
+    """
+    deltas = end_downloads.astype(np.int64, copy=True)
+    if start_ids.size:
+        positions = np.searchsorted(start_ids, end_ids)
+        positions = np.minimum(positions, start_ids.size - 1)
+        found = start_ids[positions] == end_ids
+        deltas -= np.where(found, start_downloads[positions], 0)
+    return deltas
+
+
+@pure
+def grouped_update_counts(
+    app_ids: np.ndarray, version_ids: np.ndarray, n_versions: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(app_ids, distinct-version counts minus one) in one grouped pass.
+
+    Pair-encodes ``(app, version)`` so a single ``np.unique`` groups
+    both dimensions; never negative, matching the legacy semantics.
+    """
+    pairs = app_ids * np.int64(n_versions) + version_ids
+    unique_apps, version_counts = np.unique(
+        np.unique(pairs) // np.int64(n_versions), return_counts=True
+    )
+    return unique_apps, np.maximum(version_counts - 1, 0)
 
 
 class DownloadMatrix:
@@ -313,16 +356,16 @@ class ColumnarStore:
         if end is None or end.n_rows == 0:
             raise KeyError(f"no snapshots for store {store!r} on day {last_day}")
         end_ids = end.app_ids()
-        deltas = end.column("total_downloads").astype(np.int64, copy=True)
         start = self.chunk(store, first_day)
         if start is not None and start.n_rows:
             start_ids = start.app_ids()
-            positions = np.searchsorted(start_ids, end_ids)
-            positions = np.minimum(positions, start_ids.size - 1)
-            found = start_ids[positions] == end_ids
-            deltas -= np.where(
-                found, start.column("total_downloads")[positions], 0
-            )
+            start_downloads = start.column("total_downloads")
+        else:
+            start_ids = np.empty(0, dtype=np.int64)
+            start_downloads = np.empty(0, dtype=np.int64)
+        deltas = align_download_deltas(
+            end_ids, end.column("total_downloads"), start_ids, start_downloads
+        )
         return end_ids, deltas
 
     def update_counts_arrays(
@@ -344,13 +387,9 @@ class ColumnarStore:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
         app_ids = np.concatenate(id_parts)
         version_ids = np.concatenate(version_parts).astype(np.int64)
-        # Pair-encode (app, version) so one np.unique pass groups both.
-        n_versions = max(len(self.versions), 1)
-        pairs = app_ids * np.int64(n_versions) + version_ids
-        unique_apps, version_counts = np.unique(
-            np.unique(pairs) // np.int64(n_versions), return_counts=True
+        return grouped_update_counts(
+            app_ids, version_ids, max(len(self.versions), 1)
         )
-        return unique_apps, np.maximum(version_counts - 1, 0)
 
     # ------------------------------------------------------------------
     # Fingerprint

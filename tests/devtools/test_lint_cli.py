@@ -81,3 +81,61 @@ def test_list_rules_mentions_every_code(capsys: pytest.CaptureFixture) -> None:
     captured = capsys.readouterr()
     for rule in RULES:
         assert rule.code in captured.out
+
+
+def _git(tmp_path: Path, *argv: str) -> None:
+    import subprocess
+
+    subprocess.run(
+        ["git", "-c", "user.email=test@example.invalid", "-c", "user.name=test"]
+        + list(argv),
+        cwd=tmp_path,
+        check=True,
+        capture_output=True,
+    )
+
+
+def test_changed_lints_only_touched_files(
+    tmp_path: Path, capsys: pytest.CaptureFixture, monkeypatch: pytest.MonkeyPatch
+) -> None:
+    _git(tmp_path, "init", "-q")
+    (tmp_path / "clean.py").write_text("VALUE = 1\n")
+    (tmp_path / "touched.py").write_text("VALUE = 2\n")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+
+    (tmp_path / "touched.py").write_text("import random\n")  # worktree edit
+    (tmp_path / "fresh.py").write_text("VALUE = 3\n")  # untracked
+    monkeypatch.chdir(tmp_path)
+
+    payload = json.loads(_json_run(["--format", "json", "--changed", "."], capsys))
+    assert payload["files_checked"] == 2  # touched + fresh, never clean.py
+    assert [f["code"] for f in payload["findings"]] == ["RPL002"]
+    assert payload["findings"][0]["path"].endswith("touched.py")
+
+
+def test_changed_respects_path_restriction(
+    tmp_path: Path, capsys: pytest.CaptureFixture, monkeypatch: pytest.MonkeyPatch
+) -> None:
+    _git(tmp_path, "init", "-q")
+    (tmp_path / "sub").mkdir()
+    (tmp_path / "sub" / "inside.py").write_text("VALUE = 1\n")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+    (tmp_path / "sub" / "inside.py").write_text("VALUE = 2\n")  # clean edit
+    (tmp_path / "outside.py").write_text("import random\n")  # untracked, dirty
+    monkeypatch.chdir(tmp_path)
+
+    payload = json.loads(
+        _json_run(["--format", "json", "--changed", "sub"], capsys)
+    )
+    assert payload["files_checked"] == 1
+    assert payload["findings"] == []
+
+
+def test_changed_outside_a_checkout_is_usage_error(
+    tmp_path: Path, capsys: pytest.CaptureFixture, monkeypatch: pytest.MonkeyPatch
+) -> None:
+    monkeypatch.chdir(tmp_path)  # pytest tmpdirs are not git checkouts
+    assert lint_main(["--changed", "."]) == 2
+    assert "requires a git checkout" in capsys.readouterr().err

@@ -157,6 +157,70 @@ FIXTURES: Tuple[RuleFixture, ...] = (
             "    return pool.map(simulate, shard_seeds)\n"
         ),
     ),
+    # Regression: Generators smuggled inside containers/dataclasses used
+    # to pass RPL005, which only matched bare rng-named arguments.
+    RuleFixture(
+        code="RPL005",
+        flagged=(
+            "def sweep(pool, work, rng, seed):\n"
+            "    return pool.submit(work, (seed, rng))\n"
+        ),
+        quiet=(
+            "def sweep(pool, work, seed):\n"
+            "    return pool.submit(work, (seed, seed + 1))\n"
+        ),
+    ),
+    RuleFixture(
+        code="RPL005",
+        flagged=(
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from repro.stats.rng import make_rng\n"
+            "def fan_out(work, seed):\n"
+            "    gen = make_rng(seed)\n"
+            "    bundle = (seed, gen)\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return pool.submit(work, bundle)\n"
+        ),
+        quiet=(
+            # A plain function *consuming* the Generator returns results,
+            # not the Generator; tracking it would be a false positive.
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from repro.stats.rng import make_rng\n"
+            "def fan_out(work, simulate, seed):\n"
+            "    gen = make_rng(seed)\n"
+            "    counts = simulate(gen)\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return pool.submit(work, counts)\n"
+        ),
+    ),
+    RuleFixture(
+        code="RPL005",
+        flagged=(
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from dataclasses import dataclass\n"
+            "from repro.stats.rng import make_rng\n"
+            "@dataclass\n"
+            "class Task:\n"
+            "    seed: int\n"
+            "    stream: object\n"
+            "def fan_out(work, seed):\n"
+            "    task = Task(seed=seed, stream=make_rng(seed))\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return pool.submit(work, task)\n"
+        ),
+        quiet=(
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Task:\n"
+            "    seed: int\n"
+            "    stream: object\n"
+            "def fan_out(work, seed):\n"
+            "    task = Task(seed=seed, stream=None)\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return pool.submit(work, task)\n"
+        ),
+    ),
     RuleFixture(
         code="RPL010",
         flagged=(
