@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-slow coverage lint lint-repro lint-ruff lint-mypy flow bench-smoke bench bench-store-smoke bench-store
+.PHONY: test test-slow coverage lint lint-repro lint-ruff lint-mypy flow bench-smoke bench bench-store-smoke bench-store serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -64,6 +64,16 @@ bench-smoke:
 # a record to BENCH_models.json.
 bench:
 	$(PYTHON) benchmarks/bench_perf_models.py
+
+# Always-on service smoke: a bounded `repro serve` run must reproduce
+# the batch campaign's dataset fingerprint byte for byte, and both the
+# data-plane and traffic-plane metrics sidecars must validate.
+serve-smoke:
+	$(PYTHON) -m repro serve --days 3 --clients 4 --seed 0 --verify-batch \
+		--emit-metrics serve_data.metrics.jsonl \
+		--emit-traffic serve_traffic.metrics.jsonl
+	$(PYTHON) -m repro metrics serve_data.metrics.jsonl --check
+	$(PYTHON) -m repro metrics serve_traffic.metrics.jsonl --check
 
 # Columnar store smoke: chunk-indexed day queries beat the flat-dict
 # scan, and a cold subprocess reproduces the packed dataset's answers.

@@ -1,0 +1,333 @@
+"""Incremental popularity analytics for the always-on service.
+
+The batch analyses (:mod:`repro.analysis.popularity`,
+:func:`repro.stats.zipf.fit_zipf_exponent_mle`,
+:func:`repro.core.pareto.pareto_summary`) assume the whole crawl is on
+disk before any statistic is computed.  The always-on service
+(:mod:`repro.service`) instead receives snapshots one at a time, in
+whatever order its concurrent clients land them, and must keep the
+paper's headline numbers -- the Zipf slope of the rank distribution
+(§3.2), the Pareto concentration shares (§3.1, Figure 2) -- current as
+the stream flows.  "A Simple Generative Model of Collective Online
+Behaviour" (PAPERS.md) motivates exactly this: popularity statistics as
+*running* quantities over an adoption stream, not end-of-run batches.
+
+Three estimators live here:
+
+- :class:`OnlineZipfSlope` and :class:`RollingParetoShare` share a
+  last-write-wins-by-day per-app download state.  Updates are O(1) and
+  **order-invariant**: any arrival order of the same snapshot set
+  yields the same state, so their outputs match the batch analyses on
+  the final day *exactly* (the equivalence property suite shuffles
+  arrival orders to prove it).
+- :class:`P2Quantile` is the constant-space P² algorithm (Jain &
+  Chlamtac, CACM 1985): five markers track a quantile of the raw
+  per-snapshot download stream without storing it.  It is genuinely
+  approximate; tests bound its *rank* error rather than demanding
+  equality.
+
+:class:`StreamingAnalytics` bundles the three behind a per-snapshot
+``observe`` hook plus a per-tick ``export`` into a
+:class:`~repro.obs.metrics.MetricsRegistry`, which is how the service
+publishes them next to its latency histograms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pareto import gini_coefficient
+from repro.obs.metrics import MetricsRegistry
+from repro.stats.distributions import cumulative_share
+from repro.stats.zipf import fit_zipf_exponent_mle
+
+__all__ = [
+    "DownloadState",
+    "OnlineZipfSlope",
+    "P2Quantile",
+    "RollingParetoShare",
+    "StreamingAnalytics",
+]
+
+
+class DownloadState:
+    """Last-write-wins-by-day per-app download totals.
+
+    One ``observe`` per snapshot keeps, for every app, the download
+    total from the *newest* day seen so far -- which is precisely the
+    vector ``SnapshotDatabase.download_vector(store, last_day)`` holds
+    after a batch crawl.  Because "newest day wins" is a join over
+    (day, value) pairs, the state is independent of arrival order, and
+    re-observing the same (app, day) is idempotent: safe under the
+    service's crash-and-rerun day supervision.
+    """
+
+    __slots__ = ("_by_app", "_version")
+
+    def __init__(self) -> None:
+        self._by_app: Dict[int, Tuple[int, int]] = {}
+        self._version = 0
+
+    def observe(self, app_id: int, day: int, total_downloads: int) -> None:
+        """Fold in one snapshot's download total."""
+        current = self._by_app.get(app_id)
+        if current is not None and current[0] > day:
+            return
+        self._by_app[app_id] = (day, int(total_downloads))
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Bumped on every accepted write; lets readers cache safely."""
+        return self._version
+
+    @property
+    def n_apps(self) -> int:
+        """Number of distinct apps observed so far."""
+        return len(self._by_app)
+
+    def positive_downloads(self) -> np.ndarray:
+        """Current positive download totals, sorted descending.
+
+        Sorted output keeps the result independent of dict insertion
+        order, which is the arrival order -- the one thing streaming
+        consumers must never depend on.
+        """
+        if not self._by_app:
+            return np.zeros(0, dtype=np.float64)
+        values = np.fromiter(
+            (value for _, value in self._by_app.values()),
+            dtype=np.float64,
+            count=len(self._by_app),
+        )
+        positive = values[values > 0]
+        positive[::-1].sort()
+        return positive
+
+
+class OnlineZipfSlope:
+    """Running MLE of the Zipf exponent over a download state.
+
+    The discrete Zipf MLE needs the *ranked* count vector, and ranks
+    shuffle as totals grow, so no exact O(1)-per-update closed form
+    exists; instead the state updates in O(1) and the golden-section
+    solve runs lazily, memoized on the state version, when the value is
+    read (the service reads once per daily tick).  On the final tick
+    this equals ``fit_zipf_exponent_mle`` over the batch download
+    vector bit for bit, because it *is* that call on identical input.
+    """
+
+    def __init__(self, state: DownloadState, max_exponent: float = 5.0) -> None:
+        self._state = state
+        self._max_exponent = max_exponent
+        self._cached_version = -1
+        self._cached_value: Optional[float] = None
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current slope estimate; None until two positive-download apps."""
+        if self._cached_version != self._state.version:
+            positive = self._state.positive_downloads()
+            if positive.size < 2:
+                self._cached_value = None
+            else:
+                self._cached_value = fit_zipf_exponent_mle(
+                    positive, max_exponent=self._max_exponent
+                )
+            self._cached_version = self._state.version
+        return self._cached_value
+
+
+class RollingParetoShare:
+    """Running Figure-2 concentration shares over a download state.
+
+    Same lazy-materialization contract as :class:`OnlineZipfSlope`:
+    O(1) state updates, shares computed on read and memoized on the
+    state version.  ``shares()`` matches
+    ``pareto_summary(positive_downloads)`` exactly.
+    """
+
+    TOP_FRACTIONS = (0.01, 0.10, 0.20)
+
+    def __init__(self, state: DownloadState) -> None:
+        self._state = state
+        self._cached_version = -1
+        self._cached: Optional[Dict[str, float]] = None
+
+    def shares(self) -> Optional[Dict[str, float]]:
+        """``{"top_1pct", "top_10pct", "top_20pct", "gini"}`` or None."""
+        if self._cached_version != self._state.version:
+            positive = self._state.positive_downloads()
+            if positive.size == 0:
+                self._cached = None
+            else:
+                top = cumulative_share(positive, list(self.TOP_FRACTIONS))
+                self._cached = {
+                    "top_1pct": float(top[0]),
+                    "top_10pct": float(top[1]),
+                    "top_20pct": float(top[2]),
+                    "gini": gini_coefficient(positive),
+                }
+            self._cached_version = self._state.version
+        return self._cached
+
+
+class P2Quantile:
+    """The P² streaming quantile estimator (Jain & Chlamtac, 1985).
+
+    Five markers -- minimum, three interior, maximum -- chase the
+    ``q``-quantile of a stream in O(1) space and time per observation.
+    Interior marker heights move by piecewise-parabolic interpolation
+    when their positions drift from the ideal positions for ``q``.
+
+    Exact while five or fewer values have been seen (it just sorts
+    them); approximate afterwards.  The property suite bounds the
+    *rank* error of the estimate against the full stored stream.
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must lie strictly inside (0, 1), got {q}")
+        self.q = q
+        self._initial: List[float] = []
+        # Marker heights, integer positions (1-based), and desired
+        # positions; live only once 5 observations have arrived.
+        self._heights: List[float] = []
+        self._positions: List[int] = []
+        self._desired: List[float] = []
+        self._increments = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the sketch."""
+        value = float(value)
+        self.count += 1
+        if self.count <= 5:
+            self._initial.append(value)
+            if self.count == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._positions = [1, 2, 3, 4, 5]
+                self._desired = [
+                    1.0 + 4.0 * increment for increment in self._increments
+                ]
+            return
+
+        heights = self._heights
+        positions = self._positions
+        # Locate the cell containing the new value, extending extremes.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= heights[cell + 1]:
+                cell += 1
+        for marker in range(cell + 1, 5):
+            positions[marker] += 1
+        for marker in range(5):
+            self._desired[marker] += self._increments[marker]
+
+        # Nudge interior markers toward their desired positions.
+        for marker in (1, 2, 3):
+            drift = self._desired[marker] - positions[marker]
+            step_up = positions[marker + 1] - positions[marker]
+            step_down = positions[marker - 1] - positions[marker]
+            if (drift >= 1.0 and step_up > 1) or (drift <= -1.0 and step_down < -1):
+                direction = 1 if drift >= 1.0 else -1
+                candidate = self._parabolic(marker, direction)
+                if heights[marker - 1] < candidate < heights[marker + 1]:
+                    heights[marker] = candidate
+                else:
+                    heights[marker] = self._linear(marker, direction)
+                positions[marker] += direction
+
+    def _parabolic(self, marker: int, direction: int) -> float:
+        heights = self._heights
+        positions = self._positions
+        here = positions[marker]
+        below = positions[marker - 1]
+        above = positions[marker + 1]
+        return heights[marker] + (direction / (above - below)) * (
+            (here - below + direction)
+            * (heights[marker + 1] - heights[marker])
+            / (above - here)
+            + (above - here - direction)
+            * (heights[marker] - heights[marker - 1])
+            / (here - below)
+        )
+
+    def _linear(self, marker: int, direction: int) -> float:
+        heights = self._heights
+        positions = self._positions
+        neighbor = marker + direction
+        return heights[marker] + direction * (
+            heights[neighbor] - heights[marker]
+        ) / (positions[neighbor] - positions[marker])
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current quantile estimate; None before any observation."""
+        if self.count == 0:
+            return None
+        if self.count <= 5:
+            ordered = sorted(self._initial)
+            # With so few points, report the same convention numpy's
+            # "lower" interpolation uses; exactness here is what the
+            # small-stream tests pin down.
+            index = int(self.q * (len(ordered) - 1))
+            return ordered[index]
+        return self._heights[2]
+
+
+class StreamingAnalytics:
+    """Per-snapshot analytics sink for one store's live crawl stream.
+
+    ``observe_snapshot`` is called by the service as each app snapshot
+    commits; ``export`` publishes the current estimates as gauges on a
+    metrics registry once per daily tick.  All exported values are a
+    pure function of the committed snapshot *set* -- never of arrival
+    order or client count -- so they belong in the service's
+    deterministic data-plane registry.
+    """
+
+    QUANTILES = (0.50, 0.90, 0.99)
+
+    def __init__(self, store: str, max_exponent: float = 5.0) -> None:
+        self.store = store
+        self.state = DownloadState()
+        self.zipf = OnlineZipfSlope(self.state, max_exponent=max_exponent)
+        self.pareto = RollingParetoShare(self.state)
+        self.quantiles = {q: P2Quantile(q) for q in self.QUANTILES}
+        self.snapshots_seen = 0
+
+    def observe_snapshot(self, app_id: int, day: int, total_downloads: int) -> None:
+        """Fold one committed snapshot into every estimator."""
+        self.snapshots_seen += 1
+        self.state.observe(app_id, day, total_downloads)
+        for sketch in self.quantiles.values():
+            sketch.observe(float(total_downloads))
+
+    def export(self, metrics: MetricsRegistry) -> None:
+        """Publish current estimates as ``streaming.*`` gauges."""
+        metrics.gauge("streaming.snapshots_seen").set(float(self.snapshots_seen))
+        metrics.gauge("streaming.apps_tracked").set(float(self.state.n_apps))
+        slope = self.zipf.value
+        if slope is not None:
+            metrics.gauge("streaming.zipf_slope").set(slope)
+        shares = self.pareto.shares()
+        if shares is not None:
+            metrics.gauge("streaming.pareto_top_1pct").set(shares["top_1pct"])
+            metrics.gauge("streaming.pareto_top_10pct").set(shares["top_10pct"])
+            metrics.gauge("streaming.pareto_top_20pct").set(shares["top_20pct"])
+            metrics.gauge("streaming.gini").set(shares["gini"])
+        for q, sketch in self.quantiles.items():
+            estimate = sketch.value
+            if estimate is not None:
+                label = f"streaming.downloads_p{int(round(q * 100)):02d}"
+                metrics.gauge(label).set(estimate)

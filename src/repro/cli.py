@@ -9,6 +9,8 @@ Usage (also via ``python -m repro``):
     repro workload --kind APP-CLUSTERING --out trace.jsonl
     repro cache    --scale 0.02                          # Figure 19
     repro chaos    --plan aggressive --seed 7            # fault injection
+    repro serve    --days 10 --clients 4                 # always-on service
+    repro loadgen  --clients 8 --requests 200            # admission load test
     repro store    pack --db crawl.jsonl --out crawl.cstore  # columnar pack
     repro store    stat crawl.cstore                     # dataset summary
     repro metrics  run.metrics.jsonl                     # inspect a metrics file
@@ -503,6 +505,264 @@ def _run_chaos(args) -> int:
     return 0
 
 
+def _add_serve_parser(subparsers) -> None:
+    from repro.resilience.faults import PLAN_DENSITIES
+
+    parser = subparsers.add_parser(
+        "serve",
+        help="run the always-on ecosystem service: a live store under "
+        "concurrent crawler clients on a virtual clock",
+    )
+    parser.add_argument(
+        "--store",
+        default="demo",
+        choices=["demo", "anzhi", "appchina", "1mobile", "slideme"],
+        help="store profile (paper stores are scaled to laptop size)",
+    )
+    parser.add_argument(
+        "--days",
+        type=int,
+        default=None,
+        help="daily ticks to serve (default: the profile's crawl_days); "
+        "this also sizes the store's listing-arrival schedule, so the "
+        "bounded run stays fingerprint-comparable to the batch campaign",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="concurrent crawler clients (the dataset fingerprint does "
+        "not depend on this)",
+    )
+    parser.add_argument(
+        "--faults",
+        default="none",
+        choices=sorted(PLAN_DENSITIES),
+        help="named fault plan injected into the store and every client",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--rps",
+        type=float,
+        default=8.0,
+        help="per-client self-pacing in requests per simulated second",
+    )
+    parser.add_argument(
+        "--no-comments",
+        action="store_true",
+        help="skip comment collection",
+    )
+    parser.add_argument(
+        "--out", default=None, help="save the crawled database (JSONL)"
+    )
+    parser.add_argument(
+        "--verify-batch",
+        action="store_true",
+        help="also run the batch campaign on the same seed and fail "
+        "unless the dataset fingerprints are byte-identical",
+    )
+    parser.add_argument(
+        "--emit-metrics",
+        default=None,
+        help="write the K-invariant data-plane metrics (commit counters, "
+        "streaming analytics) + manifest to this JSONL file",
+    )
+    parser.add_argument(
+        "--emit-traffic",
+        default=None,
+        help="write the traffic-plane metrics (retries, faults, latency "
+        "histograms; deterministic per seed and client count) to this "
+        "JSONL file",
+    )
+    parser.set_defaults(handler=_run_serve)
+
+
+def _run_serve(args) -> int:
+    from dataclasses import replace
+
+    from repro.obs.manifest import RunManifest, write_metrics_jsonl
+    from repro.obs.metrics import get_registry
+    from repro.resilience.chaos import estimate_crawl_horizon
+    from repro.resilience.faults import named_plan
+    from repro.service import EcosystemService
+
+    if args.clients < 1:
+        print("error: --clients must be >= 1", file=sys.stderr)
+        return 2
+    if args.store == "demo":
+        profile = demo_profile()
+    else:
+        profile = scaled_profile(paper_profile(args.store), **_DEFAULT_SCALES)
+    if args.days is not None:
+        if args.days < 1:
+            print("error: --days must be >= 1", file=sys.stderr)
+            return 2
+        profile = replace(profile, crawl_days=args.days)
+
+    plan = None
+    if args.faults != "none":
+        horizon = estimate_crawl_horizon(
+            profile, requests_per_second=args.rps * args.clients
+        )
+        plan = named_plan(args.faults, seed=args.seed, horizon=horizon)
+
+    print(
+        f"serving {profile.name!r} for {profile.crawl_days} daily ticks to "
+        f"{args.clients} client(s) (faults: {args.faults})..."
+    )
+    service = EcosystemService(
+        profile,
+        seed=args.seed,
+        n_clients=args.clients,
+        fault_plan=plan,
+        fetch_comments=not args.no_comments,
+        requests_per_second=args.rps,
+    )
+    report = service.run()
+    print(report.describe())
+
+    slope = service.analytics.zipf.value
+    shares = service.analytics.pareto.shares()
+    if slope is not None and shares is not None:
+        print(
+            f"streaming analytics: zipf slope {slope:.3f}, top 1% -> "
+            f"{shares['top_1pct'] * 100:.1f}% of downloads, top 10% -> "
+            f"{shares['top_10pct'] * 100:.1f}% (gini {shares['gini']:.3f})"
+        )
+    print(f"dataset fingerprint sha256:{report.fingerprint}")
+
+    if args.out:
+        service.database.save(args.out)
+        print(f"saved {args.out}")
+
+    # The data plane must not vary with --clients, so its manifest omits
+    # that parameter; the traffic manifest records the full invocation.
+    shared_params = {
+        "store": profile.name,
+        "days": profile.crawl_days,
+        "faults": args.faults,
+        "rps": args.rps,
+        "no_comments": bool(args.no_comments),
+    }
+    if args.emit_metrics:
+        manifest = RunManifest(
+            command="serve", seed=int(args.seed), params=shared_params
+        )
+        write_metrics_jsonl(args.emit_metrics, service.data_metrics, manifest)
+        print(f"(data-plane metrics written to {args.emit_metrics})", file=sys.stderr)
+    if args.emit_traffic:
+        manifest = RunManifest(
+            command="serve",
+            seed=int(args.seed),
+            params={**shared_params, "clients": args.clients},
+        )
+        write_metrics_jsonl(args.emit_traffic, get_registry(), manifest)
+        print(f"(traffic-plane metrics written to {args.emit_traffic})", file=sys.stderr)
+    # The generic writer would dump the ambient (traffic) registry over
+    # the data-plane sidecar; both files are already written above.
+    args.emit_metrics = None
+
+    if args.verify_batch:
+        from repro.obs.metrics import use_registry as _use_registry
+
+        print("verifying against the batch campaign on the same seed...")
+        with _use_registry(MetricsRegistry()):
+            batch = run_crawl_campaign(
+                profile, seed=args.seed, fetch_comments=not args.no_comments
+            )
+        batch_fingerprint = batch.database.fingerprint()
+        if batch_fingerprint != report.fingerprint:
+            print(
+                f"error: fingerprint mismatch\n  serve: {report.fingerprint}"
+                f"\n  batch: {batch_fingerprint}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"batch fingerprint matches: sha256:{batch_fingerprint}")
+    return 0
+
+
+def _add_loadgen_parser(subparsers) -> None:
+    from repro.resilience.faults import PLAN_DENSITIES
+
+    parser = subparsers.add_parser(
+        "loadgen",
+        help="hammer a simulated store's web API with concurrent clients "
+        "and report admission/latency behaviour",
+    )
+    parser.add_argument(
+        "--store",
+        default="demo",
+        choices=["demo", "anzhi", "appchina", "1mobile", "slideme"],
+    )
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument(
+        "--requests", type=int, default=100, help="requests per client"
+    )
+    parser.add_argument(
+        "--rps",
+        type=float,
+        default=8.0,
+        help="per-client self-pacing in requests per simulated second",
+    )
+    parser.add_argument(
+        "--faults",
+        default="none",
+        choices=sorted(PLAN_DENSITIES),
+        help="named fault plan injected into the store and every client",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--emit-metrics", default=None, help=_METRICS_HELP)
+    parser.set_defaults(handler=_run_loadgen)
+
+
+def _run_loadgen(args) -> int:
+    from repro.obs.metrics import get_registry
+    from repro.resilience.faults import named_plan
+    from repro.service import LoadGenerator
+
+    if args.clients < 1:
+        print("error: --clients must be >= 1", file=sys.stderr)
+        return 2
+    if args.requests < 1:
+        print("error: --requests must be >= 1", file=sys.stderr)
+        return 2
+    if args.store == "demo":
+        profile = demo_profile()
+    else:
+        profile = scaled_profile(paper_profile(args.store), **_DEFAULT_SCALES)
+
+    plan = None
+    if args.faults != "none":
+        # The fleet completes its budget in about requests/rps simulated
+        # seconds per client; schedule faults across that window.
+        horizon = max(1.0, args.requests / args.rps)
+        plan = named_plan(args.faults, seed=args.seed, horizon=horizon)
+
+    generator = LoadGenerator(
+        profile,
+        seed=args.seed,
+        n_clients=args.clients,
+        requests_per_client=args.requests,
+        requests_per_second=args.rps,
+        fault_plan=plan,
+    )
+    report = generator.run()
+    print(report.describe())
+    counters = get_registry().snapshot()["counters"]
+    for name in (
+        "crawler.requests",
+        "crawler.retries",
+        "crawler.rate_limit_hits",
+        "crawler.transient_faults",
+        "crawler.proxy_failures",
+        "crawler.breaker_skips",
+    ):
+        if name in counters:
+            print(f"  {name} = {counters[name]}")
+    return 0
+
+
 def _add_report_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "report", help="render the full study for one store as a document"
@@ -729,6 +989,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_parser(subparsers)
     _add_cache_parser(subparsers)
     _add_chaos_parser(subparsers)
+    _add_serve_parser(subparsers)
+    _add_loadgen_parser(subparsers)
     _add_export_parser(subparsers)
     _add_store_parser(subparsers)
     _add_report_parser(subparsers)

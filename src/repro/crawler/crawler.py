@@ -16,23 +16,36 @@ repeatedly failing node is skipped until its reset timeout, fetched app
 pages are validated and re-fetched when a store serves garbage, and a
 :class:`~repro.resilience.faults.FaultInjector` can schedule proxy
 deaths, clock skew, and worker crashes for chaos runs.
+
+The retry/pacing ladder itself lives in
+:mod:`repro.crawler.requesting` as a sans-IO generator
+(:class:`~repro.crawler.requesting.RequestEngine`), so the always-on
+service (:mod:`repro.service`) can drive the identical code path on an
+async virtual clock.  This class is the synchronous driver: it owns a
+scalar simulated clock and advances it by whatever the engine yields.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import List, Optional
 
 from repro.crawler.database import ApkRecord, AppSnapshot, SnapshotDatabase
-from repro.crawler.proxies import NoProxyAvailable, ProxyError, ProxyPool
-from repro.crawler.ratelimit import RateLimitExceeded, TokenBucket
-from repro.crawler.webapi import GeoBlockedError, StoreWebApi, page_is_corrupt
+from repro.crawler.proxies import ProxyPool
+from repro.crawler.requesting import CrawlError, ProxiesExhausted, RequestEngine
+from repro.crawler.webapi import StoreWebApi
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.resilience.breaker import CircuitBreaker
-from repro.resilience.errors import SnapshotCorrupted, TransientFault, WorkerCrashed
-from repro.resilience.faults import FaultInjector, FaultKind
+from repro.resilience.faults import FaultInjector
 from repro.resilience.retry import RetryPolicy
 from repro.stats.rng import SeedLike, make_rng
+
+__all__ = [
+    "CrawlError",
+    "CrawlStats",
+    "ProxiesExhausted",
+    "StoreCrawler",
+]
 
 
 @dataclass
@@ -52,31 +65,6 @@ class CrawlStats:
     apps_crawled: int = 0
     apks_fetched: int = 0
     comments_fetched: int = 0
-
-
-class CrawlError(Exception):
-    """Raised when a request cannot be completed after all retries."""
-
-
-class ProxiesExhausted(CrawlError):
-    """Raised when no live, non-blacklisted proxy can serve a store.
-
-    Attributes
-    ----------
-    store_name:
-        The store whose request could not be routed.
-    country:
-        The geo constraint in force, if any.
-    """
-
-    def __init__(self, store_name: str, country: Optional[str] = None) -> None:
-        constraint = f" in country {country!r}" if country else ""
-        super().__init__(
-            f"proxy pool exhausted for store {store_name!r}{constraint}: "
-            "every proxy is dead, blacklisted, or geo-mismatched"
-        )
-        self.store_name = store_name
-        self.country = country
 
 
 class StoreCrawler:
@@ -140,26 +128,29 @@ class StoreCrawler:
             raise ValueError("max_retries must be >= 1")
         self._api = api
         self._database = database
-        self._proxies = proxy_pool
-        self._pacer = TokenBucket(
-            rate=requests_per_second, capacity=max(1.0, requests_per_second)
-        )
         self.retry_policy = (
             retry_policy
             if retry_policy is not None
             else RetryPolicy(max_attempts=max_retries)
         )
         self.max_retries = self.retry_policy.max_attempts
-        self._breaker_factory = (
-            breaker_factory if breaker_factory is not None else CircuitBreaker
-        )
-        self._breakers: Dict[int, CircuitBreaker] = {}
-        self._faults = fault_injector
-        self._retry_rng = make_rng(seed)
         self.stats = CrawlStats()
         self._clock = 0.0
         self.drop_failed_pages = drop_failed_pages
         self._metrics = metrics if metrics is not None else get_registry()
+        self._engine = RequestEngine(
+            api=api,
+            proxy_pool=proxy_pool,
+            requests_per_second=requests_per_second,
+            retry_policy=self.retry_policy,
+            breaker_factory=(
+                breaker_factory if breaker_factory is not None else CircuitBreaker
+            ),
+            fault_injector=fault_injector,
+            retry_rng=make_rng(seed),
+            stats=self.stats,
+            metrics=self._metrics,
+        )
 
     @property
     def clock(self) -> float:
@@ -169,155 +160,28 @@ class StoreCrawler:
     @property
     def proxy_pool(self) -> ProxyPool:
         """The pool this crawler routes requests through."""
-        return self._proxies
+        return self._engine.proxy_pool
 
-    def _breaker(self, proxy_id: int) -> CircuitBreaker:
-        breaker = self._breakers.get(proxy_id)
-        if breaker is None:
-            breaker = self._breaker_factory()
-            self._breakers[proxy_id] = breaker
-        return breaker
-
-    def _apply_scheduled_faults(self) -> None:
-        """Consume crawler-side faults that have come due on the clock."""
-        injector = self._faults
-        if injector is None:
-            return
-        for event in injector.take_all(self._clock, FaultKind.CLOCK_SKEW):
-            self._clock += event.magnitude
-            injector.record(
-                event, self._clock, f"clock skewed forward {event.magnitude:.3f}s"
-            )
-        for event in injector.take_all(self._clock, FaultKind.PROXY_DEATH):
-            victims = self._proxies.alive_proxies()
-            if not victims:
-                injector.record(event, self._clock, "no proxy left to kill")
-                continue
-            victim = victims[int(injector.rng.integers(0, len(victims)))]
-            self._proxies.kill(victim.proxy_id)
-            injector.record(event, self._clock, f"killed proxy {victim.proxy_id}")
-        crash = injector.take_all(self._clock, FaultKind.WORKER_CRASH)
-        if crash:
-            injector.record(crash[0], self._clock, "crawl worker crashed")
-            # Any sibling crash events due at the same instant are folded
-            # into one crash; the supervisor restarts the whole day anyway.
-            for extra in crash[1:]:
-                injector.record(extra, self._clock, "folded into same crash")
-            raise WorkerCrashed(
-                f"crawl worker crashed at t={self._clock:.3f}s (scheduled fault)"
-            )
-
-    def _pick_proxy(self, country: Optional[str]):
-        """Pick a proxy whose circuit breaker admits a call right now.
-
-        Falls back to ignoring the breakers when every healthy proxy is
-        open (better a doomed attempt than a stalled crawl), and raises
-        :class:`ProxiesExhausted` when no healthy proxy exists at all.
-        """
-        store = self._api.store_name
-        open_ids: Set[int] = {
-            proxy_id
-            for proxy_id, breaker in self._breakers.items()
-            if not breaker.allow(self._clock)
-        }
-        try:
-            return self._proxies.pick(store, country, exclude=open_ids)
-        except NoProxyAvailable:
-            # Not silent: a failed constrained pick is the first signal a
-            # pool is going under, and production debugging needs it on a
-            # counter -- even (especially) when degradation recovers.
-            self.stats.proxy_pick_failures += 1
-            self._metrics.counter("crawler.proxy_pick_failures").add(1)
-        if open_ids:
-            # Every admissible proxy is breaker-open; degrade by probing
-            # one of them rather than deadlocking the crawl.
-            self.stats.breaker_skips += 1
-            self._metrics.counter("crawler.breaker_skips").add(1)
-            try:
-                return self._proxies.pick(store, country)
-            except NoProxyAvailable as error:
-                raise ProxiesExhausted(store, country) from error
-        raise ProxiesExhausted(store, country)
+    @property
+    def engine(self) -> RequestEngine:
+        """The sans-IO request pipeline this crawler drives."""
+        return self._engine
 
     def _request(self, endpoint, *args):
-        """Issue one request through a proxy, retrying under the policy.
+        """Issue one request, advancing the simulated clock as the engine asks.
 
-        Transient proxy errors, rate-limit hits, geo-blocks, injected
-        store errors, and corrupt pages all count against the policy's
-        attempt budget; between attempts the simulated clock advances by
-        the policy's jittered backoff.
+        The clock is committed per yielded delay (not once at the end),
+        so backoff spent on a request that ultimately fails still counts
+        -- exactly as when the ladder lived inline here.
         """
-        country = self._api.requires_country
-        policy = self.retry_policy
-        metrics = self._metrics
-        last_error: Optional[Exception] = None
-        for attempt in range(policy.max_attempts):
-            if attempt > 0:
-                delay = policy.delay(attempt - 1, self._retry_rng)
+        steps = self._engine.request_steps(endpoint, args, self._clock)
+        try:
+            delay = next(steps)
+            while True:
                 self._clock += delay
-                self.stats.backoff_seconds += delay
-                self.stats.retries += 1
-                metrics.counter("crawler.retries").add(1)
-            self._apply_scheduled_faults()
-
-            # Self-pacing: wait (by advancing the simulated clock) until
-            # the crawler's own budget allows another request.
-            wait = self._pacer.time_until_available(self._clock)
-            self._clock += wait
-            self._pacer.try_consume(self._clock)
-
-            proxy = self._pick_proxy(country)
-            breaker = self._breaker(proxy.proxy_id)
-            try:
-                self._proxies.request_through(proxy)
-            except ProxyError as error:
-                self.stats.proxy_failures += 1
-                metrics.counter("crawler.proxy_failures").add(1)
-                breaker.record_failure(self._clock)
-                last_error = error
-                continue
-            client = f"proxy-{proxy.proxy_id}"
-            try:
-                result = endpoint(*args, client, proxy.country, self._clock)
-            except RateLimitExceeded as error:
-                self.stats.rate_limit_hits += 1
-                metrics.counter("crawler.rate_limit_hits").add(1)
-                self._clock += error.retry_after
-                # A throttle is the store talking, not the proxy failing;
-                # the breaker does not count it.
-                last_error = error
-                continue
-            except GeoBlockedError as error:
-                # The store blocked this proxy; drop it and retry elsewhere.
-                self._proxies.blacklist(proxy.proxy_id, self._api.store_name)
-                breaker.record_failure(self._clock)
-                last_error = error
-                continue
-            except TransientFault as error:
-                self.stats.transient_faults += 1
-                metrics.counter("crawler.transient_faults").add(1)
-                breaker.record_failure(self._clock)
-                last_error = error
-                continue
-            if endpoint == self._api.app_page and page_is_corrupt(result):
-                self.stats.corrupt_pages += 1
-                metrics.counter("crawler.corrupt_pages").add(1)
-                breaker.record_success(self._clock)
-                last_error = SnapshotCorrupted(
-                    f"corrupt page for app {args[0]} via {client}"
-                )
-                continue
-            self.stats.requests += 1
-            metrics.counter("crawler.requests").add(1)
-            if attempt > 0:
-                # The whole point of the retry budget: failures that the
-                # policy absorbed end-to-end, visible per run.
-                metrics.counter("crawler.requests_recovered").add(1)
-            breaker.record_success(self._clock)
-            return result
-        raise CrawlError(
-            f"request failed after {policy.max_attempts} attempts: {last_error}"
-        )
+                delay = steps.send(self._clock)
+        except StopIteration as done:
+            return done.value
 
     def _discover_app_ids(self) -> List[int]:
         """Walk all listing pages and return every listed app id."""

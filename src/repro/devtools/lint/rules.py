@@ -12,6 +12,9 @@ Codes are grouped by decade:
   columnar store's array paths (:data:`STORE_MODULE_PATH_PARTS`).
 - ``RPL030-039`` -- API hygiene: mutable defaults, float equality,
   ``__all__`` drift.
+- ``RPL040-049`` -- virtual-time discipline: the always-on service
+  (:data:`SERVICE_MODULE_PATH_PARTS`) must take time from its event
+  loop, never from the wall clock.
 
 Suppress a finding with ``# repro: noqa=RPL0xx -- justification`` on the
 offending line.  Two structural allowlists live here, next to the rules
@@ -44,6 +47,10 @@ RNG_HELPER_MODULE_SUFFIXES = ("repro/stats/rng.py",)
 #: Path fragments identifying the columnar store, whose row loops are
 #: expected to stay batched (the RPL022 guard fires inside these).
 STORE_MODULE_PATH_PARTS = ("repro/store/",)
+
+#: Path fragments identifying the always-on service, which runs on the
+#: virtual clock (the RPL040 guard fires inside these).
+SERVICE_MODULE_PATH_PARTS = ("repro/service/",)
 
 #: (module suffix, function qualname) pairs whose float equality is the
 #: definition of a domain predicate rather than a numerical accident.
@@ -768,6 +775,40 @@ class DunderAllDriftRule(Rule):
         return names
 
 
+#: Wall-time sources that poison virtual-clock determinism: the clock
+#: reads RPL010 knows about, plus blocking sleeps.
+_WALL_TIME_CALLS = frozenset(_CLOCK_CALLS | {"time.sleep"})
+
+
+class WallClockInServiceRule(Rule):
+    """RPL040: wall-clock time inside the virtual-time service."""
+
+    code = "RPL040"
+    name = "wall-clock-in-service"
+    summary = (
+        "repro/service modules run on the virtual clock; read time via "
+        "the running event loop's loop.time() and wait via asyncio.sleep "
+        "-- any time.*/datetime wall-clock call (or time.sleep) breaks "
+        "the deterministic-replay and instant-soak contracts"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _path_within(self.module.path, SERVICE_MODULE_PATH_PARTS):
+            dotted = self.module.resolve_dotted(node.func)
+            if dotted in _WALL_TIME_CALLS:
+                if dotted == "time.sleep":
+                    hint = "await asyncio.sleep(...) on the running loop"
+                else:
+                    hint = "asyncio.get_running_loop().time()"
+                self.report(
+                    node,
+                    f"{dotted} reads the wall clock inside the "
+                    f"virtual-time service; use {hint} so simulated time "
+                    "stays deterministic and instant",
+                )
+        self.generic_visit(node)
+
+
 #: The shipped rule pack, in code order.
 RULES: Tuple[Type[Rule], ...] = (
     LegacyNumpyRandomRule,
@@ -783,4 +824,5 @@ RULES: Tuple[Type[Rule], ...] = (
     MutableDefaultRule,
     FloatEqualityRule,
     DunderAllDriftRule,
+    WallClockInServiceRule,
 )

@@ -1,0 +1,32 @@
+"""The always-on ecosystem service (ROADMAP item 3).
+
+A long-running simulated appstore under live concurrent crawl load:
+daily marketplace ticks on a deterministic virtual clock, N async
+crawler clients reusing the batch stack's proxies / rate limits /
+breakers / fault plans, snapshots committed into the columnar store as
+they land, and streaming analytics updated per snapshot.  Bounded runs
+reproduce the batch campaign's dataset fingerprint byte for byte.
+"""
+
+from repro.service.client import AppObservation, AsyncCrawlClient
+from repro.service.loadgen import LoadGenerator, LoadReport
+from repro.service.service import EcosystemService, ServiceReport
+from repro.service.virtualtime import (
+    TaskLeakError,
+    VirtualClockEventLoop,
+    VirtualTimeDeadlock,
+    run_virtual,
+)
+
+__all__ = [
+    "AppObservation",
+    "AsyncCrawlClient",
+    "EcosystemService",
+    "LoadGenerator",
+    "LoadReport",
+    "ServiceReport",
+    "TaskLeakError",
+    "VirtualClockEventLoop",
+    "VirtualTimeDeadlock",
+    "run_virtual",
+]

@@ -1,0 +1,152 @@
+"""Async crawler clients: the service's live load generators.
+
+Each client wraps one :class:`~repro.crawler.requesting.RequestEngine`
+-- its own pacer, retry RNG, and per-proxy circuit breakers, exactly
+like one batch :class:`~repro.crawler.crawler.StoreCrawler` -- and
+drives the engine's sans-IO step generators with ``asyncio.sleep`` on
+the event loop's clock.  On the virtual-clock loop
+(:mod:`repro.service.virtualtime`) those sleeps are instantaneous and
+deterministic; on a real loop they would pace actual wall time.  The
+engine neither knows nor cares.
+
+Clients fetch; they do not write.  Every observation is returned to the
+:class:`~repro.service.service.EcosystemService`, which commits them in
+listing order so the database and analytics stream are independent of
+how many clients raced to produce them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.crawler.crawler import CrawlStats
+from repro.crawler.database import ApkRecord
+from repro.crawler.proxies import ProxyPool
+from repro.crawler.requesting import RequestEngine
+from repro.crawler.webapi import ApkDownload, AppPage, StoreWebApi
+from repro.marketplace.entities import Comment
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FaultInjector
+from repro.resilience.retry import RetryPolicy
+from repro.stats.rng import SeedLike, make_rng
+
+__all__ = ["AppObservation", "AsyncCrawlClient", "REQUEST_LATENCY_METRIC"]
+
+#: Histogram of end-to-end request latency in *simulated* seconds
+#: (retries and backoff included), recorded per completed request.
+REQUEST_LATENCY_METRIC = "service.request_seconds"
+
+
+@dataclass(frozen=True)
+class AppObservation:
+    """Everything one client fetched about one app on one day.
+
+    ``apk`` is None when the version was already archived; ``comments``
+    is None when comment collection was off or the app had none.
+    """
+
+    page: AppPage
+    apk: Optional[ApkDownload]
+    comments: Optional[List[Comment]]
+
+
+class AsyncCrawlClient:
+    """One concurrent crawler identity hammering a store's web API.
+
+    Parameters mirror the batch crawler's: the client builds its own
+    :class:`RequestEngine` so its pacing, breaker state, and retry
+    jitter are independent of its siblings -- K clients behave like K
+    separate crawler processes sharing a proxy fleet, which is the
+    paper's actual collection setup.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        api: StoreWebApi,
+        proxy_pool: ProxyPool,
+        requests_per_second: float = 8.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_factory=None,
+        fault_injector: Optional[FaultInjector] = None,
+        seed: SeedLike = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.name = name
+        self.stats = CrawlStats()
+        self._api = api
+        self._metrics = metrics if metrics is not None else get_registry()
+        self._engine = RequestEngine(
+            api=api,
+            proxy_pool=proxy_pool,
+            requests_per_second=requests_per_second,
+            retry_policy=(
+                retry_policy if retry_policy is not None else RetryPolicy()
+            ),
+            breaker_factory=(
+                breaker_factory if breaker_factory is not None else CircuitBreaker
+            ),
+            fault_injector=fault_injector,
+            retry_rng=make_rng(seed),
+            stats=self.stats,
+            metrics=self._metrics,
+        )
+
+    @property
+    def engine(self) -> RequestEngine:
+        """The sans-IO request pipeline this client drives."""
+        return self._engine
+
+    async def request(self, endpoint, *args):
+        """Issue one request, sleeping whenever the engine asks.
+
+        Each attempt yields at least once (the pacer wait, even when
+        zero), so a chain of instantly-admitted requests can never
+        starve sibling clients of the event loop.
+        """
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        steps = self._engine.request_steps(endpoint, args, start)
+        try:
+            delay = next(steps)
+            while True:
+                await asyncio.sleep(delay)
+                delay = steps.send(loop.time())
+        except StopIteration as done:
+            self._metrics.histogram(REQUEST_LATENCY_METRIC).observe(
+                loop.time() - start
+            )
+            return done.value
+
+    async def process_app(
+        self,
+        app_id: int,
+        observed_day: int,
+        known_apks: Dict[int, ApkRecord],
+        fetch_comments: bool = True,
+    ) -> AppObservation:
+        """Fetch one app's page, new APK version, and comments.
+
+        The request sequence per app is the batch crawler's: statistics
+        page, then the APK only when ``known_apks`` (the archive state
+        at the start of the day) lacks this version, then comments only
+        when the page advertises any.  ``observed_day`` is not used for
+        fetching -- the store serves its current day -- but is part of
+        the contract: callers must hold the store on that day while
+        workers run.
+        """
+        page = await self.request(self._api.app_page, app_id)
+        self.stats.apps_crawled += 1
+
+        apk: Optional[ApkDownload] = None
+        known = known_apks.get(app_id)
+        if known is None or known.version_name != page.statistics.version_name:
+            apk = await self.request(self._api.download_apk, app_id)
+
+        comments: Optional[List[Comment]] = None
+        if fetch_comments and page.statistics.comment_count > 0:
+            comments = await self.request(self._api.app_comments, app_id)
+        return AppObservation(page=page, apk=apk, comments=comments)

@@ -1,0 +1,213 @@
+"""A deterministic virtual-clock asyncio event loop.
+
+The always-on service simulates months of store time; waiting those
+months out on the wall clock would make soak tests (and the service
+itself) unrunnable.  This module provides an event loop whose ``time()``
+is *virtual*: whenever every task is blocked waiting on a timer, the
+loop jumps the clock straight to the earliest deadline instead of
+selecting on the OS.  ``await asyncio.sleep(3600)`` completes in
+microseconds of wall time while still ordering tasks exactly as a real
+hour would.
+
+Two properties make this the right substrate for the test archetype:
+
+- **Determinism.**  The program is single-threaded and performs no OS
+  I/O, so the only scheduling inputs are the ready queue (FIFO) and the
+  timer heap (ordered by deadline, ties by creation order) -- both pure
+  functions of the program.  Two runs of the same seeded workload
+  interleave identically, which is what lets the service promise
+  byte-identical datasets and metrics.
+- **Liveness checking.**  If every task is blocked and *no* timer is
+  pending, a real loop would hang forever.  Here that state is
+  detectable, and :class:`VirtualTimeDeadlock` turns a hung soak test
+  into an immediate, debuggable failure.
+
+:func:`run_virtual` is the entry point used by both ``repro serve`` and
+the ``tests/service`` harness; it also fails loudly on leaked tasks
+(:class:`TaskLeakError`), making "no task leaks" a checked invariant
+rather than a hope.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import selectors
+from typing import Any, Coroutine, List, Optional
+
+__all__ = [
+    "TaskLeakError",
+    "VirtualClockEventLoop",
+    "VirtualTimeDeadlock",
+    "run_virtual",
+]
+
+
+class VirtualTimeDeadlock(RuntimeError):
+    """Every task is blocked and no timer is pending: time cannot advance.
+
+    On a wall-clock loop this state is an invisible hang; on the virtual
+    loop it is raised synchronously out of ``run_until_complete`` so the
+    offending await shows up in the traceback.
+    """
+
+
+class TaskLeakError(RuntimeError):
+    """The driven coroutine finished but left other tasks running.
+
+    Attributes
+    ----------
+    task_names:
+        ``Task.get_name()`` of every task still pending when the main
+        coroutine returned (they are cancelled before this is raised).
+    """
+
+    def __init__(self, task_names: List[str]) -> None:
+        listed = ", ".join(sorted(task_names))
+        super().__init__(
+            f"{len(task_names)} task(s) still pending after the main "
+            f"coroutine finished: {listed}"
+        )
+        self.task_names = sorted(task_names)
+
+
+class _VirtualSelector:
+    """Selector shim: never blocks; converts select timeouts into time jumps.
+
+    The loop computes ``timeout`` as the delta to its earliest timer and
+    asks the selector to wait that long.  With no real I/O to wait for,
+    waiting is pointless -- so the shim advances the loop's virtual clock
+    by the timeout and returns immediately, which makes the timer due on
+    the next iteration.  A ``None`` timeout means the loop has neither
+    ready callbacks nor timers: that is a deadlock, not a wait.
+    """
+
+    def __init__(self) -> None:
+        self._real = selectors.DefaultSelector()
+        self.loop: Optional["VirtualClockEventLoop"] = None
+
+    # The event loop registers its self-pipe (and nothing else) with the
+    # selector; those registrations must be serviced for the loop's own
+    # bookkeeping even though the pipe never becomes ready in a
+    # single-threaded virtual-time run.
+    def register(self, fileobj, events, data=None):
+        return self._real.register(fileobj, events, data)
+
+    def unregister(self, fileobj):
+        return self._real.unregister(fileobj)
+
+    def modify(self, fileobj, events, data=None):
+        return self._real.modify(fileobj, events, data)
+
+    def get_map(self):
+        return self._real.get_map()
+
+    def get_key(self, fileobj):
+        return self._real.get_key(fileobj)
+
+    def close(self) -> None:
+        self._real.close()
+
+    def select(self, timeout: Optional[float] = None):
+        # A zero-timeout poll keeps signal wakeups (self-pipe writes)
+        # working should they ever occur; in the deterministic
+        # single-threaded case this returns [] instantly.
+        events = self._real.select(0)
+        if events:
+            return events
+        if timeout is None:
+            raise VirtualTimeDeadlock(
+                "all tasks are blocked and no timer is scheduled; "
+                "virtual time cannot advance (deadlocked await chain?)"
+            )
+        if timeout > 0 and self.loop is not None:
+            self.loop.advance(timeout)
+        return []
+
+
+class VirtualClockEventLoop(asyncio.SelectorEventLoop):
+    """A selector event loop running on virtual time.
+
+    ``loop.time()`` starts at ``start`` and only moves when the loop
+    would otherwise block: the would-be select timeout is added to the
+    clock instead of being slept.  All of asyncio's timer-based
+    machinery (``sleep``, ``wait_for``, timeouts on queues and events)
+    works unchanged -- instantly, deterministically.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._virtual_now = float(start)
+        selector = _VirtualSelector()
+        super().__init__(selector)
+        selector.loop = self
+
+    def time(self) -> float:
+        """The current virtual time, in seconds."""
+        return self._virtual_now
+
+    def advance(self, seconds: float) -> None:
+        """Jump the virtual clock forward (used by the selector shim)."""
+        if seconds < 0:
+            raise ValueError("virtual time cannot move backwards")
+        self._virtual_now += seconds
+
+
+def run_virtual(
+    main: Coroutine[Any, Any, Any],
+    start: float = 0.0,
+    check_leaks: bool = True,
+) -> Any:
+    """Run ``main`` to completion on a fresh virtual-clock loop.
+
+    Parameters
+    ----------
+    main:
+        The coroutine to drive.  Timers inside it resolve on virtual
+        time; the call returns as fast as the CPU allows regardless of
+        how many simulated hours elapse.
+    start:
+        Initial value of ``loop.time()``.
+    check_leaks:
+        When True (the default, and what the service test harness
+        relies on), any task still pending after ``main`` returns is
+        cancelled and reported via :class:`TaskLeakError`.  The service
+        must shut its workers down; tests get leak detection for free.
+
+    Returns the coroutine's result.  The loop is always closed before
+    returning or raising.
+    """
+    loop = VirtualClockEventLoop(start=start)
+    try:
+        asyncio.set_event_loop(loop)
+        try:
+            result = loop.run_until_complete(main)
+        except BaseException:
+            # A deadlock (or any escaped exception) leaves tasks pending;
+            # unwind them so nothing is destroyed while still running.
+            stranded = [
+                task for task in asyncio.all_tasks(loop) if not task.done()
+            ]
+            for task in stranded:
+                task.cancel()
+            if stranded:
+                try:
+                    loop.run_until_complete(
+                        asyncio.gather(*stranded, return_exceptions=True)
+                    )
+                except VirtualTimeDeadlock:
+                    pass
+            raise
+        leftover = [task for task in asyncio.all_tasks(loop) if not task.done()]
+        if leftover:
+            for task in leftover:
+                task.cancel()
+            # Give the cancelled tasks one pass to unwind their frames so
+            # no "task was destroyed but it is pending" warnings escape.
+            loop.run_until_complete(
+                asyncio.gather(*leftover, return_exceptions=True)
+            )
+            if check_leaks:
+                raise TaskLeakError([task.get_name() for task in leftover])
+        return result
+    finally:
+        asyncio.set_event_loop(None)
+        loop.close()

@@ -20,6 +20,8 @@ BATCHED_PATH = "src/repro/core/engine.py"
 STORE_PATH = "src/repro/store/columnar.py"
 #: A path outside every structural allowlist.
 PLAIN_PATH = "src/repro/analysis/example.py"
+#: A path inside the virtual-time service, for the RPL040 fixtures.
+SERVICE_PATH = "src/repro/service/example.py"
 
 
 @dataclass(frozen=True)
@@ -463,6 +465,52 @@ FIXTURES: Tuple[RuleFixture, ...] = (
             "def second():\n"
             "    return 2\n"
         ),
+    ),
+    RuleFixture(
+        code="RPL040",
+        flagged=(
+            "import time\n"
+            "def stamp():\n"
+            "    return time.monotonic()\n"
+        ),
+        # The virtual-clock idiom: time comes from the running loop.
+        quiet=(
+            "import asyncio\n"
+            "async def stamp():\n"
+            "    return asyncio.get_running_loop().time()\n"
+        ),
+        path=SERVICE_PATH,
+    ),
+    RuleFixture(
+        code="RPL040",
+        flagged=(
+            "import time\n"
+            "async def pace():\n"
+            "    time.sleep(0.5)\n"
+        ),
+        quiet=(
+            "import asyncio\n"
+            "async def pace():\n"
+            "    await asyncio.sleep(0.5)\n"
+        ),
+        path=SERVICE_PATH,
+    ),
+    RuleFixture(
+        code="RPL040",
+        # Outside the service tree the same call is RPL040-quiet (other
+        # rules may still have opinions about it).
+        flagged=(
+            "from datetime import datetime\n"
+            "def stamp():\n"
+            "    return datetime.now()\n"
+        ),
+        quiet=(
+            "from datetime import datetime\n"
+            "def stamp():\n"
+            "    return datetime.now()\n"
+        ),
+        path=SERVICE_PATH,
+        quiet_path=PLAIN_PATH,
     ),
 )
 

@@ -1,0 +1,243 @@
+"""Property-based tests (hypothesis) for the streaming analytics.
+
+The service's analytics promise two different strengths, and the suite
+checks each with the right tool:
+
+- ``DownloadState`` (and the Zipf/Pareto readers on top of it) claims
+  **exact** equivalence with the batch analyses under *any* arrival
+  order -- so these properties shuffle arrivals and require bit-equal
+  results against the one-shot batch computation.
+- ``P2Quantile`` is honestly approximate, so its properties bound
+  behaviour (exactness up to five observations, estimates inside the
+  observed range, rank error on well-behaved streams) rather than
+  demanding equality.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.streaming import (
+    DownloadState,
+    OnlineZipfSlope,
+    P2Quantile,
+    RollingParetoShare,
+    StreamingAnalytics,
+)
+from repro.core.pareto import gini_coefficient
+from repro.stats.distributions import cumulative_share
+from repro.stats.rng import make_rng
+from repro.stats.zipf import fit_zipf_exponent_mle
+
+# Shared strategies -----------------------------------------------------
+
+snapshots = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=12),  # app_id
+        st.integers(min_value=0, max_value=30),  # day
+        st.integers(min_value=0, max_value=10**9),  # total_downloads
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+def batch_final_vector(observations):
+    """The batch answer: per app, the downloads of the newest day seen
+    (first write wins within one day, matching commit order), positive
+    values only, sorted descending."""
+    latest = {}
+    for app_id, day, downloads in observations:
+        if app_id not in latest or day >= latest[app_id][0]:
+            latest[app_id] = (day, downloads)
+    values = np.array(
+        [float(v) for _, v in latest.values()], dtype=np.float64
+    )
+    positive = values[values > 0]
+    return np.sort(positive)[::-1]
+
+
+def feed(observations):
+    state = DownloadState()
+    for app_id, day, downloads in observations:
+        state.observe(app_id, day, downloads)
+    return state
+
+
+class TestDownloadStateEquivalence:
+    @given(observations=snapshots, shuffle_seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=120, deadline=None)
+    def test_any_arrival_order_yields_the_batch_vector(
+        self, observations, shuffle_seed
+    ):
+        shuffled = list(observations)
+        make_rng(shuffle_seed).shuffle(shuffled)
+        # Shuffling can reorder two same-app same-day writes with
+        # different values, which no consumer can distinguish anyway;
+        # compare each order against its own batch reduction.
+        for ordering in (observations, shuffled):
+            state = feed(ordering)
+            expected = batch_final_vector(ordering)
+            assert (state.positive_downloads() == expected).all()
+
+    @given(observations=snapshots)
+    @settings(max_examples=80, deadline=None)
+    def test_replay_is_idempotent(self, observations):
+        once = feed(observations)
+        twice = feed(observations + observations)
+        assert (
+            once.positive_downloads() == twice.positive_downloads()
+        ).all()
+        assert once.n_apps == twice.n_apps
+
+    @given(observations=snapshots)
+    @settings(max_examples=80, deadline=None)
+    def test_stale_days_never_overwrite(self, observations):
+        state = feed(observations)
+        before = state.positive_downloads().tolist()
+        # Re-deliver every observation tagged one day older than
+        # anything the state accepted: all must be ignored.
+        for app_id, day, _ in observations:
+            state.observe(app_id, -1, 10**12)
+        assert state.positive_downloads().tolist() == before
+
+
+class TestBatchReaderEquivalence:
+    @given(observations=snapshots, shuffle_seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_zipf_and_pareto_match_batch_bit_for_bit(
+        self, observations, shuffle_seed
+    ):
+        shuffled = list(observations)
+        make_rng(shuffle_seed).shuffle(shuffled)
+        state = feed(shuffled)
+        positive = batch_final_vector(shuffled)
+
+        slope = OnlineZipfSlope(state).value
+        if positive.size < 2:
+            assert slope is None
+        else:
+            assert slope == fit_zipf_exponent_mle(positive)
+
+        shares = RollingParetoShare(state).shares()
+        if positive.size == 0:
+            assert shares is None
+        else:
+            top = cumulative_share(positive, [0.01, 0.10, 0.20])
+            assert shares["top_1pct"] == float(top[0])
+            assert shares["top_10pct"] == float(top[1])
+            assert shares["top_20pct"] == float(top[2])
+            assert shares["gini"] == gini_coefficient(positive)
+
+    @given(observations=snapshots)
+    @settings(max_examples=60, deadline=None)
+    def test_memoization_never_changes_the_answer(self, observations):
+        state = feed(observations)
+        zipf = OnlineZipfSlope(state)
+        pareto = RollingParetoShare(state)
+        assert zipf.value == zipf.value
+        assert pareto.shares() == pareto.shares()
+        if observations:
+            # A stale write (older day for a known app) is rejected by
+            # the state and must not disturb the cached readings.
+            app_id, day, _ = observations[0]
+            before = zipf.value
+            state.observe(app_id, day - 1, 10**12)
+            assert zipf.value == before
+
+
+class TestP2Quantile:
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e9,
+                max_value=1e9,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        q=st.sampled_from([0.1, 0.5, 0.9, 0.99]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_exact_up_to_five_observations(self, values, q):
+        sketch = P2Quantile(q)
+        for value in values:
+            sketch.observe(value)
+        ordered = sorted(values)
+        assert sketch.value == ordered[int(q * (len(ordered) - 1))]
+
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e6,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=6,
+            max_size=300,
+        ),
+        q=st.sampled_from([0.25, 0.5, 0.9]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_estimate_stays_inside_the_observed_range(self, values, q):
+        sketch = P2Quantile(q)
+        for value in values:
+            sketch.observe(value)
+        assert min(values) <= sketch.value <= max(values)
+        assert sketch.count == len(values)
+
+    def test_q_must_be_a_proper_fraction(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                P2Quantile(bad)
+
+    def test_empty_sketch_has_no_value(self):
+        assert P2Quantile(0.5).value is None
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    def test_rank_error_is_small_on_large_streams(self, q):
+        """On realistic streams (heavy-tailed, shuffled) the P² estimate
+        lands within one percentile of the true rank."""
+        rng = make_rng(1234)
+        for sample in (
+            rng.lognormal(mean=8.0, sigma=2.0, size=20_000),
+            rng.uniform(0.0, 1e6, size=20_000),
+            rng.pareto(1.5, size=20_000) * 1e3,
+        ):
+            sketch = P2Quantile(q)
+            for value in sample:
+                sketch.observe(float(value))
+            rank = float(np.mean(sample <= sketch.value))
+            assert abs(rank - q) < 0.01
+
+
+class TestStreamingAnalyticsFacade:
+    @given(observations=snapshots, shuffle_seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_facade_state_is_order_invariant_too(
+        self, observations, shuffle_seed
+    ):
+        # Order invariance is only promised for distinct (app, day)
+        # cells -- two conflicting writes to the same cell are a
+        # producer bug -- so deduplicate before shuffling.
+        unique = list(
+            {(a, d): (a, d, v) for a, d, v in observations}.values()
+        )
+        observations = unique
+        shuffled = list(unique)
+        make_rng(shuffle_seed).shuffle(shuffled)
+        one = StreamingAnalytics("demo")
+        other = StreamingAnalytics("demo")
+        for app_id, day, downloads in observations:
+            one.observe_snapshot(app_id, day, downloads)
+        for app_id, day, downloads in shuffled:
+            other.observe_snapshot(app_id, day, downloads)
+        assert one.snapshots_seen == other.snapshots_seen
+        assert (
+            one.state.positive_downloads() == other.state.positive_downloads()
+        ).all()
+        assert one.zipf.value == other.zipf.value

@@ -1,0 +1,1 @@
+"""Tests for the always-on ecosystem service (repro.service)."""

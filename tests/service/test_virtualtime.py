@@ -1,0 +1,155 @@
+"""Tests for the deterministic virtual-clock event loop.
+
+The service's whole test story rests on this substrate: simulated hours
+complete instantly, hangs surface as :class:`VirtualTimeDeadlock`, and
+forgotten background tasks surface as :class:`TaskLeakError`.  These
+tests pin each of those behaviours down with plain asyncio programs.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service.virtualtime import (
+    TaskLeakError,
+    VirtualClockEventLoop,
+    VirtualTimeDeadlock,
+    run_virtual,
+)
+
+
+class TestClockBasics:
+    def test_sleep_advances_virtual_time(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            before = loop.time()
+            await asyncio.sleep(3600.0)
+            return loop.time() - before
+
+        elapsed = run_virtual(main())
+        # The clock jumps by at least the requested delay; the loop's
+        # timer granularity may overshoot by a hair, never by a second.
+        assert 3600.0 <= elapsed < 3601.0
+
+    def test_start_offset_is_respected(self):
+        async def main():
+            return asyncio.get_running_loop().time()
+
+        assert run_virtual(main(), start=500.0) >= 500.0
+
+    def test_zero_sleep_yields_without_advancing_much(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            before = loop.time()
+            await asyncio.sleep(0)
+            return loop.time() - before
+
+        assert run_virtual(main()) < 1.0
+
+    def test_advance_rejects_negative(self):
+        loop = VirtualClockEventLoop()
+        try:
+            with pytest.raises(ValueError):
+                loop.advance(-1.0)
+        finally:
+            loop.close()
+
+    def test_result_is_returned(self):
+        async def main():
+            await asyncio.sleep(10)
+            return {"answer": 42}
+
+        assert run_virtual(main()) == {"answer": 42}
+
+
+class TestScheduling:
+    def test_timers_fire_in_deadline_order(self):
+        order = []
+
+        async def sleeper(name, delay):
+            await asyncio.sleep(delay)
+            order.append((asyncio.get_running_loop().time(), name))
+
+        async def main():
+            await asyncio.gather(
+                sleeper("slow", 30.0),
+                sleeper("fast", 5.0),
+                sleeper("mid", 12.0),
+            )
+
+        run_virtual(main())
+        assert [name for _, name in order] == ["fast", "mid", "slow"]
+        times = [when for when, _ in order]
+        assert times == sorted(times)
+
+    def test_wait_for_timeout_fires_on_virtual_clock(self):
+        async def main():
+            event = asyncio.Event()
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(event.wait(), timeout=120.0)
+            return asyncio.get_running_loop().time()
+
+        # Two virtual minutes pass; wall time does not.
+        assert run_virtual(main()) >= 120.0
+
+    def test_queue_producer_consumer_interleave(self):
+        async def producer(queue):
+            for item in range(5):
+                await asyncio.sleep(10.0)
+                await queue.put(item)
+
+        async def consumer(queue):
+            got = []
+            for _ in range(5):
+                got.append(await queue.get())
+            return got
+
+        async def main():
+            queue = asyncio.Queue(maxsize=1)
+            _, got = await asyncio.gather(producer(queue), consumer(queue))
+            return got
+
+        assert run_virtual(main()) == [0, 1, 2, 3, 4]
+
+
+class TestFailureModes:
+    def test_blocked_forever_raises_deadlock(self):
+        async def main():
+            await asyncio.Event().wait()
+
+        with pytest.raises(VirtualTimeDeadlock):
+            run_virtual(main())
+
+    def test_leaked_task_is_reported_by_name(self):
+        async def main():
+            asyncio.get_running_loop().create_task(
+                asyncio.sleep(10**9), name="leaker"
+            )
+            return "done"
+
+        with pytest.raises(TaskLeakError) as exc_info:
+            run_virtual(main())
+        assert "leaker" in exc_info.value.task_names
+
+    def test_leak_check_can_be_disabled(self):
+        async def main():
+            asyncio.get_running_loop().create_task(
+                asyncio.sleep(10**9), name="tolerated"
+            )
+            return "done"
+
+        assert run_virtual(main(), check_leaks=False) == "done"
+
+    def test_exception_propagates_and_loop_is_closed(self):
+        async def main():
+            await asyncio.sleep(1.0)
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_virtual(main())
+        # A fresh run works afterwards: no loop state leaked out.
+        async def again():
+            await asyncio.sleep(1.0)
+            return "ok"
+
+        assert run_virtual(again()) == "ok"
