@@ -37,7 +37,11 @@ from repro.core.engine import counts_from_batches
 from repro.core.models import ModelKind
 from repro.obs.manifest import RunManifest, write_metrics_jsonl
 from repro.obs.metrics import MetricsRegistry, use_registry
-from repro.workload.generators import WorkloadSpec, make_workload_batches
+from repro.workload.generators import (
+    SegmentWorkload,
+    WorkloadSpec,
+    make_workload_batches,
+)
 from repro.workload.sharding import run_sharded_campaign
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -47,6 +51,9 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 #: The ISSUE-2 reference workload: paper-scale store, 1M downloads.
 REFERENCE = dict(n_apps=60_000, n_users=100_000, total_downloads=1_000_000)
 SMOKE = dict(n_apps=2_000, n_users=4_000, total_downloads=40_000)
+#: Larger than SMOKE so the segment-overhead ratio measures the per-batch
+#: attribution bincount, not sub-millisecond scheduler noise.
+SEGMENT_SMOKE = dict(n_apps=2_000, n_users=20_000, total_downloads=400_000)
 
 
 @dataclass(frozen=True)
@@ -146,6 +153,149 @@ def time_sharded(
         fingerprint=sharded.fingerprint,
         serial_matches=sharded.fingerprint == serial.fingerprint,
     )
+
+
+@dataclass(frozen=True)
+class SegmentOverheadTiming:
+    """Global vs equal-weight segmented campaign timing.
+
+    The segmented spec uses identical per-segment parameters, so the
+    sharded planner merges every segment into one run and the only added
+    work is the per-batch true-segment attribution (one bincount per
+    batch).  ``fingerprint_matches`` asserts the byte-exactness contract
+    held while we timed it.
+    """
+
+    model: str
+    n_segments: int
+    n_shards: int
+    n_users: int
+    total_downloads: int
+    global_seconds: float
+    segmented_seconds: float
+    fingerprint_matches: bool
+    events_by_segment: List[int]
+
+    @property
+    def overhead(self) -> float:
+        """Fractional slowdown of the segmented run over the global one."""
+        if self.global_seconds == 0:
+            return 0.0
+        return self.segmented_seconds / self.global_seconds - 1.0
+
+    def describe(self) -> str:
+        check = "==" if self.fingerprint_matches else "!="
+        return (
+            f"{self.model} x{self.n_segments} segments: "
+            f"global {self.global_seconds:.3f}s, "
+            f"segmented {self.segmented_seconds:.3f}s "
+            f"({self.overhead:+.1%} overhead, fingerprint {check} global)"
+        )
+
+
+def time_segmented(
+    kind: ModelKind,
+    sizes: Dict[str, int],
+    n_segments: int = 4,
+    n_shards: int = 2,
+    block_size: int = 1_024,
+    seed: int = 0,
+    repeats: int = 5,
+) -> SegmentOverheadTiming:
+    """Time a global campaign against its equal-param segmented twin.
+
+    Best-of-``repeats`` timing on both sides keeps scheduler noise out
+    of the overhead ratio at smoke sizes.  Both runs stay in-process so
+    the comparison measures segment accounting, not pool startup.
+    """
+    spec = _spec(kind, sizes, seed)
+    segments = tuple(
+        SegmentWorkload(
+            name=f"segment-{index}",
+            weight=1.0 / n_segments,
+            p=spec.p,
+            zr=spec.zr,
+            zc=spec.zc,
+        )
+        for index in range(n_segments)
+    )
+    segmented_spec = WorkloadSpec(
+        kind=spec.kind,
+        n_apps=spec.n_apps,
+        n_users=spec.n_users,
+        total_downloads=spec.total_downloads,
+        zr=spec.zr,
+        zc=spec.zc,
+        p=spec.p,
+        n_clusters=spec.n_clusters,
+        seed=spec.seed,
+        segments=segments,
+    )
+
+    def best_of(run_spec: WorkloadSpec):
+        best = float("inf")
+        result = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run_sharded_campaign(
+                run_spec,
+                n_shards=n_shards,
+                block_size=block_size,
+                use_processes=False,
+            )
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    global_seconds, global_result = best_of(spec)
+    segmented_seconds, segmented_result = best_of(segmented_spec)
+    by_segment = (
+        [int(row.sum()) for row in segmented_result.segment_counts]
+        if segmented_result.segment_counts is not None
+        else []
+    )
+    return SegmentOverheadTiming(
+        model=kind.value,
+        n_segments=n_segments,
+        n_shards=n_shards,
+        n_users=sizes["n_users"],
+        total_downloads=sizes["total_downloads"],
+        global_seconds=global_seconds,
+        segmented_seconds=segmented_seconds,
+        fingerprint_matches=(
+            segmented_result.fingerprint == global_result.fingerprint
+        ),
+        events_by_segment=by_segment,
+    )
+
+
+def write_segments_record(
+    timing: SegmentOverheadTiming, path: Path = DEFAULT_OUTPUT
+) -> dict:
+    """Upsert the ``segments`` record in the JSON trajectory file.
+
+    Unlike :func:`write_results` this replaces any previous ``segments``
+    entry: the record tracks the current overhead of segment accounting,
+    not a history, so repeated smoke runs must not grow the file.
+    """
+    record = {
+        "label": "segments",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "segments": [
+            {
+                **asdict(timing),
+                "overhead": round(timing.overhead, 4),
+            }
+        ],
+    }
+    history = []
+    if path.exists():
+        history = json.loads(path.read_text(encoding="utf-8"))
+    history = [entry for entry in history if entry.get("label") != "segments"]
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    return record
 
 
 def _spec(kind: ModelKind, sizes: Dict[str, int], seed: int) -> WorkloadSpec:
@@ -300,6 +450,34 @@ def test_bench_sharded_smoke():
         assert timing.serial_matches, timing.describe()
         assert timing.n_events > 0
         assert timing.events_per_sec > 0
+
+
+@pytest.mark.bench_smoke
+def test_bench_segments_smoke():
+    """Smoke mode for segment accounting: exactness first, overhead second.
+
+    An equal-weight, identical-parameter 4-segment partition must (a)
+    reproduce the global fingerprint byte-for-byte, (b) attribute every
+    event to exactly one segment, and (c) cost no more than ~10% over
+    the global run -- the attribution is one bincount per batch.  The
+    timing lands in the ``segments`` record of ``BENCH_models.json``.
+    """
+    timing = time_segmented(
+        ModelKind.ZIPF, SEGMENT_SMOKE, n_segments=4, n_shards=2, seed=0
+    )
+    print(timing.describe())
+    assert timing.fingerprint_matches, timing.describe()
+    assert len(timing.events_by_segment) == 4
+    assert sum(timing.events_by_segment) == SEGMENT_SMOKE["total_downloads"]
+    # Equal weights, identical params: every segment carries real traffic.
+    assert all(count > 0 for count in timing.events_by_segment)
+    # Lenient absolute slack keeps scheduler noise at smoke sizes from
+    # flaking the 10% bar; the ratio is what the record tracks.
+    assert (
+        timing.segmented_seconds <= 1.10 * timing.global_seconds + 0.02
+    ), timing.describe()
+    record = write_segments_record(timing)
+    print(f"wrote {DEFAULT_OUTPUT} ({record['label']})")
 
 
 def main() -> None:

@@ -15,9 +15,11 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.pareto import gini_coefficient
 from repro.core.powerlaw import TruncationReport, analyze_rank_distribution
 from repro.crawler.database import SnapshotDatabase
 from repro.stats.correlation import CorrelationResult, pearson
+from repro.stats.distributions import cumulative_share
 from repro.stats.loglog import LogLogFit, fit_loglog_slope
 
 
@@ -70,6 +72,156 @@ class PriceCorrelations:
             f"Pearson(price, #apps) = "
             f"{self.price_vs_app_count.coefficient:+.3f}"
         )
+
+
+@dataclass(frozen=True)
+class SegmentPricingOutcome:
+    """Figure 11/12-style numbers for one persona segment (or "global").
+
+    ``price_downloads_corr`` is ``None`` when the segment has too few
+    distinct paid price bins for a defined correlation -- small segments
+    routinely do, and that is an explicit outcome, not an error.
+    """
+
+    segment: str
+    downloads: int
+    download_share: float
+    paid_download_share: float
+    pareto_top10: float
+    gini: float
+    top_category_share: float
+    price_downloads_corr: Optional[float]
+
+    def describe(self) -> str:
+        """One deterministic summary line."""
+        corr = (
+            f"{self.price_downloads_corr:+.3f}"
+            if self.price_downloads_corr is not None
+            else "undefined"
+        )
+        return (
+            f"[{self.segment}] downloads {self.downloads:,} "
+            f"({self.download_share:.1%} of total), "
+            f"paid share {self.paid_download_share:.1%}, "
+            f"top-10% share {self.pareto_top10:.1%}, "
+            f"gini {self.gini:.3f}, "
+            f"top-category share {self.top_category_share:.1%}, "
+            f"Pearson(price, downloads) {corr}"
+        )
+
+
+def _segment_outcome(
+    name: str,
+    counts: np.ndarray,
+    total_downloads: float,
+    prices: np.ndarray,
+    category_of_app: np.ndarray,
+    n_categories: int,
+    bin_width: float,
+) -> SegmentPricingOutcome:
+    """Concentration + pricing stats over one segment's count vector."""
+    counts = counts.astype(np.float64)
+    segment_total = float(counts.sum())
+    positive = np.sort(counts[counts > 0])[::-1]
+    paid_mask = prices > 0
+    paid_downloads = float(counts[paid_mask].sum())
+    category_totals = np.bincount(
+        category_of_app, weights=counts, minlength=n_categories
+    )
+
+    correlation: Optional[float] = None
+    paid_counts = counts[paid_mask]
+    paid_prices = prices[paid_mask]
+    if paid_prices.size:
+        edges = np.arange(0.0, float(paid_prices.max()) + bin_width, bin_width)
+        if edges.size < 2 or edges[-1] <= paid_prices.max():
+            edges = np.append(edges, float(paid_prices.max()) + bin_width)
+        bin_index = np.digitize(paid_prices, edges) - 1
+        n_bins = edges.size - 1
+        bin_totals = np.bincount(bin_index, minlength=n_bins)
+        bin_sums = np.bincount(bin_index, weights=paid_counts, minlength=n_bins)
+        occupied = bin_totals > 0
+        if int(occupied.sum()) >= 2:
+            centers = (edges[:-1] + bin_width / 2.0)[occupied]
+            correlation = pearson(
+                centers, bin_sums[occupied] / bin_totals[occupied]
+            ).coefficient
+
+    return SegmentPricingOutcome(
+        segment=name,
+        downloads=int(segment_total),
+        download_share=(
+            segment_total / total_downloads if total_downloads > 0 else 0.0
+        ),
+        paid_download_share=(
+            paid_downloads / segment_total if segment_total > 0 else 0.0
+        ),
+        pareto_top10=(
+            float(cumulative_share(positive, [0.10])[0]) if positive.size else 0.0
+        ),
+        gini=(gini_coefficient(positive) if positive.size else 0.0),
+        top_category_share=(
+            float(category_totals.max() / segment_total)
+            if segment_total > 0
+            else 0.0
+        ),
+        price_downloads_corr=correlation,
+    )
+
+
+def segment_pricing_study(
+    counts_by_segment: np.ndarray,
+    prices: np.ndarray,
+    category_of_app: np.ndarray,
+    segment_names: Tuple[str, ...],
+    bin_width: float = 1.0,
+) -> List[SegmentPricingOutcome]:
+    """Per-segment pricing/concentration report plus a global row.
+
+    ``counts_by_segment`` is the store's or sharded runner's
+    ``(n_segments, n_apps)`` download matrix.  The returned list starts
+    with a ``"global"`` outcome computed from the summed matrix --
+    whose numbers match the unsegmented analyses -- followed by one
+    outcome per segment, in segment order.  Everything is vectorized
+    over apps; the only loop is one iteration per segment.
+    """
+    matrix = np.asarray(counts_by_segment, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("counts_by_segment must be 2-D (segments x apps)")
+    if matrix.shape[0] != len(segment_names):
+        raise ValueError("one name per segment row is required")
+    prices = np.asarray(prices, dtype=np.float64)
+    category_of_app = np.asarray(category_of_app, dtype=np.int64)
+    if prices.shape[0] != matrix.shape[1] or category_of_app.shape[0] != matrix.shape[1]:
+        raise ValueError("prices and categories must align with app axis")
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    n_categories = int(category_of_app.max()) + 1 if category_of_app.size else 1
+    grand_total = float(matrix.sum())
+    outcomes = [
+        _segment_outcome(
+            "global",
+            matrix.sum(axis=0),
+            grand_total,
+            prices,
+            category_of_app,
+            n_categories,
+            bin_width,
+        )
+    ]
+    for index, name in enumerate(segment_names):
+        outcomes.append(
+            _segment_outcome(
+                name,
+                matrix[index],
+                grand_total,
+                prices,
+                category_of_app,
+                n_categories,
+                bin_width,
+            )
+        )
+    return outcomes
 
 
 def _average_prices(
@@ -173,25 +325,33 @@ def price_correlations(
         edges = np.append(edges, max_price + bin_width)
     bin_index = np.digitize(prices_array, edges) - 1
 
-    bin_prices: List[float] = []
-    bin_mean_downloads: List[float] = []
-    bin_app_counts: List[int] = []
-    for b in range(edges.size - 1):
-        mask = bin_index == b
-        if not mask.any():
-            continue
-        bin_prices.append(float(edges[b] + bin_width / 2.0))
-        bin_mean_downloads.append(float(downloads_array[mask].mean()))
-        bin_app_counts.append(int(mask.sum()))
-
-    bins = np.array(bin_prices)
-    means = np.array(bin_mean_downloads)
-    counts = np.array(bin_app_counts, dtype=np.float64)
+    # One bincount pass per statistic instead of a Python loop over bins.
+    # Empty bins are dropped (never averaged: a 0/0 mean would inject NaN
+    # into the binned series), so gapped price distributions -- routine
+    # once per-segment slicing shrinks the paid sample -- stay clean.
+    n_bins = edges.size - 1
+    bin_counts = np.bincount(bin_index, minlength=n_bins)
+    bin_sums = np.bincount(
+        bin_index, weights=downloads_array, minlength=n_bins
+    )
+    occupied = bin_counts > 0
+    bins = (edges[:-1] + bin_width / 2.0)[occupied]
+    means = bin_sums[occupied] / bin_counts[occupied]
+    counts = bin_counts[occupied].astype(np.float64)
+    if bins.size < 2:
+        # All paid apps share one price bin: the binned correlation is
+        # undefined, so report the paper's "not correlated" convention
+        # instead of crashing.
+        price_vs_downloads = CorrelationResult(coefficient=0.0, n=int(bins.size))
+        price_vs_app_count = CorrelationResult(coefficient=0.0, n=int(bins.size))
+    else:
+        price_vs_downloads = pearson(bins, means)
+        price_vs_app_count = pearson(bins, counts)
     return PriceCorrelations(
         store=store,
         day=day,
-        price_vs_downloads=pearson(bins, means),
-        price_vs_app_count=pearson(bins, counts),
+        price_vs_downloads=price_vs_downloads,
+        price_vs_app_count=price_vs_app_count,
         price_bins=bins,
         mean_downloads_per_bin=means,
         apps_per_bin=counts.astype(np.int64),

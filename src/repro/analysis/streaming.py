@@ -48,6 +48,7 @@ __all__ = [
     "OnlineZipfSlope",
     "P2Quantile",
     "RollingParetoShare",
+    "SegmentDownloadShares",
     "StreamingAnalytics",
 ]
 
@@ -283,6 +284,68 @@ class P2Quantile:
             index = int(self.q * (len(ordered) - 1))
             return ordered[index]
         return self._heights[2]
+
+
+class SegmentDownloadShares:
+    """Running per-persona-segment concentration stats for the service.
+
+    Fed with the store's ``(n_segments, n_apps)`` cumulative download
+    matrix once per daily tick.  The matrix is simulator state -- a pure
+    function of the store seed and the day, never of client count or
+    arrival order -- so the exported ``streaming.segment.*`` gauges
+    belong in the deterministic data-plane registry alongside the other
+    streaming estimators.
+    """
+
+    def __init__(self, segment_names: Tuple[str, ...]) -> None:
+        if not segment_names:
+            raise ValueError("at least one segment name is required")
+        self.segment_names = tuple(segment_names)
+        self._matrix: Optional[np.ndarray] = None
+
+    def observe_matrix(self, matrix: np.ndarray) -> None:
+        """Replace the current per-(segment, app) download totals."""
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[0] != len(self.segment_names):
+            raise ValueError(
+                "matrix must have one row per segment "
+                f"({len(self.segment_names)}), got shape {matrix.shape}"
+            )
+        self._matrix = matrix
+
+    def summaries(self) -> Optional[Dict[str, Dict[str, float]]]:
+        """Per-segment ``{downloads, share, top_10pct, gini}``; None if unfed."""
+        if self._matrix is None:
+            return None
+        totals = self._matrix.sum(axis=1).astype(np.float64)
+        grand_total = float(totals.sum())
+        out: Dict[str, Dict[str, float]] = {}
+        for index, name in enumerate(self.segment_names):
+            row = self._matrix[index]
+            positive = np.sort(row[row > 0].astype(np.float64))[::-1]
+            summary = {
+                "downloads": float(totals[index]),
+                "share": (
+                    float(totals[index] / grand_total) if grand_total > 0 else 0.0
+                ),
+            }
+            if positive.size:
+                summary["top_10pct"] = float(
+                    cumulative_share(positive, [0.10])[0]
+                )
+                summary["gini"] = gini_coefficient(positive)
+            out[name] = summary
+        return out
+
+    def export(self, metrics: MetricsRegistry) -> None:
+        """Publish ``streaming.segment.<name>.*`` gauges."""
+        summaries = self.summaries()
+        if summaries is None:
+            return
+        for name, summary in summaries.items():
+            prefix = f"streaming.segment.{name}"
+            for key, value in summary.items():
+                metrics.gauge(f"{prefix}.{key}").set(value)
 
 
 class StreamingAnalytics:

@@ -108,6 +108,19 @@ def _add_campaign_parser(subparsers) -> None:
     sharded.add_argument("--zc", type=float, default=1.4)
     sharded.add_argument("--p", type=float, default=0.9)
     sharded.add_argument("--clusters", type=int, default=30)
+    sharded.add_argument(
+        "--personas",
+        type=int,
+        default=None,
+        help="split the population into N persona segments drawn from "
+        "the conjoint utility model (sharded campaigns only)",
+    )
+    sharded.add_argument(
+        "--persona-seed",
+        type=int,
+        default=0,
+        help="seed for the persona utility draws (independent of --seed)",
+    )
     parser.add_argument("--emit-metrics", default=None, help=_METRICS_HELP)
     parser.set_defaults(handler=_run_campaign)
 
@@ -116,7 +129,8 @@ def _run_sharded_campaign(args) -> int:
     import json
 
     from repro.core.models import ModelKind
-    from repro.workload.generators import WorkloadSpec
+    from repro.marketplace.segments import default_personas
+    from repro.workload.generators import WorkloadSpec, segmented_spec
     from repro.workload.sharding import (
         DEFAULT_BLOCK_SIZE,
         run_sharded_campaign,
@@ -136,6 +150,16 @@ def _run_sharded_campaign(args) -> int:
         n_clusters=args.clusters,
         seed=args.seed,
     )
+    personas = getattr(args, "personas", None)
+    if personas is not None:
+        if personas < 1:
+            print("error: --personas must be >= 1", file=sys.stderr)
+            return 2
+        spec = segmented_spec(
+            spec,
+            personas=default_personas(personas),
+            persona_seed=args.persona_seed,
+        )
     block_size = args.block_size or DEFAULT_BLOCK_SIZE
     result = run_sharded_campaign(
         spec, n_shards=args.shards, block_size=block_size
@@ -154,6 +178,11 @@ def _run_sharded_campaign(args) -> int:
         "events_unfilled": result.events_unfilled,
         "counts_fingerprint": f"sha256:{result.fingerprint}",
     }
+    if result.segment_counts is not None:
+        summary["segments"] = {
+            name: int(row.sum())
+            for name, row in zip(result.segment_names, result.segment_counts)
+        }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
         handle.write("\n")

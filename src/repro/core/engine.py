@@ -660,6 +660,44 @@ def interleaved_user_order(
     return order
 
 
+@pure
+def partition_by_blocks(
+    values: np.ndarray, boundaries: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group values into the contiguous blocks a boundary vector defines.
+
+    ``boundaries`` is an ascending ``int64`` vector ``[b_0, ..., b_K]``
+    where block ``k`` owns the half-open range ``[b_k, b_{k+1})`` --
+    exactly the layout persona segments and sharded user blocks use.
+    Returns ``(block_ids, order, starts)``:
+
+    - ``block_ids[i]`` -- block index of ``values[i]``;
+    - ``order`` -- a *stable* permutation sorting values by block, so
+      relative order inside each block is preserved;
+    - ``starts`` -- length ``K + 1``; block ``k``'s members sit at
+      ``order[starts[k]:starts[k+1]]``.
+
+    One call replaces a per-element membership loop: downstream code
+    touches each block with a single slice (one kernel invocation per
+    block, the RPL023 contract).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    bounds = np.asarray(boundaries, dtype=np.int64)
+    if bounds.ndim != 1 or bounds.size < 2:
+        raise ValueError("boundaries must hold at least [start, stop]")
+    n_blocks = bounds.size - 1
+    block_ids = np.searchsorted(bounds[1:], values, side="right").astype(
+        np.int64
+    )
+    if values.size and (block_ids.max() >= n_blocks or values.min() < bounds[0]):
+        raise ValueError("values fall outside the boundary range")
+    order = np.argsort(block_ids, kind="stable")
+    starts = np.searchsorted(
+        block_ids[order], np.arange(n_blocks + 1, dtype=np.int64)
+    )
+    return block_ids, order, starts
+
+
 def sample_new_apps(
     draw: Callable[[int], np.ndarray],
     users: np.ndarray,

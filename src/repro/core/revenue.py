@@ -16,7 +16,7 @@ i.e. average paid-app revenue divided by average free-app downloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -178,6 +178,84 @@ def break_even_by_popularity_tier(
     return results
 
 
+@dataclass(frozen=True)
+class BreakEvenOutcome:
+    """Per-category break-even result, defined or explicitly not.
+
+    Per-segment slicing routinely produces categories holding only paid
+    or only free apps; those are legitimate "no threshold" outcomes of
+    the Figure-18 analysis, not errors.  ``status`` is one of ``"ok"``,
+    ``"no-paid-apps"``, or ``"no-free-apps"``; ``threshold`` is ``None``
+    unless the status is ``"ok"``.
+    """
+
+    category: str
+    threshold: Optional[float]
+    status: str
+    n_paid: int
+    n_free: int
+
+    @property
+    def defined(self) -> bool:
+        """Whether the comparison produced a numeric threshold."""
+        return self.threshold is not None
+
+    def describe(self) -> str:
+        """One deterministic summary line."""
+        if self.threshold is not None:
+            value = f"${self.threshold:.4f}/download"
+        else:
+            value = f"no threshold ({self.status})"
+        return (
+            f"{self.category}: {value} "
+            f"[{self.n_paid} paid, {self.n_free} free]"
+        )
+
+
+def break_even_outcomes_by_category(
+    paid_apps: Sequence[PaidAppRecord],
+    free_apps: Sequence[FreeAppRecord],
+    ads_only: bool = True,
+) -> List[BreakEvenOutcome]:
+    """Figure 18 over the *union* of categories, degrading gracefully.
+
+    Unlike :func:`break_even_by_category` (which silently skips),
+    every category present in either population gets a row; one-sided
+    categories come back with an explicit no-threshold status.  Rows are
+    sorted by category name for deterministic output.
+    """
+    paid_by_category: Dict[str, List[PaidAppRecord]] = {}
+    for app in paid_apps:
+        paid_by_category.setdefault(app.category, []).append(app)
+    free_by_category: Dict[str, List[FreeAppRecord]] = {}
+    for app in free_apps:
+        if app.has_ads or not ads_only:
+            free_by_category.setdefault(app.category, []).append(app)
+    outcomes: List[BreakEvenOutcome] = []
+    for category in sorted(set(paid_by_category) | set(free_by_category)):
+        paid_group = paid_by_category.get(category, [])
+        free_group = free_by_category.get(category, [])
+        if not paid_group:
+            status, threshold = "no-paid-apps", None
+        elif not free_group:
+            status, threshold = "no-free-apps", None
+        else:
+            status = "ok"
+            threshold = break_even_ad_income(
+                paid_group, free_group, ads_only=ads_only
+            )
+        outcomes.append(
+            BreakEvenOutcome(
+                category=category,
+                threshold=threshold,
+                status=status,
+                n_paid=len(paid_group),
+                n_free=len(free_group),
+            )
+        )
+    return outcomes
+
+
 def break_even_by_category(
     paid_apps: Sequence[PaidAppRecord],
     free_apps: Sequence[FreeAppRecord],
@@ -185,7 +263,9 @@ def break_even_by_category(
     """Figure 18: break-even ad income computed per category.
 
     Categories missing either paid or free apps are skipped (the
-    comparison is undefined there).
+    comparison is undefined there); use
+    :func:`break_even_outcomes_by_category` when the skips themselves
+    matter.  Insertion order follows the paid-app sequence, as before.
     """
     paid_by_category: Dict[str, List[PaidAppRecord]] = {}
     for app in paid_apps:

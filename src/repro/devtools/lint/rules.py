@@ -8,8 +8,9 @@ Codes are grouped by decade:
 - ``RPL010-019`` -- determinism hazards: wall clocks, randomized hashes,
   and unordered-set iteration must not shape stochastic output.
 - ``RPL020-029`` -- vectorization guards for the modules the batched
-  engine declares hot (:data:`BATCHED_MODULE_SUFFIXES`) and the
-  columnar store's array paths (:data:`STORE_MODULE_PATH_PARTS`).
+  engine declares hot (:data:`BATCHED_MODULE_SUFFIXES`), the
+  columnar store's array paths (:data:`STORE_MODULE_PATH_PARTS`), and
+  the segment-dispatch modules (:data:`SEGMENT_MODULE_SUFFIXES`).
 - ``RPL030-039`` -- API hygiene: mutable defaults, float equality,
   ``__all__`` drift.
 - ``RPL040-049`` -- virtual-time discipline: the always-on service
@@ -47,6 +48,15 @@ RNG_HELPER_MODULE_SUFFIXES = ("repro/stats/rng.py",)
 #: Path fragments identifying the columnar store, whose row loops are
 #: expected to stay batched (the RPL022 guard fires inside these).
 STORE_MODULE_PATH_PARTS = ("repro/store/",)
+
+#: Modules that resolve persona segments over user populations; their
+#: contract is one kernel invocation per segment block, so the RPL023
+#: guard fires inside these.
+SEGMENT_MODULE_SUFFIXES = (
+    "repro/marketplace/segments.py",
+    "repro/marketplace/behavior.py",
+    "repro/workload/sharding.py",
+)
 
 #: Path fragments identifying the always-on service, which runs on the
 #: virtual clock (the RPL040 guard fires inside these).
@@ -609,6 +619,70 @@ class ColumnAppendLoopRule(Rule):
         self.generic_visit(node)
 
 
+class SegmentUserLoopRule(Rule):
+    """RPL023: per-user Python loops in segment-aware modules.
+
+    The persona-segment contract is one kernel invocation per segment:
+    a mixed-segment user batch is grouped by
+    :func:`repro.core.engine.partition_by_blocks` and each contiguous
+    block moves through the vectorized engine whole.  A Python loop
+    that walks a user/app ndarray element-by-element inside these
+    modules re-introduces the O(users)-per-segment interpreter cost
+    the block dispatch exists to remove.
+    """
+
+    code = "RPL023"
+    name = "segment-user-loop"
+    summary = (
+        "no per-element loop over user/app ndarrays in segment-aware "
+        "modules (repro.marketplace.segments, "
+        "repro.marketplace.behavior, repro.workload.sharding); group "
+        "the batch with partition_by_blocks and hand whole segment "
+        "blocks to one kernel call"
+    )
+
+    _WRAPPERS = frozenset({"zip", "enumerate", "reversed"})
+
+    def _ndarray_operand(self, iterable: ast.AST) -> Optional[ast.AST]:
+        if self.module.expression_kind(iterable) == "ndarray":
+            return iterable
+        if isinstance(iterable, ast.Call):
+            dotted = self.module.resolve_dotted(iterable.func)
+            if dotted in self._WRAPPERS:
+                for argument in iterable.args:
+                    if self.module.expression_kind(argument) == "ndarray":
+                        return argument
+        return None
+
+    def _check_iterable(self, iterable: ast.AST) -> None:
+        operand = self._ndarray_operand(iterable)
+        if operand is not None:
+            described = (
+                f"ndarray {operand.id!r}"
+                if isinstance(operand, ast.Name)
+                else "an ndarray expression"
+            )
+            self.report(
+                iterable,
+                f"per-element iteration over {described} in a "
+                "segment-aware module; group the users with "
+                "partition_by_blocks and dispatch each segment block "
+                "through one kernel call instead",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        if _path_matches(self.module.path, SEGMENT_MODULE_SUFFIXES):
+            self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    visit_AsyncFor = visit_For
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        if _path_matches(self.module.path, SEGMENT_MODULE_SUFFIXES):
+            self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+
 class MutableDefaultRule(Rule):
     """RPL030: mutable default arguments."""
 
@@ -821,6 +895,7 @@ RULES: Tuple[Type[Rule], ...] = (
     NdarrayElementLoopRule,
     ArrayGrowthInLoopRule,
     ColumnAppendLoopRule,
+    SegmentUserLoopRule,
     MutableDefaultRule,
     FloatEqualityRule,
     DunderAllDriftRule,

@@ -169,7 +169,7 @@ class DownloadBehavior:
         # category preserves that ordering).
         self._category_members: Dict[int, np.ndarray] = {}
         self._category_samplers: Dict[int, AliasSampler] = {}
-        for category_index in np.unique(self._categories):
+        for category_index in np.unique(self._categories):  # repro: noqa=RPL023 -- sampler setup, O(categories) not O(users)
             members = np.flatnonzero(self._categories == category_index)
             weights = (
                 zipf_weights(members.size, params.cluster_exponent)

@@ -36,6 +36,7 @@ from repro.marketplace.catalog import CategoryTaxonomy, default_taxonomy
 from repro.marketplace.entities import ApkPackage, App, AppVersion, Developer, User
 from repro.marketplace.pricing import PricingModel
 from repro.marketplace.profiles import StoreProfile
+from repro.marketplace.segments import SegmentedPopulation
 from repro.marketplace.store import AppStore
 from repro.stats.rng import SeedLike, make_rng
 from repro.stats.zipf import zipf_weights
@@ -304,11 +305,29 @@ def build_store(
     # Activity follows a heavy-tailed law so a minority of users does most
     # downloading, matching the comments-per-user CDF of Figure 5(a).
     activity = rng.pareto(1.8, size=profile.n_users) + 1.0
+    population: Optional[SegmentedPopulation] = None
+    if profile.segments is not None:
+        # Contiguous weight-proportional user blocks; the partition itself
+        # consumes no RNG, so segmenting never perturbs the draws above.
+        population = SegmentedPopulation(
+            segments=profile.segments, n_users=profile.n_users
+        )
+        comment_of_user = np.repeat(
+            np.array(
+                [seg.comment_probability for seg in profile.segments],
+                dtype=np.float64,
+            ),
+            population.sizes,
+        )
+    else:
+        comment_of_user = np.full(
+            profile.n_users, profile.comment_probability, dtype=np.float64
+        )
     users = [
         User(
             user_id=user_id,
             activity=float(activity[user_id]),
-            comment_probability=profile.comment_probability,
+            comment_probability=float(comment_of_user[user_id]),
         )
         for user_id in range(profile.n_users)
     ]
@@ -335,6 +354,24 @@ def build_store(
         listing_days=listing_days,
         clustered_accept_probability=clustered_accept,
     )
+    segment_behaviors: Optional[List[DownloadBehavior]] = None
+    if population is not None:
+        # One engine per segment: paid tolerance scales the paid-app accept
+        # probability, the drawn BehaviorParams carry p/zr/zc.  Engine
+        # construction consumes no RNG, so a single global-parameter
+        # segment leaves the download stream byte-identical.
+        segment_behaviors = [
+            DownloadBehavior(
+                app_categories=category_of_app,
+                params=seg.behavior,
+                appeal_multipliers=demand,
+                listing_days=listing_days,
+                clustered_accept_probability=np.where(
+                    is_paid, np.clip(0.1 * seg.paid_tolerance, 0.0, 1.0), 1.0
+                ),
+            )
+            for seg in population.segments
+        ]
 
     # --- update process ----------------------------------------------------
     update_rates = np.zeros(total_apps, dtype=np.float64)
@@ -357,6 +394,8 @@ def build_store(
         daily_download_rate=profile.daily_downloads,
         update_rates=update_rates,
         keep_download_log=keep_download_log,
+        segments=population,
+        segment_behaviors=segment_behaviors,
     )
     return GeneratedStore(
         store=store,

@@ -17,9 +17,10 @@ structure, which is what the benchmarks do.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from repro.marketplace.behavior import BehaviorParams
+from repro.marketplace.segments import SegmentParams
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,14 @@ class StoreProfile:
     active_app_fraction:
         Fraction of apps that receive updates at all (the paper: >80% of
         apps saw zero updates in two months).
+    segments:
+        Optional persona segments drawn from the conjoint utility model
+        (:func:`repro.marketplace.segments.segmented_profile`).  ``None``
+        keeps the single global behaviour profile and leaves every legacy
+        code path untouched.  When set, ``behavior`` and
+        ``comment_probability`` act as the anchor the segments were drawn
+        around, and users are partitioned into contiguous weight-
+        proportional blocks.
     """
 
     name: str
@@ -84,6 +93,7 @@ class StoreProfile:
     spam_users: int = 0
     update_rate_active: float = 0.02
     active_app_fraction: float = 0.2
+    segments: Optional[Tuple[SegmentParams, ...]] = None
 
     def __post_init__(self) -> None:
         if self.initial_apps < 1:
@@ -106,6 +116,8 @@ class StoreProfile:
             raise ValueError("active_app_fraction must be in [0, 1]")
         if not 0.0 <= self.update_rate_active <= 1.0:
             raise ValueError("update_rate_active must be in [0, 1]")
+        if self.segments is not None and len(self.segments) == 0:
+            raise ValueError("segments must be None or a non-empty tuple")
 
     @property
     def total_days(self) -> int:
@@ -224,6 +236,11 @@ def scaled_profile(
     (58k apps, 24M downloads/day) into roughly 2.9k apps and 12k
     downloads/day -- enough for every distributional shape in the paper to
     be measurable in seconds.
+
+    Persona segments ride along unchanged: segment weights are fractions
+    of ``n_users`` and the drawn behaviour parameters are scale-free, so
+    shrinking a segmented profile preserves both the partition shape and
+    the per-segment behaviour.
     """
     for name, value in (
         ("app_scale", app_scale),

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.marketplace.behavior import DownloadBehavior, UserState
 from repro.marketplace.catalog import CategoryTaxonomy
+from repro.marketplace.segments import SegmentedPopulation
 from repro.marketplace.entities import (
     App,
     AppStatistics,
@@ -67,9 +68,20 @@ class AppStore:
         daily_download_rate: float,
         update_rates: Optional[Sequence[float]] = None,
         keep_download_log: bool = False,
+        segments: Optional[SegmentedPopulation] = None,
+        segment_behaviors: Optional[Sequence[DownloadBehavior]] = None,
     ) -> None:
         if len(apps) != behavior.n_apps:
             raise ValueError("apps and behaviour engine disagree on app count")
+        if (segments is None) != (segment_behaviors is None):
+            raise ValueError(
+                "segments and segment_behaviors must be given together"
+            )
+        if segments is not None:
+            if segments.n_users != len(users):
+                raise ValueError("segment partition disagrees on user count")
+            if len(segment_behaviors) != segments.n_segments:
+                raise ValueError("one behaviour engine per segment required")
         self.name = name
         self.taxonomy = taxonomy
         self._apps: List[App] = list(apps)
@@ -105,6 +117,37 @@ class AppStore:
         if activity.sum() <= 0:
             raise ValueError("user population has no activity")
         self._user_pick_probabilities = activity / activity.sum()
+
+        self._segments = segments
+        if segments is not None:
+            self._segment_behaviors: List[DownloadBehavior] = list(
+                segment_behaviors
+            )
+            self._segment_of_user = np.repeat(
+                np.arange(segments.n_segments, dtype=np.int64),
+                segments.sizes,
+            )
+            self._downloads_by_segment = np.zeros(
+                (segments.n_segments, len(apps)), dtype=np.int64
+            )
+            self._update_weights = np.array(
+                [seg.update_affinity for seg in segments.segments],
+                dtype=np.float64,
+            )
+        else:
+            self._segment_behaviors = [behavior]
+            self._segment_of_user = np.zeros(len(users), dtype=np.int64)
+            self._downloads_by_segment = np.zeros(
+                (1, len(apps)), dtype=np.int64
+            )
+            self._update_weights = np.ones(1, dtype=np.float64)
+        # Weighted update refreshes only when segments actually differ in
+        # update affinity: the unweighted branch below must keep consuming
+        # the exact same RNG stream as the pre-segment store, so any
+        # equal-parameter partition stays byte-identical to the global run.
+        self._weighted_updates = (
+            segments is not None and not segments.uniform_update_affinity
+        )
 
     # ------------------------------------------------------------------
     # Public read API (what the crawler sees)
@@ -150,6 +193,23 @@ class AppStore:
     def download_counts(self) -> np.ndarray:
         """Per-app cumulative download counts (a copy)."""
         return self._downloads.copy()
+
+    @property
+    def segments(self) -> Optional[SegmentedPopulation]:
+        """The persona partition this store runs under (``None`` = global)."""
+        return self._segments
+
+    def segment_download_counts(self) -> np.ndarray:
+        """Per-(segment, app) cumulative download counts (a copy).
+
+        Shape ``(n_segments, n_apps)``; a single all-users segment when the
+        store runs the global profile.  Rows sum to :meth:`download_counts`.
+        """
+        return self._downloads_by_segment.copy()
+
+    def segment_of_users(self) -> np.ndarray:
+        """Segment index of every user (zeros when unsegmented; a copy)."""
+        return self._segment_of_user.copy()
 
     def total_downloads(self) -> int:
         """Cumulative downloads across all apps."""
@@ -236,11 +296,28 @@ class AppStore:
             ]
             if owners:
                 refresh_count = max(1, int(0.05 * len(owners)))
-                refreshed = self._rng.choice(
-                    len(owners), size=min(refresh_count, len(owners)), replace=False
-                )
+                size = min(refresh_count, len(owners))
+                if self._weighted_updates:
+                    # Update-chasers refresh more eagerly: owners are drawn
+                    # with probability proportional to their segment's
+                    # update affinity.
+                    weights = self._update_weights[
+                        self._segment_of_user[np.asarray(owners, dtype=np.int64)]
+                    ]
+                    refreshed = self._rng.choice(
+                        len(owners),
+                        size=size,
+                        replace=False,
+                        p=weights / weights.sum(),
+                    )
+                else:
+                    refreshed = self._rng.choice(
+                        len(owners), size=size, replace=False
+                    )
                 for position in np.atleast_1d(refreshed):
                     self._downloads[app_id] += 1
+                    owner_segment = self._segment_of_user[owners[int(position)]]
+                    self._downloads_by_segment[owner_segment, app_id] += 1
                     if self._keep_download_log:
                         self._download_log.append(
                             DownloadRecord(
@@ -263,12 +340,15 @@ class AppStore:
         downloads = purchases = comment_count = 0
         for user_id in user_ids:
             state = self._user_states[user_id]
-            app_index = self._behavior.next_download(state, day, self._rng)
+            segment = int(self._segment_of_user[user_id])
+            behavior = self._segment_behaviors[segment]
+            app_index = behavior.next_download(state, day, self._rng)
             if app_index is None:
                 continue
             app = self._apps[app_index]
-            state.record(app_index, self._behavior.category_of(app_index))
+            state.record(app_index, behavior.category_of(app_index))
             self._downloads[app_index] += 1
+            self._downloads_by_segment[segment, app_index] += 1
             downloads += 1
             if app.is_paid:
                 purchases += 1

@@ -8,17 +8,18 @@ side of the threshold each category lands on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.revenue import (
+    BreakEvenOutcome,
     FreeAppRecord,
     PaidAppRecord,
-    break_even_by_category,
+    break_even_outcomes_by_category,
 )
 from repro.revenue_sim.ads import AdMonetization
 from repro.revenue_sim.usage import UsageModel
-from repro.stats.rng import SeedLike, make_rng
+from repro.stats.rng import SeedLike, make_rng, make_seed_sequence
 
 
 @dataclass(frozen=True)
@@ -42,14 +43,26 @@ class CategoryOutcome:
 
 @dataclass(frozen=True)
 class StrategyComparison:
-    """Ex-post validation of the free-with-ads strategy, per category."""
+    """Ex-post validation of the free-with-ads strategy, per category.
+
+    ``undefined`` lists the categories where the comparison has no
+    threshold (only paid or only free apps) -- common once populations
+    are sliced per persona segment.  They are reported, never silently
+    dropped, and never counted in ``win_fraction``.
+    """
 
     outcomes: List[CategoryOutcome]
+    undefined: List[BreakEvenOutcome] = field(default_factory=list)
 
     @property
     def categories_where_free_wins(self) -> List[str]:
         """Categories whose simulated ad income beats the threshold."""
         return [o.category for o in self.outcomes if o.free_strategy_wins]
+
+    @property
+    def undefined_categories(self) -> List[str]:
+        """Categories with an explicit no-threshold outcome."""
+        return [o.category for o in self.undefined]
 
     @property
     def win_fraction(self) -> float:
@@ -60,11 +73,17 @@ class StrategyComparison:
 
     def describe(self) -> str:
         """One summary line."""
-        return (
+        line = (
             f"free-with-ads beats the paid strategy in "
             f"{len(self.categories_where_free_wins)}/{len(self.outcomes)} "
             f"categories under the simulated ad funnel"
         )
+        if self.undefined:
+            line += (
+                f" ({len(self.undefined)} categories without a defined "
+                f"threshold)"
+            )
+        return line
 
 
 def compare_strategies(
@@ -88,18 +107,139 @@ def compare_strategies(
     monetization = monetization or AdMonetization()
     rng = make_rng(seed)
 
-    thresholds = break_even_by_category(paid_apps, free_apps)
+    thresholds = break_even_outcomes_by_category(paid_apps, free_apps)
     outcomes: List[CategoryOutcome] = []
-    for category in sorted(thresholds):
+    undefined: List[BreakEvenOutcome] = []
+    for outcome in thresholds:
+        if not outcome.defined:
+            # One-sided categories (only paid or only free apps) carry
+            # no threshold; surface them instead of simulating against
+            # a meaningless number or crashing.
+            undefined.append(outcome)
+            continue
         incomes = monetization.simulate_income(
-            usage, category, installs_per_category, seed=rng
+            usage, outcome.category, installs_per_category, seed=rng
         )
         simulated = float(incomes.mean()) if incomes.size else 0.0
         outcomes.append(
             CategoryOutcome(
-                category=category,
-                break_even_income=thresholds[category],
+                category=outcome.category,
+                break_even_income=outcome.threshold,
                 simulated_income=simulated,
             )
         )
-    return StrategyComparison(outcomes=outcomes)
+    return StrategyComparison(outcomes=outcomes, undefined=undefined)
+
+
+@dataclass(frozen=True)
+class SegmentRevenueRecords:
+    """One persona segment's slice of the paid/free populations.
+
+    ``engagement`` multiplies the usage model's sessions-per-active-day
+    (the conjoint engagement draw); ``weight`` scales the simulated
+    install volume, so small segments are compared at their actual
+    traffic share.
+    """
+
+    name: str
+    weight: float
+    paid_apps: Tuple[PaidAppRecord, ...]
+    free_apps: Tuple[FreeAppRecord, ...]
+    engagement: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("segment name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError("segment weight must be positive")
+        if self.engagement <= 0:
+            raise ValueError("engagement must be positive")
+
+
+@dataclass(frozen=True)
+class SegmentStrategyReport:
+    """One segment's strategy comparison next to its traffic share."""
+
+    segment: str
+    weight: float
+    comparison: StrategyComparison
+
+    def describe(self) -> str:
+        """One deterministic summary line."""
+        return f"[{self.segment} w={self.weight:.2f}] {self.comparison.describe()}"
+
+
+@dataclass(frozen=True)
+class SegmentedStrategyComparison:
+    """Global strategy comparison recomputed per persona segment."""
+
+    overall: StrategyComparison
+    per_segment: List[SegmentStrategyReport]
+
+    def describe(self) -> str:
+        """Global line followed by one line per segment."""
+        lines = [f"[overall] {self.overall.describe()}"]
+        lines.extend(report.describe() for report in self.per_segment)
+        return "\n".join(lines)
+
+
+def compare_strategies_by_segment(
+    segments: Sequence[SegmentRevenueRecords],
+    usage: Optional[UsageModel] = None,
+    monetization: Optional[AdMonetization] = None,
+    installs_per_category: int = 2000,
+    seed: SeedLike = None,
+) -> SegmentedStrategyComparison:
+    """Run the ads-vs-paid comparison globally and per persona segment.
+
+    The overall row pools every segment's records under the anchor usage
+    model.  Each segment then re-runs the comparison over its own slice
+    with engagement-scaled usage and weight-scaled install volume.  Seeds
+    are spawned per segment (overall first), so adding or reordering
+    trailing segments never changes earlier rows.
+    """
+    if not segments:
+        raise ValueError("at least one segment is required")
+    usage = usage or UsageModel()
+    monetization = monetization or AdMonetization()
+    children = make_seed_sequence(seed).spawn(len(segments) + 1)
+
+    all_paid = [app for segment in segments for app in segment.paid_apps]
+    all_free = [app for segment in segments for app in segment.free_apps]
+    overall = compare_strategies(
+        all_paid,
+        all_free,
+        usage=usage,
+        monetization=monetization,
+        installs_per_category=installs_per_category,
+        seed=children[0],
+    )
+
+    total_weight = sum(segment.weight for segment in segments)
+    reports: List[SegmentStrategyReport] = []
+    for segment, child in zip(segments, children[1:]):
+        share = segment.weight / total_weight
+        scaled_usage = replace(
+            usage,
+            sessions_per_active_day=(
+                usage.sessions_per_active_day * segment.engagement
+            ),
+        )
+        comparison = compare_strategies(
+            segment.paid_apps,
+            segment.free_apps,
+            usage=scaled_usage,
+            monetization=monetization,
+            installs_per_category=max(
+                1, int(round(installs_per_category * share))
+            ),
+            seed=child,
+        )
+        reports.append(
+            SegmentStrategyReport(
+                segment=segment.name,
+                weight=segment.weight,
+                comparison=comparison,
+            )
+        )
+    return SegmentedStrategyComparison(overall=overall, per_segment=reports)

@@ -57,8 +57,8 @@ class UsageModel:
     max_days: int = 90
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.daily_retention < 1.0:
-            raise ValueError("daily_retention must be in [0, 1)")
+        if not 0.0 <= self.daily_retention <= 1.0:
+            raise ValueError("daily_retention must be in [0, 1]")
         if self.sessions_per_active_day <= 0:
             raise ValueError("sessions_per_active_day must be positive")
         if self.max_days < 1:
@@ -70,8 +70,12 @@ class UsageModel:
 
     def expected_active_days(self) -> float:
         """Mean active days per install under geometric retention."""
-        # 1 + r + r^2 + ... truncated at max_days.
+        # 1 + r + r^2 + ... truncated at max_days.  At r = 1 the
+        # geometric sum degenerates to its closed-form limit, max_days
+        # terms of 1 -- the naive ratio would divide by zero.
         r = self.daily_retention
+        if r >= 1.0:
+            return float(self.max_days)
         return float((1 - r**self.max_days) / (1 - r))
 
     def expected_sessions(self, category: str) -> float:
@@ -95,8 +99,15 @@ class UsageModel:
         rng = make_rng(seed)
         if n_installs == 0:
             return np.zeros(0, dtype=np.int64)
-        active_days = rng.geometric(1.0 - self.daily_retention, size=n_installs)
-        active_days = np.minimum(active_days, self.max_days)
+        if self.daily_retention >= 1.0:
+            # Perfect retention: every install stays the full window
+            # (rng.geometric rejects p = 0).
+            active_days = np.full(n_installs, self.max_days, dtype=np.int64)
+        else:
+            active_days = rng.geometric(
+                1.0 - self.daily_retention, size=n_installs
+            )
+            active_days = np.minimum(active_days, self.max_days)
         rate = self.sessions_per_active_day * self.engagement_multiplier(category)
         sessions = rng.poisson(rate * active_days)
         # Every install opens the app at least once.

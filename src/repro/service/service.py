@@ -42,7 +42,7 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.streaming import StreamingAnalytics
+from repro.analysis.streaming import SegmentDownloadShares, StreamingAnalytics
 from repro.crawler.crawler import CrawlStats
 from repro.crawler.database import ApkRecord, AppSnapshot, SnapshotDatabase
 from repro.crawler.proxies import ProxyPool
@@ -165,6 +165,14 @@ class EcosystemService:
         self.fetch_comments = fetch_comments
         self.max_worker_restarts = max_worker_restarts
         self.analytics = StreamingAnalytics(self.store.name)
+        # Per-persona-segment gauges: the store's segment download matrix
+        # is simulator state (independent of client count and arrival
+        # order), so these live in the K-invariant data plane too.
+        self.segment_analytics: Optional[SegmentDownloadShares] = None
+        if self.store.segments is not None:
+            self.segment_analytics = SegmentDownloadShares(
+                self.store.segments.names
+            )
         self.data_metrics = (
             data_metrics if data_metrics is not None else MetricsRegistry()
         )
@@ -262,6 +270,11 @@ class EcosystemService:
             float(len(self.store.listed_app_ids()))
         )
         self.analytics.export(data)
+        if self.segment_analytics is not None:
+            self.segment_analytics.observe_matrix(
+                self.store.segment_download_counts()
+            )
+            self.segment_analytics.export(data)
         return len(observations)
 
     def report(self) -> ServiceReport:

@@ -22,6 +22,45 @@ from repro.core.models import (
     ZipfAtMostOnceModel,
     ZipfModel,
 )
+from repro.marketplace.behavior import BehaviorParams
+from repro.marketplace.segments import (
+    Persona,
+    default_personas,
+    draw_segment_params,
+    segment_boundaries,
+)
+
+
+@dataclass(frozen=True)
+class SegmentWorkload:
+    """One persona segment of a workload population.
+
+    The workload-side view of a segment: just the behaviour knobs the
+    download models consume (``p``, ``zr``, ``zc``) plus a name and a
+    population weight.  Build these from marketplace
+    :class:`~repro.marketplace.segments.SegmentParams` via
+    :func:`segmented_spec`, or construct directly for ablations.
+    """
+
+    name: str
+    weight: float
+    p: float = 0.9
+    zr: float = 1.7
+    zc: float = 1.4
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("segment name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError("segment weight must be positive")
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError("p must lie in [0, 1]")
+        if self.zr <= 0 or self.zc <= 0:
+            raise ValueError("Zipf exponents must be positive")
+
+    def model_params(self) -> Tuple[float, float, float]:
+        """The (p, zr, zc) triple that decides model-stream identity."""
+        return (self.p, self.zr, self.zc)
 
 
 @dataclass(frozen=True)
@@ -43,6 +82,7 @@ class WorkloadSpec:
     n_clusters: int = 30
     cluster_of: Optional[Tuple[int, ...]] = None
     seed: int = 0
+    segments: Optional[Tuple[SegmentWorkload, ...]] = None
 
     def __post_init__(self) -> None:
         if self.n_apps < 1 or self.n_users < 1:
@@ -51,6 +91,8 @@ class WorkloadSpec:
             raise ValueError("total_downloads must be non-negative")
         if self.n_clusters < 1:
             raise ValueError("n_clusters must be positive")
+        if self.segments is not None and len(self.segments) == 0:
+            raise ValueError("segments must be None or a non-empty tuple")
 
     def with_kind(self, kind: ModelKind) -> "WorkloadSpec":
         """The same workload under a different model (for comparisons)."""
@@ -82,6 +124,52 @@ class WorkloadSpec:
                 )
             )
         raise ValueError(f"unknown model kind: {self.kind!r}")
+
+    @property
+    def n_segments(self) -> int:
+        """Number of persona segments (1 for the global profile)."""
+        return 1 if self.segments is None else len(self.segments)
+
+    def segment_names(self) -> Tuple[str, ...]:
+        """Segment names ("global" when unsegmented)."""
+        if self.segments is None:
+            return ("global",)
+        return tuple(segment.name for segment in self.segments)
+
+    def segment_user_boundaries(self) -> np.ndarray:
+        """Contiguous user boundaries of the segment partition.
+
+        Length ``n_segments + 1``; segment ``k`` owns users
+        ``[bounds[k], bounds[k+1])``.  The cumulative-floor split matches
+        the sharded runner's budget rule, so the partition is RNG-free
+        and stable under population scaling.
+        """
+        if self.segments is None:
+            return np.array([0, self.n_users], dtype=np.int64)
+        return segment_boundaries(
+            self.n_users, tuple(segment.weight for segment in self.segments)
+        )
+
+    def build_segment_model(self, segment: int = 0):
+        """Instantiate the model one segment's users draw through.
+
+        Unsegmented specs return the global model.  A segment whose
+        ``(p, zr, zc)`` equal the spec's global knobs builds a model that
+        consumes the identical RNG stream, which is what makes the
+        equal-parameter partition byte-identical to the global run.
+        """
+        if self.segments is None:
+            if segment != 0:
+                raise IndexError("unsegmented spec has only segment 0")
+            return self.build_model()
+        chosen = self.segments[segment]
+        return replace(
+            self,
+            p=chosen.p,
+            zr=chosen.zr,
+            zc=chosen.zc,
+            segments=None,
+        ).build_model()
 
     def events(self) -> Iterator[DownloadEvent]:
         """A fresh event stream for this spec (deterministic in the seed)."""
@@ -134,4 +222,41 @@ def figure19_spec(
         p=0.9,
         n_clusters=30,
         seed=seed,
+    )
+
+
+def segmented_spec(
+    spec: WorkloadSpec,
+    personas: Optional[Tuple[Persona, ...]] = None,
+    persona_seed: int = 0,
+) -> WorkloadSpec:
+    """Split a spec's population into persona segments via the utility model.
+
+    The spec's global ``(p, zr, zc)`` act as the conjoint anchor: each
+    persona's part-worths shift the behaviour knobs around them, seeded
+    by ``persona_seed`` (independent of the workload seed, so the same
+    population can be re-partitioned without re-rolling the event
+    stream).  Defaults to the four built-in personas.
+    """
+    chosen = personas if personas is not None else default_personas()
+    anchor = BehaviorParams(
+        cluster_probability=spec.p,
+        global_exponent=spec.zr,
+        cluster_exponent=spec.zc,
+    )
+    drawn = draw_segment_params(
+        chosen, anchor, anchor_comment_probability=0.08, seed=persona_seed
+    )
+    return replace(
+        spec,
+        segments=tuple(
+            SegmentWorkload(
+                name=params.name,
+                weight=params.weight,
+                p=params.behavior.cluster_probability,
+                zr=params.behavior.global_exponent,
+                zc=params.behavior.cluster_exponent,
+            )
+            for params in drawn
+        ),
     )

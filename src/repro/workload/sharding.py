@@ -59,13 +59,20 @@ DEFAULT_BLOCK_SIZE = 65_536
 
 @dataclass(frozen=True)
 class BlockTask:
-    """One block of users: the atomic, shard-independent unit of work."""
+    """One block of users: the atomic, shard-independent unit of work.
+
+    ``segment`` names the persona segment whose model parameters this
+    block draws through (0 for unsegmented specs).  Blocks never span a
+    parameter boundary: the planner cuts block edges wherever adjacent
+    segments differ in ``(p, zr, zc)``.
+    """
 
     index: int
     user_start: int
     n_users: int
     n_downloads: int
     seed: int
+    segment: int = 0
 
 
 @dataclass(frozen=True)
@@ -116,12 +123,43 @@ def plan_shards(
         raise ValueError("block_size must be >= 1")
     n_users = spec.n_users
     total = spec.total_downloads
-    n_blocks = -(-n_users // block_size)
+
+    # Segment runs: adjacent segments with identical (p, zr, zc) merge
+    # into one run, so an equal-parameter partition plans the exact same
+    # blocks (and spawns the exact same seeds) as the global profile --
+    # that is what extends the byte-exactness contract to segmented specs.
+    # Only where parameters actually change does the planner cut a block
+    # edge, so no block ever mixes two models.
+    bounds = spec.segment_user_boundaries()
+    run_starts = [0]
+    run_segments = [0]
+    if spec.segments is not None:
+        for k in range(1, len(spec.segments)):
+            previous = spec.segments[k - 1].model_params()
+            if spec.segments[k].model_params() != previous:  # repro: noqa=RPL032 -- exact identity decides RNG-stream compatibility, not closeness
+                run_starts.append(int(bounds[k]))
+                run_segments.append(k)
+    # Drop empty runs (zero-weight rounding can collapse a boundary).
+    run_edges = run_starts + [n_users]
+    keep = [
+        i for i in range(len(run_starts)) if run_edges[i] < run_edges[i + 1]
+    ]
+    run_starts = [run_starts[i] for i in keep]
+    run_segments = [run_segments[i] for i in keep]
+
+    grid = np.arange(0, n_users, block_size, dtype=np.int64)
+    edges = np.unique(
+        np.concatenate(
+            [grid, np.asarray(run_starts + [n_users], dtype=np.int64)]
+        )
+    )
+    n_blocks = edges.size - 1
     children = make_seed_sequence(spec.seed).spawn(n_blocks)
     blocks = []
     for index in range(n_blocks):  # repro: noqa=RPL020 -- plan construction, once per block
-        start = index * block_size
-        stop = min(start + block_size, n_users)
+        start = int(edges[index])
+        stop = int(edges[index + 1])
+        run = int(np.searchsorted(run_starts, start, side="right")) - 1
         blocks.append(
             BlockTask(
                 index=index,
@@ -133,6 +171,7 @@ def plan_shards(
                     children[index].generate_state(1, dtype=np.uint64)[0]
                     % (2**31)
                 ),
+                segment=run_segments[run],
             )
         )
     return ShardPlan(
@@ -144,12 +183,14 @@ def plan_shards(
 
 
 #: Per-block worker outcome: (counts, metrics snapshot, n_events,
-#: optional (user_ids, app_indices) event arrays).
+#: optional (user_ids, app_indices) event arrays, optional per-segment
+#: (n_segments, n_apps) counts).
 _BlockOutcome = Tuple[
     np.ndarray,
     Dict[str, dict],
     int,
     Optional[Tuple[np.ndarray, np.ndarray]],
+    Optional[np.ndarray],
 ]
 
 
@@ -180,10 +221,55 @@ def _simulate_block(
     counts = np.zeros(spec.n_apps, dtype=np.int64)
     n_events = 0
     collected: List[Tuple[np.ndarray, np.ndarray]] = []
+    segment_counts: Optional[np.ndarray] = None
+    segment_bounds: Optional[np.ndarray] = None
+    single_segment: Optional[int] = None
+    if spec.segments is not None:
+        # Attribute events to *true* segments by user id, not by the
+        # block's (possibly merged) model segment: equal-parameter
+        # segments share blocks but still report separately.  One
+        # vectorized bincount per batch, no RNG consumed.  Most blocks
+        # sit entirely inside one true segment (the planner only cuts
+        # edges where parameters change, the grid cuts everywhere
+        # else), so resolve the segment once per block when possible
+        # and reuse the batch's existing count vector.
+        segment_counts = np.zeros(
+            (len(spec.segments), spec.n_apps), dtype=np.int64
+        )
+        segment_bounds = spec.segment_user_boundaries()
+        first = int(
+            np.searchsorted(
+                segment_bounds[1:], block.user_start, side="right"
+            )
+        )
+        last = int(
+            np.searchsorted(
+                segment_bounds[1:],
+                block.user_start + block.n_users - 1,
+                side="right",
+            )
+        )
+        if first == last:
+            single_segment = first
     with use_registry(registry):
         for batch in _block_batches(model, spec.kind, block):
-            counts += np.bincount(batch.app_indices, minlength=spec.n_apps)
+            batch_counts = np.bincount(
+                batch.app_indices, minlength=spec.n_apps
+            )
+            counts += batch_counts
             n_events += len(batch)
+            if segment_counts is not None:
+                if single_segment is not None:
+                    segment_counts[single_segment] += batch_counts
+                else:
+                    users = batch.user_ids + block.user_start
+                    segment_ids = np.searchsorted(
+                        segment_bounds[1:], users, side="right"
+                    )
+                    segment_counts += np.bincount(
+                        segment_ids * spec.n_apps + batch.app_indices,
+                        minlength=segment_counts.size,
+                    ).reshape(segment_counts.shape)
             if collect_events:
                 collected.append(
                     (batch.user_ids + block.user_start, batch.app_indices)
@@ -198,7 +284,7 @@ def _simulate_block(
             if collected
             else np.empty(0, dtype=np.int64),
         )
-    return counts, registry.snapshot(), n_events, events
+    return counts, registry.snapshot(), n_events, events, segment_counts
 
 
 def _run_shard(
@@ -206,16 +292,26 @@ def _run_shard(
 ) -> List[Tuple[int, _BlockOutcome]]:
     """Worker: simulate every block a shard owns, in block-index order.
 
-    One model instance serves all of the shard's blocks -- alias tables
-    and head/tail splits depend only on the spec, so building them once
-    per process instead of once per block is free speedup, and block
-    streams stay independent because each block brings its own seed.
+    One model instance per segment serves all of the shard's blocks in
+    that segment -- alias tables and head/tail splits depend only on the
+    segment's parameters, so building them once per (process, segment)
+    instead of once per block is free speedup, and block streams stay
+    independent because each block brings its own seed.
     """
-    model = plan.spec.build_model()
-    return [
-        (block.index, _simulate_block(model, plan.spec, block, collect_events))
-        for block in plan.shard_blocks(shard)
-    ]
+    models: Dict[int, object] = {}
+    results: List[Tuple[int, _BlockOutcome]] = []
+    for block in plan.shard_blocks(shard):  # repro: noqa=RPL020 -- shard work loop, once per block
+        model = models.get(block.segment)
+        if model is None:
+            model = plan.spec.build_segment_model(block.segment)
+            models[block.segment] = model
+        results.append(
+            (
+                block.index,
+                _simulate_block(model, plan.spec, block, collect_events),
+            )
+        )
+    return results
 
 
 @dataclass(frozen=True)
@@ -237,18 +333,25 @@ class ShardedCampaignResult:
     block_size: int
     fingerprint: str
     events: Optional[EventBatch] = field(default=None, repr=False)
+    segment_counts: Optional[np.ndarray] = field(default=None, repr=False)
+    segment_names: Optional[Tuple[str, ...]] = None
 
     def describe(self) -> str:
         """Deterministic one-paragraph campaign summary."""
-        return "\n".join(
-            [
-                f"sharded campaign: {self.n_events:,} events over "
-                f"{self.n_blocks} blocks x {self.block_size:,} users "
-                f"({self.n_shards} shards)",
-                f"events unfilled: {self.events_unfilled:,}",
-                f"counts fingerprint: sha256:{self.fingerprint}",
-            ]
-        )
+        lines = [
+            f"sharded campaign: {self.n_events:,} events over "
+            f"{self.n_blocks} blocks x {self.block_size:,} users "
+            f"({self.n_shards} shards)",
+            f"events unfilled: {self.events_unfilled:,}",
+            f"counts fingerprint: sha256:{self.fingerprint}",
+        ]
+        if self.segment_counts is not None:
+            names = self.segment_names or tuple(
+                f"segment-{index}" for index in range(len(self.segment_counts))
+            )
+            for name, row in zip(names, self.segment_counts):
+                lines.append(f"segment {name}: {int(row.sum()):,} events")
+        return "\n".join(lines)
 
 
 def run_sharded_campaign(
@@ -299,12 +402,21 @@ def run_sharded_campaign(
     metrics = get_registry()
     metrics.counter("sharding.blocks").add(plan.n_blocks)
     counts = np.zeros(spec.n_apps, dtype=np.int64)
+    segment_counts = (
+        np.zeros((len(spec.segments), spec.n_apps), dtype=np.int64)
+        if spec.segments is not None
+        else None
+    )
     n_events = 0
     events_unfilled = 0
     event_parts: List[Tuple[np.ndarray, np.ndarray]] = []
     for index in range(plan.n_blocks):  # repro: noqa=RPL020 -- merge loop, once per block
-        block_counts, snapshot, block_events, events = outcomes[index]
+        block_counts, snapshot, block_events, events, block_segments = (
+            outcomes[index]
+        )
         counts += block_counts
+        if segment_counts is not None and block_segments is not None:
+            segment_counts += block_segments
         n_events += block_events
         events_unfilled += int(
             snapshot.get("counters", {}).get("engine.events_unfilled", 0)
@@ -335,4 +447,8 @@ def run_sharded_campaign(
             np.ascontiguousarray(counts).tobytes()
         ).hexdigest(),
         events=merged_events,
+        segment_counts=segment_counts,
+        segment_names=(
+            spec.segment_names() if spec.segments is not None else None
+        ),
     )

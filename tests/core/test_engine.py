@@ -19,6 +19,7 @@ from repro.core.engine import (
     VisitedClusters,
     counts_from_batches,
     interleaved_user_order,
+    partition_by_blocks,
     per_user_budgets,
     sample_new_apps,
 )
@@ -156,6 +157,44 @@ class TestBudgetsAndOrder:
         budgets = per_user_budgets(50, 7, rng)
         order = interleaved_user_order(budgets, rng)
         assert np.array_equal(np.bincount(order, minlength=7), budgets)
+
+
+class TestPartitionByBlocks:
+    def test_groups_and_starts(self):
+        values = np.array([7, 1, 9, 3, 5, 0])
+        bounds = np.array([0, 4, 8, 10])
+        block_ids, order, starts = partition_by_blocks(values, bounds)
+        assert block_ids.tolist() == [1, 0, 2, 0, 1, 0]
+        grouped = values[order]
+        assert grouped[starts[0] : starts[1]].tolist() == [1, 3, 0]
+        assert grouped[starts[1] : starts[2]].tolist() == [7, 5]
+        assert grouped[starts[2] : starts[3]].tolist() == [9]
+
+    def test_stable_within_block(self):
+        """Relative input order survives inside each block (stable sort)."""
+        values = np.array([2, 9, 1, 8, 0, 9])
+        bounds = np.array([0, 5, 10])
+        _, order, starts = partition_by_blocks(values, bounds)
+        assert values[order[starts[0] : starts[1]]].tolist() == [2, 1, 0]
+        assert values[order[starts[1] : starts[2]]].tolist() == [9, 8, 9]
+
+    def test_empty_values(self):
+        block_ids, order, starts = partition_by_blocks(
+            np.empty(0, dtype=np.int64), np.array([0, 5, 10])
+        )
+        assert block_ids.size == 0
+        assert order.size == 0
+        assert starts.tolist() == [0, 0, 0]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            partition_by_blocks(np.array([10]), np.array([0, 5, 10]))
+        with pytest.raises(ValueError):
+            partition_by_blocks(np.array([-1]), np.array([0, 5, 10]))
+
+    def test_degenerate_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            partition_by_blocks(np.array([0]), np.array([0]))
 
 
 class TestSampleNewApps:

@@ -20,6 +20,8 @@ BATCHED_PATH = "src/repro/core/engine.py"
 STORE_PATH = "src/repro/store/columnar.py"
 #: A path outside every structural allowlist.
 PLAIN_PATH = "src/repro/analysis/example.py"
+#: A path inside the segment-dispatch set, for the RPL023 fixtures.
+SEGMENT_PATH = "src/repro/marketplace/segments.py"
 #: A path inside the virtual-time service, for the RPL040 fixtures.
 SERVICE_PATH = "src/repro/service/example.py"
 
@@ -402,6 +404,62 @@ FIXTURES: Tuple[RuleFixture, ...] = (
             "    return rows\n"
         ),
         path=STORE_PATH,
+        quiet_path=PLAIN_PATH,
+    ),
+    RuleFixture(
+        code="RPL023",
+        # Walking a user array one element at a time defeats the
+        # one-kernel-per-segment dispatch; partition_by_blocks hands each
+        # contiguous segment block to a single vectorized call.
+        flagged=(
+            "import numpy as np\n"
+            "def dispatch(user_ids, sessions, boundaries, day, rng):\n"
+            "    users = np.asarray(user_ids)\n"
+            "    out = []\n"
+            "    for user in users:\n"
+            "        segment = int(np.searchsorted(boundaries, user))\n"
+            "        out.append(sessions[segment].draw([user], day, rng))\n"
+            "    return out\n"
+        ),
+        quiet=(
+            "import numpy as np\n"
+            "from repro.core.engine import partition_by_blocks\n"
+            "def dispatch(user_ids, sessions, boundaries, day, rng):\n"
+            "    users = np.asarray(user_ids)\n"
+            "    ids, order, starts = partition_by_blocks(users, boundaries)\n"
+            "    out = np.full(users.size, -1)\n"
+            "    for segment in range(starts.size - 1):\n"
+            "        lo, hi = int(starts[segment]), int(starts[segment + 1])\n"
+            "        if lo < hi:\n"
+            "            block = order[lo:hi]\n"
+            "            out[block] = sessions[segment].draw(\n"
+            "                users[block], day, rng\n"
+            "            )\n"
+            "    return out\n"
+        ),
+        path=SEGMENT_PATH,
+    ),
+    RuleFixture(
+        code="RPL023",
+        # The same per-element walk outside the segment-dispatch modules
+        # is not this rule's business (RPL020 owns the batched engine).
+        flagged=(
+            "import numpy as np\n"
+            "def tally(user_ids, weights: np.ndarray):\n"
+            "    total = 0.0\n"
+            "    for user, weight in zip(np.asarray(user_ids), weights):\n"
+            "        total += weight\n"
+            "    return total\n"
+        ),
+        quiet=(
+            "import numpy as np\n"
+            "def tally(user_ids, weights: np.ndarray):\n"
+            "    total = 0.0\n"
+            "    for user, weight in zip(np.asarray(user_ids), weights):\n"
+            "        total += weight\n"
+            "    return total\n"
+        ),
+        path=SEGMENT_PATH,
         quiet_path=PLAIN_PATH,
     ),
     RuleFixture(

@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for persona-segmented populations.
+
+Two contracts drive random inputs through the sharded runner and the
+generated store:
+
+- **equal-parameter indistinguishability** -- any partition whose
+  segments all carry the global parameters reproduces the global
+  fingerprint byte for byte, whatever the weights;
+- **shard invariance** -- per-segment accounting depends only on the
+  spec, never on how many shards (``--shards N``) executed it.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import ModelKind
+from repro.marketplace.segments import default_personas
+from repro.workload.generators import (
+    SegmentWorkload,
+    WorkloadSpec,
+    segmented_spec,
+)
+from repro.workload.sharding import run_sharded_campaign
+
+WEIGHTS = st.lists(
+    st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=5,
+)
+
+
+def _base_spec(kind, n_users, seed):
+    return WorkloadSpec(
+        kind=kind,
+        n_apps=120,
+        n_users=n_users,
+        total_downloads=n_users * 4,
+        zr=1.7,
+        zc=1.4,
+        p=0.9,
+        n_clusters=8,
+        seed=seed,
+    )
+
+
+def _equal_param_partition(spec, weights):
+    return WorkloadSpec(
+        kind=spec.kind,
+        n_apps=spec.n_apps,
+        n_users=spec.n_users,
+        total_downloads=spec.total_downloads,
+        zr=spec.zr,
+        zc=spec.zc,
+        p=spec.p,
+        n_clusters=spec.n_clusters,
+        seed=spec.seed,
+        segments=tuple(
+            SegmentWorkload(
+                name=f"segment-{index}",
+                weight=weight,
+                p=spec.p,
+                zr=spec.zr,
+                zc=spec.zc,
+            )
+            for index, weight in enumerate(weights)
+        ),
+    )
+
+
+class TestEqualParamPartition:
+    @given(
+        kind=st.sampled_from([ModelKind.ZIPF, ModelKind.ZIPF_AT_MOST_ONCE]),
+        n_users=st.integers(min_value=20, max_value=300),
+        weights=WEIGHTS,
+        n_shards=st.integers(min_value=1, max_value=4),
+        block_size=st.integers(min_value=16, max_value=128),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_partition_matches_global_fingerprint(
+        self, kind, n_users, weights, n_shards, block_size, seed
+    ):
+        spec = _base_spec(kind, n_users, seed)
+        segmented = _equal_param_partition(spec, weights)
+        plain = run_sharded_campaign(
+            spec, n_shards=n_shards, block_size=block_size, use_processes=False
+        )
+        seg = run_sharded_campaign(
+            segmented,
+            n_shards=n_shards,
+            block_size=block_size,
+            use_processes=False,
+        )
+        assert seg.fingerprint == plain.fingerprint
+        assert np.array_equal(seg.counts, plain.counts)
+        # Accounting still resolves true segments and conserves events.
+        assert seg.segment_counts is not None
+        assert seg.segment_counts.shape[0] == len(weights)
+        assert np.array_equal(seg.segment_counts.sum(axis=0), seg.counts)
+
+
+class TestShardInvariance:
+    @given(
+        n_personas=st.integers(min_value=1, max_value=4),
+        n_users=st.integers(min_value=20, max_value=300),
+        shards_a=st.integers(min_value=1, max_value=5),
+        shards_b=st.integers(min_value=1, max_value=5),
+        block_size=st.integers(min_value=16, max_value=128),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        persona_seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_segment_accounting_is_shard_invariant(
+        self,
+        n_personas,
+        n_users,
+        shards_a,
+        shards_b,
+        block_size,
+        seed,
+        persona_seed,
+    ):
+        spec = segmented_spec(
+            _base_spec(ModelKind.ZIPF, n_users, seed),
+            personas=default_personas(n_personas),
+            persona_seed=persona_seed,
+        )
+        a = run_sharded_campaign(
+            spec, n_shards=shards_a, block_size=block_size, use_processes=False
+        )
+        b = run_sharded_campaign(
+            spec, n_shards=shards_b, block_size=block_size, use_processes=False
+        )
+        assert a.fingerprint == b.fingerprint
+        assert np.array_equal(a.segment_counts, b.segment_counts)
+        assert a.segment_names == b.segment_names
+        assert np.array_equal(a.segment_counts.sum(axis=0), a.counts)

@@ -241,3 +241,65 @@ class TestStreamingAnalyticsFacade:
             one.state.positive_downloads() == other.state.positive_downloads()
         ).all()
         assert one.zipf.value == other.zipf.value
+
+
+class TestSegmentDownloadShares:
+    """Unit contract for the per-segment service gauges."""
+
+    def _shares(self):
+        from repro.analysis.streaming import SegmentDownloadShares
+
+        return SegmentDownloadShares(("alpha", "beta"))
+
+    def test_requires_names(self):
+        from repro.analysis.streaming import SegmentDownloadShares
+
+        with pytest.raises(ValueError):
+            SegmentDownloadShares(())
+
+    def test_unfed_is_inert(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        shares = self._shares()
+        assert shares.summaries() is None
+        registry = MetricsRegistry()
+        shares.export(registry)
+        assert registry.snapshot()["gauges"] == {}
+
+    def test_matrix_shape_validated(self):
+        shares = self._shares()
+        with pytest.raises(ValueError):
+            shares.observe_matrix(np.zeros(4))
+        with pytest.raises(ValueError):
+            shares.observe_matrix(np.zeros((3, 4)))
+
+    def test_summaries_match_batch_math(self):
+        shares = self._shares()
+        matrix = np.array([[40, 0, 10], [10, 30, 10]])
+        shares.observe_matrix(matrix)
+        summaries = shares.summaries()
+        assert summaries["alpha"]["downloads"] == 50.0
+        assert summaries["alpha"]["share"] == pytest.approx(0.5)
+        positive = np.array([40.0, 10.0])
+        assert summaries["alpha"]["top_10pct"] == pytest.approx(
+            cumulative_share(positive, [0.10])[0]
+        )
+        assert summaries["alpha"]["gini"] == gini_coefficient(positive)
+
+    def test_all_zero_segment_has_no_concentration_stats(self):
+        shares = self._shares()
+        shares.observe_matrix(np.array([[0, 0, 0], [5, 5, 0]]))
+        summaries = shares.summaries()
+        assert summaries["alpha"] == {"downloads": 0.0, "share": 0.0}
+        assert "gini" in summaries["beta"]
+
+    def test_export_publishes_prefixed_gauges(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        shares = self._shares()
+        shares.observe_matrix(np.array([[40, 0, 10], [10, 30, 10]]))
+        registry = MetricsRegistry()
+        shares.export(registry)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["streaming.segment.alpha.downloads"] == 50.0
+        assert gauges["streaming.segment.beta.share"] == pytest.approx(0.5)

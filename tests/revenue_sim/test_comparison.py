@@ -4,7 +4,11 @@ import pytest
 
 from repro.core.revenue import FreeAppRecord, PaidAppRecord
 from repro.revenue_sim.ads import AdMonetization
-from repro.revenue_sim.comparison import compare_strategies
+from repro.revenue_sim.comparison import (
+    SegmentRevenueRecords,
+    compare_strategies,
+    compare_strategies_by_segment,
+)
 from repro.revenue_sim.usage import UsageModel
 
 
@@ -100,6 +104,53 @@ class TestCompareStrategies:
         comparison = compare_strategies(paid_apps, free_apps, seed=5)
         assert "categories" in comparison.describe()
 
+    def test_one_sided_categories_surfaced_not_crashed(self):
+        """Regression: categories with only paid or only free apps.
+
+        Per-segment slicing routinely produces them; they must come back
+        as explicit no-threshold outcomes instead of raising inside
+        break-even computation.
+        """
+        paid_apps = [
+            paid(1, "fun/games", 1.0, 10),
+            paid(2, "wallpapers", 2.0, 5),  # no free apps here
+        ]
+        free_apps = [
+            free(3, "fun/games", 1000),
+            free(4, "music", 50),  # no paid apps here
+        ]
+        comparison = compare_strategies(paid_apps, free_apps, seed=7)
+        assert [o.category for o in comparison.outcomes] == ["fun/games"]
+        assert comparison.undefined_categories == ["music", "wallpapers"]
+        statuses = {o.category: o.status for o in comparison.undefined}
+        assert statuses == {
+            "music": "no-paid-apps",
+            "wallpapers": "no-free-apps",
+        }
+        assert "without a defined threshold" in comparison.describe()
+
+    def test_one_sided_categories_do_not_shift_rng(self):
+        """Undefined categories consume no randomness: adding one leaves
+        every defined category's simulated income unchanged."""
+        paid_apps = [paid(1, "fun/games", 1.0, 10)]
+        free_apps = [free(2, "fun/games", 1000)]
+        base = compare_strategies(paid_apps, free_apps, seed=8)
+        with_orphan = compare_strategies(
+            paid_apps, free_apps + [free(3, "music", 10)], seed=8
+        )
+        assert (
+            base.outcomes[0].simulated_income
+            == with_orphan.outcomes[0].simulated_income
+        )
+
+    def test_win_fraction_ignores_undefined(self):
+        paid_apps = [paid(1, "wallpapers", 2.0, 5)]
+        free_apps = [free(2, "music", 50)]
+        comparison = compare_strategies(paid_apps, free_apps, seed=9)
+        assert comparison.outcomes == []
+        assert comparison.win_fraction == 0.0
+        assert len(comparison.undefined) == 2
+
     def test_integration_with_crawl(self, slideme_campaign):
         """End to end: thresholds from the crawl, income from the funnel."""
         from repro.analysis.income import paid_app_records
@@ -133,4 +184,97 @@ class TestCompareStrategies:
         losers = [o for o in comparison.outcomes if not o.free_strategy_wins]
         assert min(o.break_even_income for o in losers) > min(
             o.break_even_income for o in winners
+        )
+
+
+class TestCompareStrategiesBySegment:
+    def _segments(self):
+        return [
+            SegmentRevenueRecords(
+                name="payers",
+                weight=0.3,
+                paid_apps=(paid(1, "fun/games", 1.0, 10),),
+                free_apps=(free(2, "fun/games", 1000),),
+                engagement=1.5,
+            ),
+            SegmentRevenueRecords(
+                name="averse",
+                weight=0.7,
+                paid_apps=(),
+                free_apps=(free(3, "fun/games", 5000),),
+                engagement=0.8,
+            ),
+        ]
+
+    def test_overall_pools_every_segment(self):
+        result = compare_strategies_by_segment(self._segments(), seed=0)
+        assert len(result.per_segment) == 2
+        assert [r.segment for r in result.per_segment] == ["payers", "averse"]
+        assert result.overall.outcomes  # pooled records define a threshold
+
+    def test_paid_free_segment_reports_no_threshold(self):
+        result = compare_strategies_by_segment(self._segments(), seed=0)
+        averse = result.per_segment[1].comparison
+        assert averse.outcomes == []
+        assert averse.undefined_categories == ["fun/games"]
+
+    def test_trailing_segments_never_shift_leading_rows(self):
+        """Per-segment seeds are spawned in order: truncating the list
+        reproduces the leading segment's numbers exactly."""
+        segments = self._segments()
+        full = compare_strategies_by_segment(segments, seed=5)
+        short = compare_strategies_by_segment(segments[:1], seed=5)
+        full_payers = full.per_segment[0].comparison.outcomes[0]
+        short_payers = short.per_segment[0].comparison.outcomes[0]
+        assert full_payers.break_even_income == short_payers.break_even_income
+        # Install volume scales with weight share, so the simulated
+        # incomes differ only through volume, not through seed drift.
+        assert full.per_segment[0].weight == short.per_segment[0].weight
+
+    def test_describe_lists_all_rows(self):
+        text = compare_strategies_by_segment(self._segments(), seed=0).describe()
+        assert "[overall]" in text
+        assert "payers" in text and "averse" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_strategies_by_segment([], seed=0)
+        with pytest.raises(ValueError):
+            SegmentRevenueRecords(
+                name="", weight=0.5, paid_apps=(), free_apps=()
+            )
+        with pytest.raises(ValueError):
+            SegmentRevenueRecords(
+                name="x", weight=0.0, paid_apps=(), free_apps=()
+            )
+        with pytest.raises(ValueError):
+            SegmentRevenueRecords(
+                name="x", weight=0.5, paid_apps=(), free_apps=(), engagement=0.0
+            )
+
+    def test_engagement_scales_income(self):
+        """Higher engagement means more sessions, hence more ad income."""
+        base = [
+            SegmentRevenueRecords(
+                name="seg",
+                weight=1.0,
+                paid_apps=(paid(1, "fun/games", 1.0, 10),),
+                free_apps=(free(2, "fun/games", 1000),),
+                engagement=1.0,
+            )
+        ]
+        eager = [
+            SegmentRevenueRecords(
+                name="seg",
+                weight=1.0,
+                paid_apps=(paid(1, "fun/games", 1.0, 10),),
+                free_apps=(free(2, "fun/games", 1000),),
+                engagement=4.0,
+            )
+        ]
+        low = compare_strategies_by_segment(base, seed=11)
+        high = compare_strategies_by_segment(eager, seed=11)
+        assert (
+            high.per_segment[0].comparison.outcomes[0].simulated_income
+            > low.per_segment[0].comparison.outcomes[0].simulated_income
         )

@@ -9,7 +9,9 @@ from repro.revenue_sim.usage import UsageModel
 class TestUsageModel:
     def test_validation(self):
         with pytest.raises(ValueError):
-            UsageModel(daily_retention=1.0)
+            UsageModel(daily_retention=1.1)
+        with pytest.raises(ValueError):
+            UsageModel(daily_retention=-0.1)
         with pytest.raises(ValueError):
             UsageModel(sessions_per_active_day=0)
         with pytest.raises(ValueError):
@@ -19,6 +21,32 @@ class TestUsageModel:
         # Retention 0.5: 1 + 0.5 + 0.25 + ... -> 2 (truncated slightly below).
         model = UsageModel(daily_retention=0.5, max_days=90)
         assert model.expected_active_days() == pytest.approx(2.0, abs=1e-6)
+
+    def test_perfect_retention_boundary(self):
+        # r = 1.0 is the geometric sum's removable singularity: the naive
+        # ratio (1 - r**n) / (1 - r) divides by zero, but the limit is
+        # exactly max_days.
+        model = UsageModel(daily_retention=1.0, max_days=30)
+        assert model.expected_active_days() == 30.0
+        assert np.isfinite(model.expected_active_days())
+
+    def test_perfect_retention_sampling(self):
+        model = UsageModel(daily_retention=1.0, max_days=10)
+        sessions = model.sample_sessions("productivity", 1000, seed=3)
+        assert sessions.shape == (1000,)
+        assert sessions.min() >= 1
+        # Everyone stays the full window, so means track 10 active days.
+        assert float(sessions.mean()) == pytest.approx(
+            model.expected_sessions("productivity"), rel=0.1
+        )
+
+    def test_near_one_retention_continuity(self):
+        # Approaching r = 1 from below converges to the closed-form limit.
+        limit = UsageModel(daily_retention=1.0, max_days=20).expected_active_days()
+        near = UsageModel(
+            daily_retention=1.0 - 1e-12, max_days=20
+        ).expected_active_days()
+        assert near == pytest.approx(limit, rel=1e-6)
 
     def test_engagement_ordering(self):
         model = UsageModel()

@@ -304,3 +304,53 @@ class TestSoak:
             service.analytics.state.positive_downloads() == positive
         ).all()
         assert service.analytics.zipf.value == fit_zipf_exponent_mle(positive)
+
+
+class TestSegmentAnalytics:
+    """Per-persona-segment gauges ride the deterministic data plane."""
+
+    def _run_segmented(self, n_clients, seed=SEED):
+        from repro.marketplace.segments import segmented_profile
+
+        profile = segmented_profile(small_profile(), seed=7)
+        with use_registry(MetricsRegistry()):
+            service = EcosystemService(
+                profile, seed=seed, n_clients=n_clients
+            )
+            report = service.run()
+        return service, report
+
+    def test_segment_gauges_match_store_matrix(self):
+        service, _ = self._run_segmented(2)
+        assert service.segment_analytics is not None
+        matrix = service.store.segment_download_counts()
+        gauges = service.data_metrics.snapshot()["gauges"]
+        names = service.store.segments.names
+        total = float(matrix.sum())
+        for index, name in enumerate(names):
+            downloads = gauges[f"streaming.segment.{name}.downloads"]
+            assert downloads == float(matrix[index].sum())
+            assert gauges[f"streaming.segment.{name}.share"] == (
+                downloads / total
+            )
+        shares = [gauges[f"streaming.segment.{n}.share"] for n in names]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_segment_gauges_are_client_count_invariant(self):
+        a, _ = self._run_segmented(1)
+        b, _ = self._run_segmented(3)
+        ga = a.data_metrics.snapshot()["gauges"]
+        gb = b.data_metrics.snapshot()["gauges"]
+        segment_keys = {k for k in ga if k.startswith("streaming.segment.")}
+        assert segment_keys
+        assert segment_keys == {
+            k for k in gb if k.startswith("streaming.segment.")
+        }
+        for key in segment_keys:
+            assert ga[key] == gb[key]
+
+    def test_unsegmented_profile_exports_no_segment_gauges(self):
+        service, _, _ = run_service(1)
+        assert service.segment_analytics is None
+        gauges = service.data_metrics.snapshot()["gauges"]
+        assert not any(k.startswith("streaming.segment.") for k in gauges)

@@ -83,3 +83,111 @@ class TestFigure19Spec:
     def test_invalid_scale(self):
         with pytest.raises(ValueError):
             figure19_spec(scale=0.0)
+
+
+class TestSegmentWorkload:
+    def test_validation(self):
+        from repro.workload.generators import SegmentWorkload
+
+        with pytest.raises(ValueError):
+            SegmentWorkload(name="", weight=0.5)
+        with pytest.raises(ValueError):
+            SegmentWorkload(name="x", weight=0.0)
+        with pytest.raises(ValueError):
+            SegmentWorkload(name="x", weight=0.5, p=1.5)
+        with pytest.raises(ValueError):
+            SegmentWorkload(name="x", weight=0.5, zr=0.0)
+        with pytest.raises(ValueError):
+            SegmentWorkload(name="x", weight=0.5, zc=-1.0)
+
+    def test_model_params_triple(self):
+        from repro.workload.generators import SegmentWorkload
+
+        segment = SegmentWorkload(name="x", weight=0.5, p=0.7, zr=1.2, zc=1.9)
+        assert segment.model_params() == (0.7, 1.2, 1.9)
+
+
+class TestSegmentedSpec:
+    def _two_segments(self):
+        from repro.workload.generators import SegmentWorkload
+
+        return (
+            SegmentWorkload(name="a", weight=0.25, p=0.5, zr=1.2, zc=1.4),
+            SegmentWorkload(name="b", weight=0.75, p=0.9, zr=1.7, zc=1.4),
+        )
+
+    def test_empty_segments_rejected(self):
+        with pytest.raises(ValueError):
+            small_spec(segments=())
+
+    def test_unsegmented_accessors(self):
+        spec = small_spec()
+        assert spec.n_segments == 1
+        assert spec.segment_names() == ("global",)
+        assert spec.segment_user_boundaries().tolist() == [0, spec.n_users]
+        with pytest.raises(IndexError):
+            spec.build_segment_model(1)
+
+    def test_segment_accessors(self):
+        spec = small_spec(n_users=100, segments=self._two_segments())
+        assert spec.n_segments == 2
+        assert spec.segment_names() == ("a", "b")
+        assert spec.segment_user_boundaries().tolist() == [0, 25, 100]
+
+    def test_equal_param_segment_model_matches_global(self):
+        """The exactness lever: a segment carrying the global knobs
+        builds a model indistinguishable from the global one."""
+        spec = small_spec(kind=ModelKind.ZIPF)
+        from repro.workload.generators import SegmentWorkload
+
+        same = small_spec(
+            kind=ModelKind.ZIPF,
+            segments=(
+                SegmentWorkload(
+                    name="same", weight=1.0, p=spec.p, zr=spec.zr, zc=spec.zc
+                ),
+            ),
+        )
+        batch_a = next(spec.build_model().iter_batches(
+            spec.n_users, spec.total_downloads, seed=9
+        ))
+        batch_b = next(same.build_segment_model(0).iter_batches(
+            spec.n_users, spec.total_downloads, seed=9
+        ))
+        assert np.array_equal(batch_a.app_indices, batch_b.app_indices)
+        assert np.array_equal(batch_a.user_ids, batch_b.user_ids)
+
+    def test_segmented_spec_deterministic_in_persona_seed(self):
+        from repro.workload.generators import segmented_spec
+
+        base = small_spec()
+        a = segmented_spec(base, persona_seed=4)
+        b = segmented_spec(base, persona_seed=4)
+        c = segmented_spec(base, persona_seed=5)
+        assert a.segments == b.segments
+        assert a.segments != c.segments
+
+    def test_segmented_spec_anchors_on_spec_params(self):
+        """Noiseless personas with zero utilities sit on the anchor."""
+        from repro.marketplace.segments import Persona
+        from repro.workload.generators import segmented_spec
+
+        base = small_spec(p=0.8, zr=1.5, zc=1.3)
+        spec = segmented_spec(
+            base,
+            personas=(Persona(name="plain", weight=1.0, noise=0.0),),
+            persona_seed=0,
+        )
+        (segment,) = spec.segments
+        assert segment.p == pytest.approx(0.8)
+        assert segment.zr == pytest.approx(1.5)
+        assert segment.zc == pytest.approx(1.3)
+
+    def test_segmented_spec_uses_default_personas(self):
+        from repro.marketplace.segments import DEFAULT_PERSONAS
+        from repro.workload.generators import segmented_spec
+
+        spec = segmented_spec(small_spec(), persona_seed=0)
+        assert spec.segment_names() == tuple(
+            persona.name for persona in DEFAULT_PERSONAS
+        )

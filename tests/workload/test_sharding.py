@@ -256,3 +256,122 @@ class TestEdgeCases:
         clone = pickle.loads(pickle.dumps(plan))
         assert isinstance(clone, ShardPlan)
         assert clone.blocks == plan.blocks
+
+
+class TestSegmentedPlans:
+    def _segments(self, params):
+        from repro.workload.generators import SegmentWorkload
+
+        return tuple(
+            SegmentWorkload(name=f"s{i}", weight=w, p=p, zr=zr, zc=zc)
+            for i, (w, (p, zr, zc)) in enumerate(params)
+        )
+
+    def test_equal_param_segments_plan_like_global(self):
+        """Merged runs: identical parameters never cut a block edge, so
+        the plan (blocks, budgets, seeds) equals the global plan."""
+        spec = tiny_spec(n_users=1_000)
+        segmented = WorkloadSpec(
+            kind=spec.kind,
+            n_apps=spec.n_apps,
+            n_users=spec.n_users,
+            total_downloads=spec.total_downloads,
+            zr=spec.zr,
+            zc=spec.zc,
+            p=spec.p,
+            n_clusters=spec.n_clusters,
+            seed=spec.seed,
+            segments=self._segments(
+                [(0.3, (0.9, 1.7, 1.4)), (0.7, (0.9, 1.7, 1.4))]
+            ),
+        )
+        plain = plan_shards(spec, n_shards=2, block_size=128)
+        seg = plan_shards(segmented, n_shards=2, block_size=128)
+        assert len(plain.blocks) == len(seg.blocks)
+        for a, b in zip(plain.blocks, seg.blocks):
+            assert (a.user_start, a.n_users, a.n_downloads, a.seed) == (
+                b.user_start,
+                b.n_users,
+                b.n_downloads,
+                b.seed,
+            )
+            assert b.segment == 0  # merged into the first run
+
+    def test_distinct_params_cut_block_edges(self):
+        spec = tiny_spec(n_users=1_000)
+        segmented = WorkloadSpec(
+            kind=spec.kind,
+            n_apps=spec.n_apps,
+            n_users=spec.n_users,
+            total_downloads=spec.total_downloads,
+            zr=spec.zr,
+            zc=spec.zc,
+            p=spec.p,
+            n_clusters=spec.n_clusters,
+            seed=spec.seed,
+            segments=self._segments(
+                [(0.3, (0.5, 1.7, 1.4)), (0.7, (0.9, 1.2, 1.4))]
+            ),
+        )
+        plan = plan_shards(segmented, n_shards=2, block_size=128)
+        # 300 is a block edge even though the grid is multiples of 128.
+        edges = {block.user_start for block in plan.blocks}
+        assert 300 in edges
+        # No block mixes the two models.
+        for block in plan.blocks:
+            stop = block.user_start + block.n_users
+            assert stop <= 300 or block.user_start >= 300
+            assert block.segment == (0 if stop <= 300 else 1)
+
+    def test_budgets_still_telescope_with_segments(self):
+        spec = tiny_spec(n_users=1_000)
+        segmented = WorkloadSpec(
+            kind=spec.kind,
+            n_apps=spec.n_apps,
+            n_users=spec.n_users,
+            total_downloads=spec.total_downloads,
+            zr=spec.zr,
+            zc=spec.zc,
+            p=spec.p,
+            n_clusters=spec.n_clusters,
+            seed=spec.seed,
+            segments=self._segments(
+                [(0.5, (0.5, 1.7, 1.4)), (0.5, (0.9, 1.2, 1.4))]
+            ),
+        )
+        plan = plan_shards(segmented, n_shards=3, block_size=128)
+        assert sum(b.n_downloads for b in plan.blocks) == spec.total_downloads
+
+    def test_result_carries_segment_names_and_describe(self):
+        spec = tiny_spec(n_users=400, total_downloads=2_000)
+        segmented = WorkloadSpec(
+            kind=ModelKind.ZIPF,
+            n_apps=spec.n_apps,
+            n_users=spec.n_users,
+            total_downloads=spec.total_downloads,
+            zr=spec.zr,
+            zc=spec.zc,
+            p=spec.p,
+            n_clusters=spec.n_clusters,
+            seed=spec.seed,
+            segments=self._segments(
+                [(0.5, (0.9, 1.7, 1.4)), (0.5, (0.9, 1.2, 1.4))]
+            ),
+        )
+        result, _ = run_campaign(
+            segmented, n_shards=2, block_size=64, use_processes=False
+        )
+        assert result.segment_names == ("s0", "s1")
+        assert result.segment_counts.shape == (2, spec.n_apps)
+        text = result.describe()
+        assert "segment s0" in text and "segment s1" in text
+
+    def test_unsegmented_result_has_no_segment_counts(self):
+        result, _ = run_campaign(
+            tiny_spec(n_users=200, total_downloads=1_000),
+            n_shards=2,
+            block_size=64,
+            use_processes=False,
+        )
+        assert result.segment_counts is None
+        assert result.segment_names is None
